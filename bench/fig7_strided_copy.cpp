@@ -1,0 +1,55 @@
+// Regenerates Fig. 7: time to move 216 MB of strided data between pinned
+// host memory and one GPU as a function of the contiguous chunk size, for
+// the three copy implementations of Sec. 4.2.
+
+#include <cstdio>
+
+#include "gpu/cost_model.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace psdns;
+  using gpu::CopyMethod;
+  const gpu::CostModel costs;
+  const double total = 216e6;
+
+  std::printf(
+      "Fig. 7: strided copy of 216 MB total, time vs contiguous chunk size\n"
+      "(one V100's NVLink share; smaller chunks = more chunks).\n\n");
+
+  util::Table t({"Chunk size", "# chunks", "many cudaMemcpyAsync",
+                 "cudaMemcpy2DAsync", "zero-copy kernel (16 blocks)"});
+  for (double chunk = 2.2e3; chunk <= 28e6; chunk *= 4.0) {
+    t.add_row(
+        {util::format_bytes(chunk),
+         std::to_string(static_cast<long long>(total / chunk)),
+         util::format_time(
+             costs.strided_copy_time(CopyMethod::ManyMemcpyAsync, total,
+                                     chunk)),
+         util::format_time(
+             costs.strided_copy_time(CopyMethod::Memcpy2DAsync, total, chunk)),
+         util::format_time(
+             costs.strided_copy_time(CopyMethod::ZeroCopy, total, chunk, 16))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const double dns_chunk = 18.4e3;
+  std::printf(
+      "At the 18432^3 DNS chunk size (%s: 4608 x 4 B contiguous extent):\n",
+      util::format_bytes(dns_chunk).c_str());
+  std::printf("  many cudaMemcpyAsync: %s\n",
+              util::format_time(costs.strided_copy_time(
+                  CopyMethod::ManyMemcpyAsync, total, dns_chunk)).c_str());
+  std::printf("  cudaMemcpy2DAsync:    %s\n",
+              util::format_time(costs.strided_copy_time(
+                  CopyMethod::Memcpy2DAsync, total, dns_chunk)).c_str());
+  std::printf("  zero-copy kernel:     %s\n",
+              util::format_time(costs.strided_copy_time(
+                  CopyMethod::ZeroCopy, total, dns_chunk, 16)).c_str());
+  std::printf(
+      "\nShapes reproduced: per-chunk memcpyAsync is orders of magnitude\n"
+      "slower below ~100 KB chunks; zero-copy and memcpy2D are comparable;\n"
+      "finer granularity never helps.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Fig. 8: achieved bandwidth of the zero-copy unpack kernel as
+// a function of the number of thread blocks, against the cudaMemcpy2DAsync
+// copy-engine line (Sec. 4.2).
+
+#include <cstdio>
+
+#include "gpu/cost_model.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace psdns;
+  const gpu::CostModel costs;
+  const double chunk = 18.4e3;  // the DNS contiguous extent
+
+  const double engine_bw =
+      216e6 / costs.strided_copy_time(gpu::CopyMethod::Memcpy2DAsync, 216e6,
+                                      chunk);
+
+  std::printf(
+      "Fig. 8: zero-copy kernel bandwidth vs thread blocks (1024\n"
+      "threads/block, 2 blocks/SM possible on 80 SMs), 18 KB chunks.\n"
+      "cudaMemcpy2DAsync reference line: %s/s\n\n",
+      util::format_bytes(engine_bw).c_str());
+
+  util::Table t({"Thread blocks", "Zero-copy BW (GB/s)", "% of memcpy2D",
+                 "SM-steal factor on concurrent compute"});
+  for (const int blocks : {1, 2, 4, 8, 16, 32, 64, 160}) {
+    const double bw = costs.zero_copy_bw(blocks, chunk);
+    t.add_row({std::to_string(blocks), util::format_fixed(bw / 1e9, 1),
+               util::format_fixed(100.0 * bw / engine_bw, 1),
+               util::format_fixed(costs.sm_steal_factor(blocks), 3)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Shapes reproduced: bandwidth ramps with blocks and saturates near\n"
+      "the copy-engine line by ~16 blocks (a small fraction of the GPU),\n"
+      "which is why the production code reserves zero-copy for complex-\n"
+      "stride unpacks and uses the copy engines for everything else.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Host micro-benchmarks of the functional FFT library (google-benchmark):
+// the kernels that actually run in the laptop-scale validation path.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fft/fft3d.hpp"
+#include "fft/plan.hpp"
+#include "fft/real.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using psdns::fft::BatchLayout;
+using psdns::fft::Complex;
+using psdns::fft::Direction;
+using psdns::fft::Real;
+
+void BM_C2C(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = psdns::fft::get_plan(n);
+  psdns::util::Rng rng(1);
+  std::vector<Complex> x(n), y(n);
+  for (auto& c : x) c = Complex{rng.gaussian(), rng.gaussian()};
+  for (auto _ : state) {
+    plan->transform(Direction::Forward, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_C2C)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(18432);
+
+void BM_C2C_NonPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = psdns::fft::get_plan(n);
+  psdns::util::Rng rng(2);
+  std::vector<Complex> x(n), y(n);
+  for (auto& c : x) c = Complex{rng.gaussian(), rng.gaussian()};
+  for (auto _ : state) {
+    plan->transform(Direction::Forward, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_C2C_NonPow2)->Arg(3 * 81)->Arg(5 * 243)->Arg(97);
+
+void BM_R2C(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plan = psdns::fft::get_plan_r2c(n);
+  psdns::util::Rng rng(3);
+  std::vector<Real> x(n);
+  std::vector<Complex> y(n / 2 + 1);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    plan->forward(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_R2C)->Arg(64)->Arg(1024)->Arg(18432);
+
+void BM_Strided(benchmark::State& state) {
+  // The y-direction line shape of a pencil: stride = pencil width.
+  const std::size_t n = 256, stride = 64;
+  const auto plan = psdns::fft::get_plan(n);
+  psdns::util::Rng rng(4);
+  std::vector<Complex> x(n * stride);
+  for (auto& c : x) c = Complex{rng.gaussian(), rng.gaussian()};
+  for (auto _ : state) {
+    plan->transform_strided(Direction::Forward, x.data(),
+                            static_cast<std::ptrdiff_t>(stride), x.data(),
+                            static_cast<std::ptrdiff_t>(stride));
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_Strided);
+
+void BM_Fft3dR2C(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  psdns::fft::Shape3 shape{n, n, n};
+  psdns::util::Rng rng(5);
+  std::vector<Real> x(shape.volume());
+  std::vector<Complex> y((n / 2 + 1) * n * n);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    psdns::fft::fft3d_r2c(shape, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(shape.volume()));
+}
+BENCHMARK(BM_Fft3dR2C)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

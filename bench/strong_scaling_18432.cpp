@@ -1,0 +1,38 @@
+// Regenerates the Sec. 5.3 strong-scaling aside: the 18432^3 problem with
+// 6 tasks/node on 1536 vs 3072 nodes (paper: 48.7 s -> 25.4 s, 95.7%).
+
+#include <cstdio>
+
+#include "model/memory.hpp"
+#include "model/scaling.hpp"
+#include "pipeline/dns_step_model.hpp"
+#include "util/format.hpp"
+
+int main() {
+  using namespace psdns;
+  const pipeline::DnsStepModel model;
+  const model::MemoryModel mm;
+
+  pipeline::PipelineConfig cfg;
+  cfg.n = 18432;
+  cfg.mpi = pipeline::MpiConfig::A;
+
+  cfg.nodes = 1536;
+  cfg.pencils = mm.pencils_needed(18432, 1536);
+  const double t1536 = model.simulate_gpu_step(cfg).seconds;
+
+  cfg.nodes = 3072;
+  cfg.pencils = mm.pencils_needed(18432, 3072);
+  const double t3072 = model.simulate_gpu_step(cfg).seconds;
+
+  std::printf("Strong scaling of 18432^3, 6 tasks/node (Sec. 5.3):\n\n");
+  std::printf("  1536 nodes (np=%d): %s   (paper: 48.7 s)\n",
+              mm.pencils_needed(18432, 1536),
+              util::format_time(t1536).c_str());
+  std::printf("  3072 nodes (np=%d): %s   (paper: 25.4 s)\n",
+              mm.pencils_needed(18432, 3072),
+              util::format_time(t3072).c_str());
+  std::printf("  strong scaling: %.1f%%   (paper: 95.7%%)\n",
+              model::strong_scaling_percent(1536, t1536, 3072, t3072));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates Table 1: node counts, memory occupancy per node, pencils per
+// slab, and pencil sizes for the four weak-scaled problem sizes (Sec. 3.5).
+
+#include <cstdio>
+
+#include "model/memory.hpp"
+#include "model/paper.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace psdns;
+  const model::MemoryModel mm;
+
+  std::printf("Table 1: problem sizes, memory occupancy and pencil counts\n");
+  std::printf("(model | paper)\n\n");
+
+  util::Table t({"# Nodes", "Problem size", "Mem. occ. per node (GiB)",
+                 "No. of pencils", "Size of pencil (GiB)"});
+  const double paper_mem[] = {202.5, 202.5, 202.5, 227.8};
+  const double paper_pencil[] = {2.25, 2.25, 2.25, 1.90};
+  const auto rows = model::table1(mm);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    t.add_row({std::to_string(r.nodes), util::format_problem(r.n),
+               util::format_fixed(r.mem_per_node_gib, 1) + " | " +
+                   util::format_fixed(paper_mem[i], 1),
+               std::to_string(r.pencils) + " | " +
+                   std::to_string(model::paper::kCases[i].pencils),
+               util::format_fixed(r.pencil_gib, 2) + " | " +
+                   util::format_fixed(paper_pencil[i], 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Sec. 3.5 derivations for the 18432^3 target:\n");
+  std::printf("  min node estimate (D=25, 448 GiB usable): %.0f (paper: 1302)\n",
+              mm.min_nodes_estimate(18432));
+  std::printf("  smallest valid node count (divisor of N): %d (paper: 1536)\n",
+              mm.min_nodes(18432));
+  std::printf("  nominal pencils on 3072 nodes: %.2f (paper: 2.13)\n",
+              mm.pencils_needed_estimate(18432, 3072));
+  std::printf("  pencils used in practice: %d (paper: 4)\n",
+              mm.pencils_needed(18432, 3072));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Regenerates Table 4: weak scaling (Eq. 4) of the best configuration per
+// problem size, relative to 3072^3 on 16 nodes.
+
+#include <cstdio>
+
+#include "model/paper.hpp"
+#include "model/scaling.hpp"
+#include "pipeline/dns_step_model.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace psdns;
+  using pipeline::MpiConfig;
+  const pipeline::DnsStepModel model;
+
+  std::printf(
+      "Table 4: weak scaling relative to 3072^3 (Eq. 4), best configuration\n"
+      "per size (model | paper).\n\n");
+
+  const std::size_t ncases = std::size(model::paper::kCases);
+  std::vector<double> best(ncases);
+  std::vector<const char*> best_name(ncases);
+  for (std::size_t i = 0; i < ncases; ++i) {
+    const auto& c = model::paper::kCases[i];
+    best[i] = 1e300;
+    for (int mc = 0; mc < 3; ++mc) {
+      pipeline::PipelineConfig cfg;
+      cfg.n = c.n;
+      cfg.nodes = c.nodes;
+      cfg.pencils = c.pencils;
+      cfg.mpi = static_cast<MpiConfig>(mc);
+      const double t = model.simulate_gpu_step(cfg).seconds;
+      if (t < best[i]) {
+        best[i] = t;
+        best_name[i] = pipeline::to_string(cfg.mpi);
+      }
+    }
+  }
+
+  util::Table t({"Nodes", "Ntasks", "Problem", "Best config", "Time (s)",
+                 "Weak scaling (%)"});
+  for (std::size_t i = 0; i < ncases; ++i) {
+    const auto& row = model::paper::kTable4[i];
+    const double ws =
+        i == 0 ? 100.0
+               : model::weak_scaling_percent(
+                     model::paper::kCases[0].n, model::paper::kCases[0].nodes,
+                     best[0], model::paper::kCases[i].n,
+                     model::paper::kCases[i].nodes, best[i]);
+    t.add_row({std::to_string(row.nodes), std::to_string(row.ntasks),
+               util::format_problem(row.n), best_name[i],
+               util::format_fixed(best[i], 2) + " | " +
+                   util::format_fixed(row.time, 2),
+               (i == 0 ? std::string("-")
+                       : util::format_fixed(ws, 1) + " | " +
+                             util::format_fixed(row.weak_scaling_pct, 1))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "A grid-point increase of 216x retains ~50-60%% weak-scaling\n"
+      "efficiency - 'very respectable for a pseudo-spectral code dominated\n"
+      "by all-to-all communication' (Sec. 5.3).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "comm/communicator.hpp"
+
+#include <thread>
+#include <tuple>
+
+namespace psdns::comm {
+
+Communicator Communicator::split(int color, int key) {
+  // Publish (color, key) for every rank.
+  const std::pair<int, int> mine{color, key};
+  publish(&mine);
+
+  // Deterministically compute this rank's subgroup membership: members of my
+  // color ordered by (key, parent rank).
+  std::vector<std::tuple<int, int, int>> members;  // (key, parent_rank, color)
+  for (int r = 0; r < size(); ++r) {
+    const auto* ck = peek<std::pair<int, int>>(r);
+    if (ck->first == color) members.emplace_back(ck->second, r, ck->first);
+  }
+  std::sort(members.begin(), members.end());
+  int new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (std::get<1>(members[i]) == rank_) new_rank = static_cast<int>(i);
+  }
+  PSDNS_CHECK(new_rank >= 0, "rank missing from its own split group");
+
+  // First member of each color to arrive allocates the shared subgroup.
+  std::shared_ptr<detail::Group> sub;
+  {
+    std::lock_guard lock(group_->split_mutex);
+    auto& slot = group_->pending_splits[color];
+    if (!slot) {
+      slot = std::make_shared<detail::Group>(static_cast<int>(members.size()));
+    }
+    sub = slot;
+  }
+  barrier();  // every rank has taken its subgroup pointer
+
+  if (new_rank == 0) {
+    std::lock_guard lock(group_->split_mutex);
+    group_->pending_splits.erase(color);
+  }
+  barrier();  // map cleaned before any later split reuses colors
+
+  return Communicator(std::move(sub), new_rank);
+}
+
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
+  PSDNS_REQUIRE(nranks >= 1, "need at least one rank");
+  auto group = std::make_shared<detail::Group>(nranks);
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Communicator comm(group, r);
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // A failed rank must not deadlock the others at a barrier; the
+        // barrier is dropped so remaining ranks will also fail fast when
+        // they next synchronize. Simplest robust policy for tests: abort
+        // the whole group by rethrowing on join below, and let peers park.
+        group->barrier.arrive_and_drop();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace psdns::comm

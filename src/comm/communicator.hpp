@@ -1,0 +1,224 @@
+#pragma once
+// Functional in-process communicator: MPI-shaped collectives over threads
+// sharing one address space. One thread per rank; collectives synchronize
+// through a generation barrier and exchange data by reading each other's
+// published buffers. This is the substrate on which the distributed
+// transpose and the DNS solvers run *for real* at laptop scale, so their
+// numerics can be validated; the at-scale performance of the same call
+// pattern is modeled by psdns::net.
+//
+// Semantics follow MPI: alltoall exchanges equal blocks ordered by rank;
+// ialltoall returns a Request whose wait() completes the exchange (every
+// rank of the communicator must reach wait(), like MPI_WAIT on a
+// nonblocking collective); split() creates row/column sub-communicators.
+
+#include <algorithm>
+#include <barrier>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace psdns::comm {
+
+class Communicator;
+
+/// Handle for a pending nonblocking collective. The exchange is performed
+/// inside wait(); all ranks must call wait() in matching collective order.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::function<void()> complete)
+      : complete_(std::move(complete)) {}
+
+  bool valid() const { return static_cast<bool>(complete_); }
+
+  void wait() {
+    PSDNS_REQUIRE(valid(), "wait() on an empty or consumed Request");
+    auto fn = std::move(complete_);
+    complete_ = nullptr;
+    fn();
+  }
+
+ private:
+  std::function<void()> complete_;
+};
+
+namespace detail {
+
+/// State shared by all ranks of one communicator.
+struct Group {
+  explicit Group(int n)
+      : size(n), barrier(n), slots(static_cast<std::size_t>(n)) {}
+
+  int size;
+  std::barrier<> barrier;
+  std::vector<const void*> slots;  // per-rank published pointer
+
+  // split() bookkeeping: first arriving rank of each color creates the
+  // subgroup.
+  std::mutex split_mutex;
+  std::map<int, std::shared_ptr<Group>> pending_splits;
+  std::vector<std::pair<int, int>> split_keys;  // (color, key) per rank
+};
+
+}  // namespace detail
+
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<detail::Group> group, int rank)
+      : group_(std::move(group)), rank_(rank) {
+    PSDNS_REQUIRE(rank_ >= 0 && rank_ < group_->size, "rank out of range");
+  }
+
+  int rank() const { return rank_; }
+  int size() const { return group_->size; }
+
+  void barrier() { group_->barrier.arrive_and_wait(); }
+
+  /// MPI_ALLTOALL: send holds size() blocks of `count` elements, block r
+  /// destined for rank r; recv receives one block from every rank.
+  template <class T>
+  void alltoall(const T* send, T* recv, std::size_t count) {
+    publish(send);
+    for (int r = 0; r < size(); ++r) {
+      const T* theirs = peek<T>(r);
+      std::copy(theirs + static_cast<std::size_t>(rank_) * count,
+                theirs + static_cast<std::size_t>(rank_ + 1) * count,
+                recv + static_cast<std::size_t>(r) * count);
+    }
+    barrier();  // all reads done before anyone reuses their send buffer
+  }
+
+  /// MPI_IALLTOALL. The returned Request's wait() performs the exchange.
+  template <class T>
+  Request ialltoall(const T* send, T* recv, std::size_t count) {
+    return Request([this, send, recv, count] { alltoall(send, recv, count); });
+  }
+
+  /// MPI_ALLTOALLV with per-destination counts and displacements (in
+  /// elements). counts/displs arrays live on each rank and describe both
+  /// its send layout (send_counts) and receive layout (recv_counts).
+  template <class T>
+  void alltoallv(const T* send, const std::size_t* send_counts,
+                 const std::size_t* send_displs, T* recv,
+                 const std::size_t* recv_counts,
+                 const std::size_t* recv_displs) {
+    struct Spec {
+      const T* data;
+      const std::size_t* counts;
+      const std::size_t* displs;
+    };
+    const Spec mine{send, send_counts, send_displs};
+    publish(&mine);
+    for (int r = 0; r < size(); ++r) {
+      const Spec* theirs = peek<Spec>(r);
+      const std::size_t n = theirs->counts[rank_];
+      PSDNS_CHECK(n == recv_counts[r],
+                  "alltoallv count mismatch between sender and receiver");
+      std::copy(theirs->data + theirs->displs[rank_],
+                theirs->data + theirs->displs[rank_] + n,
+                recv + recv_displs[r]);
+    }
+    barrier();
+  }
+
+  /// MPI_ALLREDUCE(sum). In-place allowed (send == recv).
+  template <class T>
+  void allreduce_sum(const T* send, T* recv, std::size_t count) {
+    publish(send);
+    std::vector<T> acc(count, T{});
+    for (int r = 0; r < size(); ++r) {
+      const T* theirs = peek<T>(r);
+      for (std::size_t i = 0; i < count; ++i) acc[i] += theirs[i];
+    }
+    barrier();  // reads complete before anyone overwrites recv==send
+    std::copy(acc.begin(), acc.end(), recv);
+    barrier();
+  }
+
+  template <class T>
+  T allreduce_sum(T value) {
+    T out{};
+    allreduce_sum(&value, &out, 1);
+    return out;
+  }
+
+  template <class T>
+  T allreduce_max(T value) {
+    publish(&value);
+    T best = value;
+    for (int r = 0; r < size(); ++r) best = std::max(best, *peek<T>(r));
+    barrier();
+    return best;
+  }
+
+  /// MPI_BCAST from `root`.
+  template <class T>
+  void broadcast(T* data, std::size_t count, int root) {
+    publish(data);
+    if (rank_ != root) {
+      const T* src = peek<T>(root);
+      std::copy(src, src + count, data);
+    }
+    barrier();
+  }
+
+  /// MPI_GATHER: every rank contributes `count` elements; root receives
+  /// size()*count elements ordered by rank. recv may be null on non-roots.
+  template <class T>
+  void gather(const T* send, T* recv, std::size_t count, int root) {
+    publish(send);
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        const T* theirs = peek<T>(r);
+        std::copy(theirs, theirs + count,
+                  recv + static_cast<std::size_t>(r) * count);
+      }
+    }
+    barrier();
+  }
+
+  /// MPI_SCATTER: root's send buffer holds size() blocks of `count`
+  /// elements; every rank receives its block. send may be null on
+  /// non-roots.
+  template <class T>
+  void scatter(const T* send, T* recv, std::size_t count, int root) {
+    publish(send);
+    const T* src = peek<T>(root);
+    std::copy(src + static_cast<std::size_t>(rank_) * count,
+              src + static_cast<std::size_t>(rank_ + 1) * count, recv);
+    barrier();
+  }
+
+  /// MPI_COMM_SPLIT: ranks with equal `color` form a new communicator,
+  /// ordered by (key, parent rank).
+  Communicator split(int color, int key);
+
+ private:
+  /// Publishes a pointer and synchronizes so every rank's slot is visible.
+  template <class P>
+  void publish(const P* ptr) {
+    group_->slots[rank_] = ptr;
+    barrier();
+  }
+
+  template <class P>
+  const P* peek(int r) const {
+    return static_cast<const P*>(group_->slots[r]);
+  }
+
+  std::shared_ptr<detail::Group> group_;
+  int rank_;
+};
+
+/// SPMD launcher: runs `body(comm)` on `nranks` threads, each with its own
+/// rank of a fresh world communicator. Exceptions thrown by any rank are
+/// collected and the first (by rank) is rethrown after all threads join.
+void run_ranks(int nranks, const std::function<void(Communicator&)>& body);
+
+}  // namespace psdns::comm

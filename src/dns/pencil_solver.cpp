@@ -1,0 +1,170 @@
+#include "dns/pencil_solver.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "transpose/pencil.hpp"
+#include "util/check.hpp"
+
+namespace psdns::dns {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+PencilSolver::PencilSolver(comm::Communicator& comm,
+                           PencilSolverConfig config)
+    : comm_(comm), config_(config), fft_(comm, config.n, config.pr, config.pc) {
+  PSDNS_REQUIRE(config_.n >= 4, "grid too small for a DNS");
+  PSDNS_REQUIRE(config_.viscosity > 0.0, "viscosity must be positive");
+  const auto xr = fft_.x_range();
+  const auto& g = fft_.grid();
+  // Z-pencil spectral layout: pz[k + n*(ii + w*jj)], ky offset from the
+  // column rank.
+  const std::size_t col_rank =
+      static_cast<std::size_t>(comm.rank() / config_.pr);
+  view_ = ModeView::zpencil(config_.n, xr.width(), xr.x0, g.yl2(),
+                            col_rank * g.yl2());
+  vel_ = make_fields();
+  rhs_a_ = make_fields();
+  rhs_b_ = make_fields();
+  stage_ = make_fields();
+  phys_.resize(9);
+  for (auto& p : phys_) p.resize(fft_.physical_elems());
+  prod_hat_.resize(6);
+  for (auto& p : prod_hat_) p.resize(fft_.spectral_elems());
+}
+
+PencilSolver::Field3 PencilSolver::make_fields() const {
+  Field3 f;
+  for (auto& c : f) c.assign(fft_.spectral_elems(), Complex{0.0, 0.0});
+  return f;
+}
+
+void PencilSolver::init_from_function(
+    const std::function<std::array<double, 3>(double, double, double)>& f) {
+  const std::size_t n = config_.n;
+  const auto& g = fft_.grid();
+  const std::size_t row_rank =
+      static_cast<std::size_t>(comm_.rank() % config_.pr);
+  const std::size_t col_rank =
+      static_cast<std::size_t>(comm_.rank() / config_.pr);
+  const std::size_t y0 = row_rank * g.yl();
+  const std::size_t z0 = col_rank * g.zl();
+
+  std::vector<Real> px(fft_.physical_elems()), py(fft_.physical_elems()),
+      pz(fft_.physical_elems());
+  for (std::size_t kk = 0; kk < g.zl(); ++kk) {
+    const double z = kTwoPi * static_cast<double>(z0 + kk) / n;
+    for (std::size_t jj = 0; jj < g.yl(); ++jj) {
+      const double y = kTwoPi * static_cast<double>(y0 + jj) / n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = kTwoPi * static_cast<double>(i) / n;
+        const auto u = f(x, y, z);
+        const std::size_t idx = i + n * (jj + g.yl() * kk);
+        px[idx] = u[0];
+        py[idx] = u[1];
+        pz[idx] = u[2];
+      }
+    }
+  }
+  const double scale = 1.0 / (static_cast<double>(n) * n * n);
+  fft_.forward(px, vel_[0]);
+  fft_.forward(py, vel_[1]);
+  fft_.forward(pz, vel_[2]);
+  for (auto& c : vel_) {
+    for (auto& zz : c) zz *= scale;
+  }
+  project(view_, vel_[0].data(), vel_[1].data(), vel_[2].data());
+  for (auto& c : vel_) dealias_truncate(view_, c.data());
+  time_ = 0.0;
+}
+
+void PencilSolver::init_taylor_green() {
+  init_from_function([](double x, double y, double) {
+    return std::array<double, 3>{std::sin(x) * std::cos(y),
+                                 -std::cos(x) * std::sin(y), 0.0};
+  });
+}
+
+void PencilSolver::compute_rhs(const Field3& vel, Field3& rhs) {
+  const std::size_t n = config_.n;
+  const double inv_n3 = 1.0 / (static_cast<double>(n) * n * n);
+
+  // Velocities to physical space (row + column transposes per variable, the
+  // 2x all-to-all pattern of the 2-D decomposition).
+  for (int c = 0; c < 3; ++c) {
+    fft_.inverse(vel[static_cast<std::size_t>(c)],
+                 phys_[static_cast<std::size_t>(c)]);
+  }
+
+  const Real* u = phys_[0].data();
+  const Real* v = phys_[1].data();
+  const Real* w = phys_[2].data();
+  const std::size_t m = fft_.physical_elems();
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    phys_[3][idx] = u[idx] * u[idx];
+    phys_[4][idx] = v[idx] * v[idx];
+    phys_[5][idx] = w[idx] * w[idx];
+    phys_[6][idx] = u[idx] * v[idx];
+    phys_[7][idx] = u[idx] * w[idx];
+    phys_[8][idx] = v[idx] * w[idx];
+  }
+  for (int t = 0; t < 6; ++t) {
+    auto& ph = prod_hat_[static_cast<std::size_t>(t)];
+    fft_.forward(phys_[static_cast<std::size_t>(t) + 3], ph);
+    for (auto& z : ph) z *= inv_n3;
+    dealias_truncate(view_, ph.data());
+  }
+
+  nonlinear_rhs(view_,
+                ProductSet{prod_hat_[0].data(), prod_hat_[1].data(),
+                           prod_hat_[2].data(), prod_hat_[3].data(),
+                           prod_hat_[4].data(), prod_hat_[5].data()},
+                rhs[0].data(), rhs[1].data(), rhs[2].data());
+}
+
+void PencilSolver::step(double dt) {
+  PSDNS_REQUIRE(dt > 0.0, "dt must be positive");
+  const double h = dt / 2.0;
+  compute_rhs(vel_, rhs_a_);
+  for (int c = 0; c < 3; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    for (std::size_t i = 0; i < vel_[ci].size(); ++i) {
+      stage_[ci][i] = vel_[ci][i] + h * rhs_a_[ci][i];
+    }
+    apply_integrating_factor(view_, stage_[ci].data(), config_.viscosity, h);
+  }
+  compute_rhs(stage_, rhs_b_);
+  for (int c = 0; c < 3; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    apply_integrating_factor(view_, vel_[ci].data(), config_.viscosity, dt);
+    apply_integrating_factor(view_, rhs_b_[ci].data(), config_.viscosity, h);
+    for (std::size_t i = 0; i < vel_[ci].size(); ++i) {
+      vel_[ci][i] += dt * rhs_b_[ci][i];
+    }
+  }
+  time_ += dt;
+}
+
+double PencilSolver::kinetic_energy() {
+  return dns::kinetic_energy(view_, comm_, vel_[0].data(), vel_[1].data(),
+                             vel_[2].data());
+}
+
+double PencilSolver::dissipation_rate() {
+  return dns::dissipation(view_, comm_, vel_[0].data(), vel_[1].data(),
+                          vel_[2].data(), config_.viscosity);
+}
+
+double PencilSolver::max_div() {
+  return dns::max_divergence(view_, comm_, vel_[0].data(), vel_[1].data(),
+                             vel_[2].data());
+}
+
+std::vector<double> PencilSolver::spectrum() {
+  return dns::energy_spectrum(view_, comm_, vel_[0].data(), vel_[1].data(),
+                              vel_[2].data());
+}
+
+}  // namespace psdns::dns

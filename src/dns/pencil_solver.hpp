@@ -1,0 +1,71 @@
+#pragma once
+// The synchronous pencil-decomposed CPU baseline: the same Navier-Stokes
+// physics as SlabSolver, on the 2-D domain decomposition used by the
+// production CPU code of Yeung et al. (2015) that the paper benchmarks
+// against (Table 3 "Sync CPU"). RK2, 2/3-rule truncation. Sharing
+// spectral_ops with the slab solver lets the test suite assert that both
+// decompositions advance the flow identically.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "dns/modes.hpp"
+#include "dns/spectral_ops.hpp"
+#include "transpose/dist_fft.hpp"
+
+namespace psdns::dns {
+
+struct PencilSolverConfig {
+  std::size_t n = 32;
+  double viscosity = 0.01;
+  int pr = 1;  // process-grid rows (on-node communicator in production)
+  int pc = 1;  // process-grid columns
+};
+
+class PencilSolver {
+ public:
+  PencilSolver(comm::Communicator& comm, PencilSolverConfig config);
+
+  const PencilSolverConfig& config() const { return config_; }
+  std::size_t n() const { return config_.n; }
+  double time() const { return time_; }
+  const ModeView& modes() const { return view_; }
+
+  Complex* uhat(int c) { return vel_[static_cast<std::size_t>(c)].data(); }
+
+  /// Same validation initial condition as SlabSolver::init_taylor_green.
+  void init_taylor_green();
+
+  /// Fills from a physical-space function u_c(x, y, z).
+  void init_from_function(
+      const std::function<std::array<double, 3>(double, double, double)>& f);
+
+  /// One RK2 step with exact viscous integration.
+  void step(double dt);
+
+  double kinetic_energy();
+  double dissipation_rate();
+  double max_div();
+  std::vector<double> spectrum();
+
+ private:
+  using Field = std::vector<Complex>;
+  using Field3 = std::array<Field, 3>;
+
+  void compute_rhs(const Field3& vel, Field3& rhs);
+  Field3 make_fields() const;
+
+  comm::Communicator& comm_;
+  PencilSolverConfig config_;
+  transpose::PencilFft3d fft_;
+  ModeView view_;
+  Field3 vel_, rhs_a_, rhs_b_, stage_;
+  std::vector<std::vector<Real>> phys_;
+  std::vector<Field> prod_hat_;
+  double time_ = 0.0;
+};
+
+}  // namespace psdns::dns

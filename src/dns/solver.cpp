@@ -1,0 +1,609 @@
+#include "dns/solver.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace psdns::dns {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Deterministic per-grid-point gaussian-ish noise from the global index.
+double noise(std::uint64_t seed, std::size_t i, std::size_t j, std::size_t k,
+             int component) {
+  util::SplitMix64 sm(seed ^ (i + 1) * 0x9E3779B97F4A7C15ULL ^
+                      (j + 1) * 0xC2B2AE3D27D4EB4FULL ^
+                      (k + 1) * 0x165667B19E3779F9ULL ^
+                      static_cast<std::uint64_t>(component + 1) *
+                          0xFF51AFD7ED558CCDULL);
+  // Sum of 4 uniforms, centered: close enough to gaussian for an IC that is
+  // reshaped spectrally anyway.
+  double s = 0.0;
+  for (int t = 0; t < 4; ++t) {
+    s += static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  }
+  return s - 2.0;
+}
+}  // namespace
+
+SlabSolver::SlabSolver(comm::Communicator& comm, SolverConfig config)
+    : comm_(comm), config_(std::move(config)), fft_(comm, config_.n) {
+  PSDNS_REQUIRE(config_.n >= 4, "grid too small for a DNS");
+  PSDNS_REQUIRE(config_.viscosity > 0.0, "viscosity must be positive");
+  PSDNS_REQUIRE(config_.pencils >= 1 && config_.pencils_per_a2a >= 1,
+                "bad pencil batching");
+  for (const auto& sc : config_.scalars) {
+    PSDNS_REQUIRE(sc.schmidt > 0.0, "Schmidt number must be positive");
+  }
+  view_ = ModeView::zslab(config_.n, fft_.mz(),
+                          static_cast<std::size_t>(comm.rank()) * fft_.mz());
+  state_ = make_state();
+  rhs_a_ = make_state();
+  rhs_b_ = make_state();
+  stage_ = make_state();
+  const std::size_t nf = field_count();
+  const std::size_t nprod = 6 + 3 * config_.scalars.size();
+  phys_.resize(nf + nprod);
+  for (auto& p : phys_) p.resize(fft_.physical_elems());
+  prod_hat_.resize(nprod);
+  for (auto& p : prod_hat_) p.resize(fft_.spectral_elems());
+}
+
+SlabSolver::State SlabSolver::make_state() const {
+  State f(field_count());
+  for (auto& c : f) c.assign(fft_.spectral_elems(), Complex{0.0, 0.0});
+  return f;
+}
+
+void SlabSolver::apply_dealias(Complex* field) {
+  if (config_.phase_shift_dealias) {
+    dealias_spherical(view_, field,
+                      std::sqrt(2.0) * static_cast<double>(config_.n) / 3.0);
+  } else {
+    dealias_truncate(view_, field);
+  }
+}
+
+void SlabSolver::apply_if(std::size_t f, Field& field, double dt) {
+  apply_integrating_factor(view_, field.data(), diffusivity(f), dt);
+}
+
+void SlabSolver::init_from_function(
+    const std::function<std::array<double, 3>(double, double, double)>& f) {
+  const std::size_t n = config_.n;
+  const std::size_t my = fft_.my();
+  const std::size_t y0 = static_cast<std::size_t>(comm_.rank()) * my;
+  std::vector<Real> px(fft_.physical_elems()), py(fft_.physical_elems()),
+      pz(fft_.physical_elems());
+  for (std::size_t jj = 0; jj < my; ++jj) {
+    const double y = kTwoPi * static_cast<double>(y0 + jj) / n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double z = kTwoPi * static_cast<double>(k) / n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = kTwoPi * static_cast<double>(i) / n;
+        const auto u = f(x, y, z);
+        px[i + n * (k + n * jj)] = u[0];
+        py[i + n * (k + n * jj)] = u[1];
+        pz[i + n * (k + n * jj)] = u[2];
+      }
+    }
+  }
+  const Real* phys3[3] = {px.data(), py.data(), pz.data()};
+  Complex* spec3[3] = {state_[0].data(), state_[1].data(), state_[2].data()};
+  fft_.forward(std::span<const Real* const>(phys3, 3),
+               std::span<Complex* const>(spec3, 3), config_.pencils,
+               config_.pencils_per_a2a);
+  const double scale = 1.0 / (static_cast<double>(n) * n * n);
+  for (int c = 0; c < 3; ++c) {
+    for (auto& z : state_[static_cast<std::size_t>(c)]) z *= scale;
+  }
+  project(view_, state_[0].data(), state_[1].data(), state_[2].data());
+  for (int c = 0; c < 3; ++c) {
+    apply_dealias(state_[static_cast<std::size_t>(c)].data());
+  }
+  time_ = 0.0;
+  steps_ = 0;
+}
+
+void SlabSolver::init_taylor_green() {
+  init_from_function([](double x, double y, double) {
+    return std::array<double, 3>{std::sin(x) * std::cos(y),
+                                 -std::cos(x) * std::sin(y), 0.0};
+  });
+}
+
+void SlabSolver::init_isotropic(std::uint64_t seed, double k_peak,
+                                double energy) {
+  PSDNS_REQUIRE(k_peak > 0.0 && energy > 0.0, "bad isotropic IC parameters");
+  const std::size_t n = config_.n;
+  const std::size_t my = fft_.my();
+  const std::size_t y0 = static_cast<std::size_t>(comm_.rank()) * my;
+
+  // White noise per component, keyed on global indices: identical physics
+  // for every rank count.
+  std::vector<Real> px(fft_.physical_elems()), py(fft_.physical_elems()),
+      pz(fft_.physical_elems());
+  for (std::size_t jj = 0; jj < my; ++jj) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = i + n * (k + n * jj);
+        px[idx] = noise(seed, i, y0 + jj, k, 0);
+        py[idx] = noise(seed, i, y0 + jj, k, 1);
+        pz[idx] = noise(seed, i, y0 + jj, k, 2);
+      }
+    }
+  }
+  const Real* phys3[3] = {px.data(), py.data(), pz.data()};
+  Complex* spec3[3] = {state_[0].data(), state_[1].data(), state_[2].data()};
+  fft_.forward(std::span<const Real* const>(phys3, 3),
+               std::span<Complex* const>(spec3, 3), config_.pencils,
+               config_.pencils_per_a2a);
+  const double scale = 1.0 / (static_cast<double>(n) * n * n);
+  for (int c = 0; c < 3; ++c) {
+    for (auto& z : state_[static_cast<std::size_t>(c)]) z *= scale;
+  }
+  project(view_, state_[0].data(), state_[1].data(), state_[2].data());
+  for (int c = 0; c < 3; ++c) {
+    apply_dealias(state_[static_cast<std::size_t>(c)].data());
+  }
+
+  // Shape the shell spectrum to E(k) ~ (k/k0)^4 exp(-2 (k/k0)^2).
+  const auto current = energy_spectrum(view_, comm_, state_[0].data(),
+                                       state_[1].data(), state_[2].data());
+  std::vector<double> gain(current.size(), 0.0);
+  double target_total = 0.0;
+  for (std::size_t s = 1; s < current.size(); ++s) {
+    const double kr = static_cast<double>(s) / k_peak;
+    const double target = std::pow(kr, 4.0) * std::exp(-2.0 * kr * kr);
+    target_total += target;
+    if (current[s] > 1e-300) gain[s] = std::sqrt(target / current[s]);
+  }
+  const double norm = std::sqrt(energy / target_total);
+  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
+    const double kmag = std::sqrt(static_cast<double>(kx) * kx +
+                                  static_cast<double>(ky) * ky +
+                                  static_cast<double>(kz) * kz);
+    const auto shell = static_cast<std::size_t>(std::lround(kmag));
+    const double g = shell < gain.size() ? gain[shell] * norm : 0.0;
+    state_[0][idx] *= g;
+    state_[1][idx] *= g;
+    state_[2][idx] *= g;
+  });
+  time_ = 0.0;
+  steps_ = 0;
+}
+
+void SlabSolver::init_scalar_from_function(
+    int s, const std::function<double(double, double, double)>& f) {
+  PSDNS_REQUIRE(s >= 0 && s < scalar_count(), "scalar index out of range");
+  const std::size_t n = config_.n;
+  const std::size_t my = fft_.my();
+  const std::size_t y0 = static_cast<std::size_t>(comm_.rank()) * my;
+  std::vector<Real> phys(fft_.physical_elems());
+  for (std::size_t jj = 0; jj < my; ++jj) {
+    const double y = kTwoPi * static_cast<double>(y0 + jj) / n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double z = kTwoPi * static_cast<double>(k) / n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = kTwoPi * static_cast<double>(i) / n;
+        phys[i + n * (k + n * jj)] = f(x, y, z);
+      }
+    }
+  }
+  auto& theta = state_[static_cast<std::size_t>(3 + s)];
+  fft_.forward(std::span<const Real>(phys.data(), phys.size()),
+               std::span<Complex>(theta.data(), theta.size()),
+               config_.pencils, config_.pencils_per_a2a);
+  const double scale = 1.0 / (static_cast<double>(n) * n * n);
+  for (auto& z : theta) z *= scale;
+  apply_dealias(theta.data());
+}
+
+void SlabSolver::init_scalar_isotropic(int s, std::uint64_t seed,
+                                       double k_peak, double variance) {
+  PSDNS_REQUIRE(s >= 0 && s < scalar_count(), "scalar index out of range");
+  PSDNS_REQUIRE(k_peak > 0.0 && variance > 0.0, "bad scalar IC parameters");
+  const std::size_t n = config_.n;
+  const std::size_t my = fft_.my();
+  const std::size_t y0 = static_cast<std::size_t>(comm_.rank()) * my;
+  std::vector<Real> phys(fft_.physical_elems());
+  for (std::size_t jj = 0; jj < my; ++jj) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        phys[i + n * (k + n * jj)] = noise(seed, i, y0 + jj, k, 100 + s);
+      }
+    }
+  }
+  auto& theta = state_[static_cast<std::size_t>(3 + s)];
+  fft_.forward(std::span<const Real>(phys.data(), phys.size()),
+               std::span<Complex>(theta.data(), theta.size()),
+               config_.pencils, config_.pencils_per_a2a);
+  const double scale = 1.0 / (static_cast<double>(n) * n * n);
+  for (auto& z : theta) z *= scale;
+  // Zero-mean fluctuation: only the rank owning the k = 0 mode holds it.
+  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
+    if (kx == 0 && ky == 0 && kz == 0) theta[idx] = Complex{0.0, 0.0};
+  });
+  apply_dealias(theta.data());
+
+  const auto current = field_spectrum(view_, comm_, theta.data());
+  std::vector<double> gain(current.size(), 0.0);
+  double target_total = 0.0;
+  for (std::size_t sh = 1; sh < current.size(); ++sh) {
+    const double kr = static_cast<double>(sh) / k_peak;
+    const double target = std::pow(kr, 4.0) * std::exp(-2.0 * kr * kr);
+    target_total += target;
+    if (current[sh] > 1e-300) gain[sh] = std::sqrt(target / current[sh]);
+  }
+  const double norm = std::sqrt(variance / target_total);
+  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
+    const double kmag = std::sqrt(static_cast<double>(kx) * kx +
+                                  static_cast<double>(ky) * ky +
+                                  static_cast<double>(kz) * kz);
+    const auto shell = static_cast<std::size_t>(std::lround(kmag));
+    theta[idx] *= shell < gain.size() ? gain[shell] * norm : 0.0;
+  });
+}
+
+void SlabSolver::restore(std::span<const Complex* const> fields, double t,
+                         std::int64_t steps) {
+  PSDNS_REQUIRE(fields.size() == field_count(),
+                "restore needs 3 velocity components plus every scalar");
+  for (std::size_t f = 0; f < field_count(); ++f) {
+    std::copy(fields[f], fields[f] + fft_.spectral_elems(),
+              state_[f].begin());
+  }
+  time_ = t;
+  steps_ = steps;
+  last_umax_ = 0.0;
+}
+
+void SlabSolver::compute_rhs(const State& state, State& rhs,
+                             bool with_forcing) {
+  const std::size_t n = config_.n;
+  const std::size_t nf = field_count();
+  const std::size_t nscalars = config_.scalars.size();
+  const std::size_t nprod = 6 + 3 * nscalars;
+  const double inv_n3 = 1.0 / (static_cast<double>(n) * n * n);
+
+  // Optional Rogallo phase shift: alternate RK substages between the
+  // unshifted grid and a grid shifted by half a cell, so the leading
+  // aliasing contributions cancel across the substages; the truncation
+  // radius is then the larger spherical sqrt(2)/3 N.
+  double delta[3] = {0.0, 0.0, 0.0};
+  const bool shift = config_.phase_shift_dealias && (rhs_evals_++ % 2 == 1);
+  if (shift) {
+    const double half_cell = std::numbers::pi / static_cast<double>(n);
+    delta[0] = delta[1] = delta[2] = half_cell;
+  }
+
+  // 1. All fields to physical space (one multi-variable transpose, exactly
+  //    how the production code amortizes message size over variables).
+  State shifted;
+  std::vector<const Complex*> spec(nf);
+  if (shift) {
+    shifted = state;
+    for (std::size_t f = 0; f < nf; ++f) {
+      phase_shift(view_, shifted[f].data(), delta, +1);
+      spec[f] = shifted[f].data();
+    }
+  } else {
+    for (std::size_t f = 0; f < nf; ++f) spec[f] = state[f].data();
+  }
+  std::vector<Real*> phys(nf);
+  for (std::size_t f = 0; f < nf; ++f) phys[f] = phys_[f].data();
+  fft_.inverse(std::span<const Complex* const>(spec.data(), nf),
+               std::span<Real* const>(phys.data(), nf), config_.pencils,
+               config_.pencils_per_a2a);
+
+  // 2. Pointwise max velocity (CFL bookkeeping).
+  double umax = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    for (const Real v : phys_[static_cast<std::size_t>(c)]) {
+      umax = std::max(umax, std::abs(v));
+    }
+  }
+  last_umax_ = comm_.allreduce_max(umax);
+
+  // 3. Products in physical space: the six symmetric velocity products,
+  //    then the three flux components per scalar.
+  const Real* u = phys_[0].data();
+  const Real* v = phys_[1].data();
+  const Real* w = phys_[2].data();
+  const std::size_t m = fft_.physical_elems();
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    phys_[nf + 0][idx] = u[idx] * u[idx];
+    phys_[nf + 1][idx] = v[idx] * v[idx];
+    phys_[nf + 2][idx] = w[idx] * w[idx];
+    phys_[nf + 3][idx] = u[idx] * v[idx];
+    phys_[nf + 4][idx] = u[idx] * w[idx];
+    phys_[nf + 5][idx] = v[idx] * w[idx];
+  }
+  for (std::size_t s = 0; s < nscalars; ++s) {
+    const Real* theta = phys_[3 + s].data();
+    Real* fx = phys_[nf + 6 + 3 * s + 0].data();
+    Real* fy = phys_[nf + 6 + 3 * s + 1].data();
+    Real* fz = phys_[nf + 6 + 3 * s + 2].data();
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      fx[idx] = u[idx] * theta[idx];
+      fy[idx] = v[idx] * theta[idx];
+      fz[idx] = w[idx] * theta[idx];
+    }
+  }
+
+  // 4. Products to spectral space (one multi-variable transpose).
+  std::vector<const Real*> prod_phys(nprod);
+  std::vector<Complex*> prod_spec(nprod);
+  for (std::size_t t = 0; t < nprod; ++t) {
+    prod_phys[t] = phys_[nf + t].data();
+    prod_spec[t] = prod_hat_[t].data();
+  }
+  fft_.forward(std::span<const Real* const>(prod_phys.data(), nprod),
+               std::span<Complex* const>(prod_spec.data(), nprod),
+               config_.pencils, config_.pencils_per_a2a);
+  for (auto& p : prod_hat_) {
+    for (auto& z : p) z *= inv_n3;
+    if (shift) phase_shift(view_, p.data(), delta, -1);
+    apply_dealias(p.data());
+  }
+
+  // 5. Projected conservative-form momentum RHS.
+  nonlinear_rhs(view_,
+                ProductSet{prod_hat_[0].data(), prod_hat_[1].data(),
+                           prod_hat_[2].data(), prod_hat_[3].data(),
+                           prod_hat_[4].data(), prod_hat_[5].data()},
+                rhs[0].data(), rhs[1].data(), rhs[2].data());
+
+  // 6. Scalar flux-divergence RHS plus the mean-gradient source -G v.
+  for (std::size_t s = 0; s < nscalars; ++s) {
+    scalar_rhs(view_, prod_hat_[6 + 3 * s + 0].data(),
+               prod_hat_[6 + 3 * s + 1].data(),
+               prod_hat_[6 + 3 * s + 2].data(), rhs[3 + s].data());
+    const double g = config_.scalars[s].mean_gradient;
+    if (g != 0.0) {
+      for (std::size_t idx = 0; idx < rhs[3 + s].size(); ++idx) {
+        rhs[3 + s][idx] -= g * state[1][idx];
+      }
+    }
+  }
+
+  // 7. Velocity-proportional band forcing with fixed injection power.
+  if (with_forcing && config_.forcing.enabled) {
+    const double eband =
+        band_energy(view_, comm_, state[0].data(), state[1].data(),
+                    state[2].data(), config_.forcing.klo, config_.forcing.khi);
+    if (eband > 1e-12) {
+      const double coeff = config_.forcing.power / (2.0 * eband);
+      add_band_forcing(view_, rhs[0].data(), rhs[1].data(), rhs[2].data(),
+                       state[0].data(), state[1].data(), state[2].data(),
+                       config_.forcing.klo, config_.forcing.khi, coeff);
+    }
+  }
+}
+
+void SlabSolver::step(double dt) {
+  PSDNS_REQUIRE(dt > 0.0, "dt must be positive");
+  const double h = dt / 2.0;
+  const std::size_t nf = field_count();
+
+  if (config_.scheme == TimeScheme::RK2) {
+    // Midpoint RK2 with exact diffusion:
+    //   u_mid = E_h (u + dt/2 N(u));  u_new = E_f u + dt E_h N(u_mid).
+    compute_rhs(state_, rhs_a_);
+    for (std::size_t f = 0; f < nf; ++f) {
+      for (std::size_t i = 0; i < state_[f].size(); ++i) {
+        stage_[f][i] = state_[f][i] + h * rhs_a_[f][i];
+      }
+      apply_if(f, stage_[f], h);
+    }
+    compute_rhs(stage_, rhs_b_);
+    for (std::size_t f = 0; f < nf; ++f) {
+      apply_if(f, state_[f], dt);   // E_f u
+      apply_if(f, rhs_b_[f], h);    // E_h N(u_mid)
+      for (std::size_t i = 0; i < state_[f].size(); ++i) {
+        state_[f][i] += dt * rhs_b_[f][i];
+      }
+    }
+  } else {
+    // Integrating-factor RK4 (classical RK4 on v = exp(kappa k^2 t) u):
+    //   k1 = N(u)
+    //   u1 = E_h (u + dt/2 k1);      k2 = N(u1)
+    //   u2 = E_h u + dt/2 k2;        k3 = N(u2)
+    //   u3 = E_f u + dt E_h k3;      k4 = N(u3)
+    //   u+ = E_f u + dt/6 (E_f k1 + 2 E_h (k2 + k3) + k4)
+    State k1 = make_state(), k2 = make_state(), k3 = make_state(),
+          k4 = make_state();
+    compute_rhs(state_, k1);
+    for (std::size_t f = 0; f < nf; ++f) {
+      for (std::size_t i = 0; i < state_[f].size(); ++i) {
+        stage_[f][i] = state_[f][i] + h * k1[f][i];
+      }
+      apply_if(f, stage_[f], h);
+    }
+    compute_rhs(stage_, k2);
+    for (std::size_t f = 0; f < nf; ++f) {
+      stage_[f] = state_[f];
+      apply_if(f, stage_[f], h);  // E_h u
+      for (std::size_t i = 0; i < stage_[f].size(); ++i) {
+        stage_[f][i] += h * k2[f][i];
+      }
+    }
+    compute_rhs(stage_, k3);
+    for (std::size_t f = 0; f < nf; ++f) {
+      stage_[f] = state_[f];
+      apply_if(f, stage_[f], dt);  // E_f u
+      apply_if(f, k3[f], h);       // k3 <- E_h k3
+      for (std::size_t i = 0; i < stage_[f].size(); ++i) {
+        stage_[f][i] += dt * k3[f][i];
+      }
+    }
+    compute_rhs(stage_, k4);
+    for (std::size_t f = 0; f < nf; ++f) {
+      apply_if(f, k1[f], dt);  // E_f k1
+      apply_if(f, k2[f], h);   // E_h k2
+      apply_if(f, state_[f], dt);
+      for (std::size_t i = 0; i < state_[f].size(); ++i) {
+        state_[f][i] += dt / 6.0 *
+                        (k1[f][i] + 2.0 * k2[f][i] + 2.0 * k3[f][i] +
+                         k4[f][i]);
+      }
+    }
+  }
+
+  time_ += dt;
+  ++steps_;
+}
+
+double SlabSolver::cfl_dt(double cfl) {
+  if (last_umax_ <= 0.0) {
+    // No RHS evaluated yet: measure once via a throwaway evaluation.
+    compute_rhs(state_, rhs_a_);
+  }
+  const double dx = kTwoPi / static_cast<double>(config_.n);
+  return last_umax_ > 0.0 ? cfl * dx / last_umax_ : 1e9;
+}
+
+Diagnostics SlabSolver::diagnostics() {
+  Diagnostics d;
+  d.energy = kinetic_energy(view_, comm_, state_[0].data(), state_[1].data(),
+                            state_[2].data());
+  d.dissipation = dissipation(view_, comm_, state_[0].data(),
+                              state_[1].data(), state_[2].data(),
+                              config_.viscosity);
+  d.max_divergence = max_divergence(view_, comm_, state_[0].data(),
+                                    state_[1].data(), state_[2].data());
+  d.u_max = last_umax_;
+  if (d.dissipation > 1e-300) {
+    const double uprime2 = 2.0 * d.energy / 3.0;
+    d.taylor_scale =
+        std::sqrt(15.0 * config_.viscosity * uprime2 / d.dissipation);
+    d.reynolds_lambda =
+        std::sqrt(uprime2) * d.taylor_scale / config_.viscosity;
+    d.kolmogorov_eta = std::pow(
+        config_.viscosity * config_.viscosity * config_.viscosity /
+            d.dissipation,
+        0.25);
+  }
+  return d;
+}
+
+ScalarDiagnostics SlabSolver::scalar_diagnostics(int s) {
+  PSDNS_REQUIRE(s >= 0 && s < scalar_count(), "scalar index out of range");
+  const auto si = static_cast<std::size_t>(3 + s);
+  ScalarDiagnostics d;
+  d.variance = field_variance(view_, comm_, state_[si].data());
+  d.dissipation =
+      field_dissipation(view_, comm_, state_[si].data(), diffusivity(si));
+  d.flux_y =
+      cospectrum_total(view_, comm_, state_[1].data(), state_[si].data());
+  return d;
+}
+
+std::vector<double> SlabSolver::spectrum() {
+  return energy_spectrum(view_, comm_, state_[0].data(), state_[1].data(),
+                         state_[2].data());
+}
+
+std::vector<double> SlabSolver::scalar_spectrum(int s) {
+  PSDNS_REQUIRE(s >= 0 && s < scalar_count(), "scalar index out of range");
+  return field_spectrum(view_, comm_,
+                        state_[static_cast<std::size_t>(3 + s)].data());
+}
+
+std::vector<double> SlabSolver::transfer_spectrum() {
+  compute_rhs(state_, rhs_a_, /*with_forcing=*/false);
+  std::vector<double> shells(config_.n / 2 + 1, 0.0);
+  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
+    const double kmag = std::sqrt(static_cast<double>(kx) * kx +
+                                  static_cast<double>(ky) * ky +
+                                  static_cast<double>(kz) * kz);
+    const auto shell = static_cast<std::size_t>(std::lround(kmag));
+    if (shell >= shells.size()) return;
+    // d(1/2 |u|^2)/dt contribution of the nonlinear term.
+    double rate = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      rate += (std::conj(state_[ci][idx]) * rhs_a_[ci][idx]).real();
+    }
+    shells[shell] += mode_weight(kx, view_.n) * rate;
+  });
+  comm_.allreduce_sum(shells.data(), shells.data(), shells.size());
+  return shells;
+}
+
+SlabSolver::DerivativeMoments SlabSolver::derivative_moments() {
+  // Longitudinal derivatives via spectral differentiation, then pointwise
+  // moments in physical space.
+  State grad = make_state();
+  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
+    const Complex iu{0.0, 1.0};
+    grad[0][idx] = iu * static_cast<double>(kx) * state_[0][idx];
+    grad[1][idx] = iu * static_cast<double>(ky) * state_[1][idx];
+    grad[2][idx] = iu * static_cast<double>(kz) * state_[2][idx];
+  });
+  const Complex* spec3[3] = {grad[0].data(), grad[1].data(), grad[2].data()};
+  Real* phys3[3] = {phys_[0].data(), phys_[1].data(), phys_[2].data()};
+  fft_.inverse(std::span<const Complex* const>(spec3, 3),
+               std::span<Real* const>(phys3, 3), config_.pencils,
+               config_.pencils_per_a2a);
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    for (const Real g : phys_[static_cast<std::size_t>(c)]) {
+      const double g2 = g * g;
+      m2 += g2;
+      m3 += g2 * g;
+      m4 += g2 * g2;
+    }
+  }
+  double sums[3] = {m2, m3, m4};
+  comm_.allreduce_sum(sums, sums, 3);
+  const double count =
+      3.0 * static_cast<double>(config_.n) * config_.n * config_.n;
+  m2 = sums[0] / count;
+  m3 = sums[1] / count;
+  m4 = sums[2] / count;
+  DerivativeMoments out;
+  if (m2 > 1e-300) {
+    out.skewness = m3 / std::pow(m2, 1.5);
+    out.flatness = m4 / (m2 * m2);
+  }
+  return out;
+}
+
+double SlabSolver::derivative_skewness() {
+  // Longitudinal derivatives via spectral differentiation: du/dx needs i*kx,
+  // dv/dy needs i*ky, dw/dz needs i*kz; transform back and average moments.
+  State grad = make_state();
+  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
+    const Complex iu{0.0, 1.0};
+    grad[0][idx] = iu * static_cast<double>(kx) * state_[0][idx];
+    grad[1][idx] = iu * static_cast<double>(ky) * state_[1][idx];
+    grad[2][idx] = iu * static_cast<double>(kz) * state_[2][idx];
+  });
+  const Complex* spec3[3] = {grad[0].data(), grad[1].data(), grad[2].data()};
+  Real* phys3[3] = {phys_[0].data(), phys_[1].data(), phys_[2].data()};
+  fft_.inverse(std::span<const Complex* const>(spec3, 3),
+               std::span<Real* const>(phys3, 3), config_.pencils,
+               config_.pencils_per_a2a);
+
+  double m2 = 0.0, m3 = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    for (const Real g : phys_[static_cast<std::size_t>(c)]) {
+      m2 += g * g;
+      m3 += g * g * g;
+    }
+  }
+  m2 = comm_.allreduce_sum(m2);
+  m3 = comm_.allreduce_sum(m3);
+  const double count =
+      3.0 * static_cast<double>(config_.n) * config_.n * config_.n;
+  m2 /= count;
+  m3 /= count;
+  return m2 > 1e-300 ? m3 / std::pow(m2, 1.5) : 0.0;
+}
+
+}  // namespace psdns::dns

@@ -1,0 +1,37 @@
+#include "dns/statistics.hpp"
+
+#include <cstddef>
+#include <numbers>
+
+namespace psdns::dns {
+
+double spectrum_energy(const std::vector<double>& spectrum) {
+  double total = 0.0;
+  for (const double e : spectrum) total += e;
+  return total;
+}
+
+double integral_length_scale(const std::vector<double>& spectrum) {
+  const double energy = spectrum_energy(spectrum);
+  if (energy <= 0.0) return 0.0;
+  const double uprime2 = 2.0 * energy / 3.0;
+  double sum = 0.0;
+  for (std::size_t k = 1; k < spectrum.size(); ++k) {
+    sum += spectrum[k] / static_cast<double>(k);
+  }
+  return std::numbers::pi / (2.0 * uprime2) * sum;
+}
+
+double enstrophy(const std::vector<double>& spectrum) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    sum += static_cast<double>(k) * static_cast<double>(k) * spectrum[k];
+  }
+  return sum;
+}
+
+double kmax_eta(std::size_t n, double kolmogorov_eta) {
+  return (static_cast<double>(n) / 3.0) * kolmogorov_eta;
+}
+
+}  // namespace psdns::dns

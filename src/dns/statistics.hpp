@@ -1,0 +1,26 @@
+#pragma once
+// Derived turbulence statistics computed from shell spectra - the
+// quantities the paper's scientific campaigns (energy spectra, extreme
+// events, resolution studies) are run to obtain.
+
+#include <vector>
+
+namespace psdns::dns {
+
+/// Integral length scale L = (pi / (2 u'^2)) * sum_k E(k)/k  (k >= 1),
+/// with u'^2 = (2/3) * total energy.
+double integral_length_scale(const std::vector<double>& spectrum);
+
+/// Enstrophy Omega = sum_k k^2 E(k). Related to dissipation by
+/// eps = 2 nu Omega for isotropic turbulence.
+double enstrophy(const std::vector<double>& spectrum);
+
+/// Total energy: sum of the shell spectrum.
+double spectrum_energy(const std::vector<double>& spectrum);
+
+/// Kolmogorov-normalized resolution metric k_max * eta, with
+/// k_max = N/3 under 2/3 truncation (the paper's headline motivation is
+/// pushing this with higher N).
+double kmax_eta(std::size_t n, double kolmogorov_eta);
+
+}  // namespace psdns::dns

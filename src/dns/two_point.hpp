@@ -1,0 +1,27 @@
+#pragma once
+// Two-point statistics from the shell spectrum: the longitudinal
+// correlation f(r) and the second-order longitudinal structure function
+// S2(r) - the classical objects of isotropic turbulence theory that
+// spectra are published alongside.
+//
+// For isotropic turbulence (Monin & Yaglom):
+//   u'^2 f(r)  = 2 * sum_k E(k) [ sin(kr)/(kr)^3 - cos(kr)/(kr)^2 ] / ...
+// evaluated here with the standard kernel
+//   f(r) = (2 / u'^2) * sum_k E(k) * g(kr),
+//   g(x) = (sin x - x cos x) * 3 / x^3 / 3 ... (g(0) = 1/3; normalized so
+// f(0) = 1), and S2(r) = 2 u'^2 (1 - f(r)).
+
+#include <vector>
+
+namespace psdns::dns {
+
+/// Longitudinal velocity correlation f(r) at separations r[i] (radians on
+/// the 2*pi box), from the shell spectrum. f(0) = 1 by construction.
+std::vector<double> longitudinal_correlation(
+    const std::vector<double>& spectrum, const std::vector<double>& r);
+
+/// Second-order longitudinal structure function S2(r) = 2 u'^2 (1 - f(r)).
+std::vector<double> structure_function_2(const std::vector<double>& spectrum,
+                                         const std::vector<double>& r);
+
+}  // namespace psdns::dns

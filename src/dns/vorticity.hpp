@@ -1,0 +1,36 @@
+#pragma once
+// Vorticity-based diagnostics: omega = curl(u) computed spectrally
+// (omega_hat = i k x u_hat), plus the integral invariants built on it.
+// Helicity <u.omega> is an inviscid invariant of the Navier-Stokes
+// equations and a sharp consistency check on the curl, projection and
+// transform machinery; enstrophy ties back to dissipation via
+// eps = 2 nu Omega.
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "dns/modes.hpp"
+#include "dns/spectral_ops.hpp"
+
+namespace psdns::dns {
+
+/// omega_hat = i k x u_hat, written into (wx, wy, wz).
+void curl(const ModeView& view, const Complex* u, const Complex* v,
+          const Complex* w, Complex* wx, Complex* wy, Complex* wz);
+
+/// Enstrophy Omega = 1/2 <omega.omega>, computed from the velocity
+/// directly (sum w(kx) k^2 |u|^2, exact - no shell binning). Collective.
+double enstrophy_exact(const ModeView& view, comm::Communicator& comm,
+                       const Complex* u, const Complex* v, const Complex* w);
+
+/// Helicity H = <u.omega> = sum w(kx) Re(conj(u) . (i k x u)). Collective.
+double helicity(const ModeView& view, comm::Communicator& comm,
+                const Complex* u, const Complex* v, const Complex* w);
+
+/// Helicity shell spectrum H(k) (sums to the total helicity). Collective.
+std::vector<double> helicity_spectrum(const ModeView& view,
+                                      comm::Communicator& comm,
+                                      const Complex* u, const Complex* v,
+                                      const Complex* w);
+
+}  // namespace psdns::dns

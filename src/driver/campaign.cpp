@@ -1,0 +1,134 @@
+#include "driver/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "io/checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace psdns::driver {
+
+CampaignConfig CampaignConfig::from(const util::Config& file) {
+  CampaignConfig cfg;
+  cfg.solver.n = static_cast<std::size_t>(file.get_int("n", 32));
+  cfg.solver.viscosity = file.get_double("viscosity", 0.01);
+  const std::string scheme = file.get("scheme", "rk2");
+  PSDNS_REQUIRE(scheme == "rk2" || scheme == "rk4",
+                "scheme must be rk2 or rk4");
+  cfg.solver.scheme =
+      scheme == "rk4" ? dns::TimeScheme::RK4 : dns::TimeScheme::RK2;
+  cfg.solver.phase_shift_dealias = file.get_bool("phase_shift", false);
+  cfg.solver.pencils = static_cast<int>(file.get_int("pencils", 1));
+  cfg.solver.pencils_per_a2a =
+      static_cast<int>(file.get_int("pencils_per_a2a", 1));
+  cfg.solver.forcing.enabled = file.get_bool("forcing.enabled", false);
+  cfg.solver.forcing.klo = static_cast<int>(file.get_int("forcing.klo", 1));
+  cfg.solver.forcing.khi = static_cast<int>(file.get_int("forcing.khi", 2));
+  cfg.solver.forcing.power = file.get_double("forcing.power", 0.1);
+
+  const auto nscalars = file.get_int("scalars", 0);
+  PSDNS_REQUIRE(nscalars >= 0, "negative scalar count");
+  for (std::int64_t s = 0; s < nscalars; ++s) {
+    const std::string prefix = "scalar" + std::to_string(s) + ".";
+    dns::ScalarConfig sc;
+    sc.schmidt = file.get_double(prefix + "schmidt", 1.0);
+    sc.mean_gradient = file.get_double(prefix + "mean_gradient", 0.0);
+    cfg.solver.scalars.push_back(sc);
+  }
+
+  cfg.seed = static_cast<std::uint64_t>(file.get_int("seed", 1));
+  cfg.k_peak = file.get_double("k_peak", 3.0);
+  cfg.energy = file.get_double("energy", 0.5);
+  cfg.max_steps = file.get_int("steps", 100);
+  cfg.max_time = file.get_double("max_time", 1e30);
+  cfg.cfl = file.get_double("cfl", 0.5);
+  cfg.max_dt = file.get_double("max_dt", 0.02);
+  cfg.diagnostics_every =
+      static_cast<int>(file.get_int("diagnostics_every", 10));
+  cfg.checkpoint_every =
+      static_cast<int>(file.get_int("checkpoint_every", 0));
+  cfg.checkpoint_path = file.get("checkpoint_path", "");
+  cfg.series_path = file.get("series_path", "");
+  cfg.spectrum_path = file.get("spectrum_path", "");
+
+  const auto unused = file.unused_keys();
+  if (!unused.empty()) {
+    std::string msg = "unknown config keys:";
+    for (const auto& k : unused) msg += " " + k;
+    util::raise(msg);
+  }
+  return cfg;
+}
+
+CampaignResult run_campaign(comm::Communicator& comm,
+                            const CampaignConfig& cfg,
+                            const CampaignObserver& observer) {
+  PSDNS_REQUIRE(cfg.max_steps >= 0, "negative step budget");
+  PSDNS_REQUIRE(cfg.cfl > 0.0 && cfg.max_dt > 0.0, "bad stepping limits");
+
+  dns::SlabSolver solver(comm, cfg.solver);
+
+  CampaignResult result;
+  const bool have_checkpoint =
+      !cfg.checkpoint_path.empty() &&
+      std::filesystem::exists(cfg.checkpoint_path);
+  if (have_checkpoint) {
+    io::load_checkpoint(cfg.checkpoint_path, solver);
+    result.restarted = true;
+  } else {
+    solver.init_isotropic(cfg.seed, cfg.k_peak, cfg.energy);
+    for (int s = 0; s < solver.scalar_count(); ++s) {
+      solver.init_scalar_isotropic(s, cfg.seed + 1000 + s, cfg.k_peak,
+                                   cfg.energy / 2.0);
+    }
+  }
+
+  std::unique_ptr<io::SeriesWriter> series;
+  if (comm.rank() == 0 && !cfg.series_path.empty()) {
+    series = std::make_unique<io::SeriesWriter>(cfg.series_path);
+  }
+
+  const std::int64_t first_step = solver.step_count();
+  while (solver.step_count() - first_step < cfg.max_steps &&
+         solver.time() < cfg.max_time) {
+    const double dt = std::min(solver.cfl_dt(cfg.cfl), cfg.max_dt);
+    solver.step(dt);
+    ++result.steps_run;
+
+    const bool report =
+        cfg.diagnostics_every > 0 &&
+        solver.step_count() % cfg.diagnostics_every == 0;
+    // diagnostics() is collective: every rank must agree on whether it is
+    // called, so gate on the (rank-independent) config, not on the
+    // rank-0-only writer object.
+    if (report || !cfg.series_path.empty()) {
+      const auto d = solver.diagnostics();
+      if (comm.rank() == 0) {
+        if (series != nullptr) {
+          series->append(solver.step_count(), solver.time(), d);
+        }
+        if (report && observer) {
+          observer(solver.step_count(), solver.time(), d);
+        }
+      }
+    }
+    if (cfg.checkpoint_every > 0 && !cfg.checkpoint_path.empty() &&
+        solver.step_count() % cfg.checkpoint_every == 0) {
+      io::save_checkpoint(cfg.checkpoint_path, solver);
+    }
+  }
+
+  if (!cfg.checkpoint_path.empty()) {
+    io::save_checkpoint(cfg.checkpoint_path, solver);
+  }
+  auto spectrum = solver.spectrum();
+  if (comm.rank() == 0 && !cfg.spectrum_path.empty()) {
+    io::write_spectrum_csv(cfg.spectrum_path, spectrum);
+  }
+
+  result.final_time = solver.time();
+  result.final_diagnostics = solver.diagnostics();
+  return result;
+}
+
+}  // namespace psdns::driver

@@ -1,0 +1,64 @@
+#pragma once
+// The production main loop: initialize (or restart), advance with
+// CFL-adaptive steps, emit periodic diagnostics and checkpoints, stop at a
+// step or simulated-time budget. This is the glue every long-running DNS
+// campaign wraps around the solver - declared here so examples and tests
+// exercise the same code path production would.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "comm/communicator.hpp"
+#include "dns/solver.hpp"
+#include "io/series.hpp"
+#include "util/config.hpp"
+
+namespace psdns::driver {
+
+struct CampaignConfig {
+  dns::SolverConfig solver;
+  // Initial condition (used when no restart checkpoint exists).
+  std::uint64_t seed = 1;
+  double k_peak = 3.0;
+  double energy = 0.5;
+  // Stepping.
+  std::int64_t max_steps = 100;
+  double max_time = 1e30;       // stop at whichever budget hits first
+  double cfl = 0.5;
+  double max_dt = 0.02;
+  // Cadences (steps; 0 disables).
+  int diagnostics_every = 10;
+  int checkpoint_every = 0;
+  // Paths (empty disables the artifact).
+  std::string checkpoint_path;  // also the restart source if it exists
+  std::string series_path;
+  std::string spectrum_path;    // written once at the end
+
+  /// Parses the "key = value" schema (n, viscosity, scheme, forcing.*,
+  /// scalar.*, steps, cfl, ... - see driver/campaign.cpp). Throws on
+  /// unknown keys.
+  static CampaignConfig from(const util::Config& file);
+};
+
+/// Per-step observer (rank 0 only): step count, time, diagnostics.
+using CampaignObserver =
+    std::function<void(std::int64_t, double, const dns::Diagnostics&)>;
+
+struct CampaignResult {
+  std::int64_t steps_run = 0;
+  double final_time = 0.0;
+  dns::Diagnostics final_diagnostics;
+  bool restarted = false;  // resumed from an existing checkpoint
+};
+
+/// Runs one campaign segment on the calling rank group. Collective.
+/// If cfg.checkpoint_path exists, the run resumes from it; otherwise the
+/// isotropic initial condition is generated. The observer (optional) fires
+/// on rank 0 at the diagnostics cadence.
+CampaignResult run_campaign(comm::Communicator& comm,
+                            const CampaignConfig& cfg,
+                            const CampaignObserver& observer = nullptr);
+
+}  // namespace psdns::driver

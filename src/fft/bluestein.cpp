@@ -1,0 +1,63 @@
+#include "fft/bluestein.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/factor.hpp"
+#include "util/check.hpp"
+
+namespace psdns::fft {
+
+BluesteinEngine::BluesteinEngine(std::size_t n)
+    : n_(n), m_(next_pow2(2 * n - 1)), conv_(m_) {
+  PSDNS_REQUIRE(n >= 1, "transform length must be positive");
+
+  chirp_.resize(n_);
+  // k^2 mod 2n keeps the phase argument exact for large k.
+  const double base = -std::numbers::pi / static_cast<double>(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n_);
+    const double phase = base * static_cast<double>(k2);
+    chirp_[k] = Complex{std::cos(phase), std::sin(phase)};
+  }
+
+  // Convolution kernel b[k] = conj(chirp[|k|]) laid out circularly, then
+  // transformed once at plan time.
+  std::vector<Complex> b(m_, Complex{0.0, 0.0});
+  b[0] = std::conj(chirp_[0]);
+  for (std::size_t k = 1; k < n_; ++k) {
+    b[k] = std::conj(chirp_[k]);
+    b[m_ - k] = std::conj(chirp_[k]);
+  }
+  kernel_fft_.resize(m_);
+  conv_.execute(Direction::Forward, b.data(), 1, kernel_fft_.data());
+}
+
+void BluesteinEngine::execute(Direction dir, const Complex* in,
+                              std::ptrdiff_t in_stride, Complex* out) const {
+  const bool inverse = dir == Direction::Inverse;
+  auto chirp = [&](std::size_t k) {
+    const Complex c = chirp_[k];
+    return inverse ? std::conj(c) : c;
+  };
+
+  std::vector<Complex> a(m_, Complex{0.0, 0.0});
+  for (std::size_t k = 0; k < n_; ++k) {
+    a[k] = in[static_cast<std::ptrdiff_t>(k) * in_stride] * chirp(k);
+  }
+
+  std::vector<Complex> fa(m_);
+  conv_.execute(Direction::Forward, a.data(), 1, fa.data());
+  for (std::size_t k = 0; k < m_; ++k) {
+    const Complex kf = inverse ? std::conj(kernel_fft_[k]) : kernel_fft_[k];
+    fa[k] *= kf;
+  }
+  conv_.execute(Direction::Inverse, fa.data(), 1, a.data());
+
+  const double scale = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    out[k] = a[k] * chirp(k) * scale;
+  }
+}
+
+}  // namespace psdns::fft

@@ -1,0 +1,32 @@
+#pragma once
+// Bluestein chirp-z transform: complex FFT of arbitrary length n via a
+// power-of-two convolution of size >= 2n-1. Covers lengths with large prime
+// factors that the mixed-radix core does not accept.
+
+#include <cstddef>
+#include <vector>
+
+#include "fft/mixed_radix.hpp"
+#include "fft/types.hpp"
+
+namespace psdns::fft {
+
+class BluesteinEngine {
+ public:
+  explicit BluesteinEngine(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Same contract as MixedRadixEngine::execute.
+  void execute(Direction dir, const Complex* in, std::ptrdiff_t in_stride,
+               Complex* out) const;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;  // convolution length, power of two >= 2n-1
+  MixedRadixEngine conv_;
+  std::vector<Complex> chirp_;       // exp(-i*pi*k^2/n), k in [0, n)
+  std::vector<Complex> kernel_fft_;  // FFT of the forward chirp kernel
+};
+
+}  // namespace psdns::fft

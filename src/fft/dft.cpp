@@ -1,0 +1,25 @@
+#include "fft/dft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace psdns::fft {
+
+void dft_reference(Direction dir, std::size_t n, const Complex* in,
+                   Complex* out) {
+  PSDNS_REQUIRE(in != out, "dft_reference is out-of-place");
+  const double sign = dir == Direction::Forward ? -1.0 : 1.0;
+  const double base = sign * 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double phase = base * static_cast<double>((j * k) % n);
+      acc += in[j] * Complex{std::cos(phase), std::sin(phase)};
+    }
+    out[k] = acc;
+  }
+}
+
+}  // namespace psdns::fft

@@ -1,0 +1,33 @@
+#include "fft/factor.hpp"
+
+#include "util/check.hpp"
+
+namespace psdns::fft {
+
+std::vector<std::size_t> prime_factors(std::size_t n) {
+  PSDNS_REQUIRE(n >= 1, "factorization needs n >= 1");
+  std::vector<std::size_t> factors;
+  for (std::size_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+bool is_smooth(std::size_t n) {
+  for (const std::size_t p : prime_factors(n)) {
+    if (p > kMaxDirectPrime) return false;
+  }
+  return true;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace psdns::fft

@@ -1,0 +1,106 @@
+#include "fft/fft3d.hpp"
+
+#include "fft/plan.hpp"
+#include "fft/real.hpp"
+#include "util/check.hpp"
+
+namespace psdns::fft {
+
+void fft3d_c2c(Direction dir, const Shape3& shape, Complex* data) {
+  const auto [nx, ny, nz] = shape;
+  PSDNS_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "empty shape");
+  const auto px = get_plan(nx);
+  const auto py = get_plan(ny);
+  const auto pz = get_plan(nz);
+
+  // x lines: contiguous.
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      Complex* line = data + nx * (j + ny * k);
+      px->transform(dir, line, line);
+    }
+  }
+  // y lines: stride nx.
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      Complex* line = data + i + nx * ny * k;
+      py->transform_strided(dir, line, static_cast<std::ptrdiff_t>(nx), line,
+                            static_cast<std::ptrdiff_t>(nx));
+    }
+  }
+  // z lines: stride nx*ny.
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      Complex* line = data + i + nx * j;
+      pz->transform_strided(dir, line, static_cast<std::ptrdiff_t>(nx * ny),
+                            line, static_cast<std::ptrdiff_t>(nx * ny));
+    }
+  }
+}
+
+void fft3d_r2c(const Shape3& shape, const Real* in, Complex* out) {
+  const auto [nx, ny, nz] = shape;
+  const std::size_t nxh = nx / 2 + 1;
+  const auto prx = get_plan_r2c(nx);
+  const auto py = get_plan(ny);
+  const auto pz = get_plan(nz);
+
+  // Real-to-complex in x.
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      prx->forward(in + nx * (j + ny * k), out + nxh * (j + ny * k));
+    }
+  }
+  // Complex in y, then z, on the reduced grid.
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t i = 0; i < nxh; ++i) {
+      Complex* line = out + i + nxh * ny * k;
+      py->transform_strided(Direction::Forward, line,
+                            static_cast<std::ptrdiff_t>(nxh), line,
+                            static_cast<std::ptrdiff_t>(nxh));
+    }
+  }
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nxh; ++i) {
+      Complex* line = out + i + nxh * j;
+      pz->transform_strided(Direction::Forward, line,
+                            static_cast<std::ptrdiff_t>(nxh * ny), line,
+                            static_cast<std::ptrdiff_t>(nxh * ny));
+    }
+  }
+}
+
+void fft3d_c2r(const Shape3& shape, const Complex* in, Real* out) {
+  const auto [nx, ny, nz] = shape;
+  const std::size_t nxh = nx / 2 + 1;
+  const auto prx = get_plan_r2c(nx);
+  const auto py = get_plan(ny);
+  const auto pz = get_plan(nz);
+
+  std::vector<Complex> work(in, in + nxh * ny * nz);
+
+  // Inverse order: z, then y, then complex-to-real in x.
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nxh; ++i) {
+      Complex* line = work.data() + i + nxh * j;
+      pz->transform_strided(Direction::Inverse, line,
+                            static_cast<std::ptrdiff_t>(nxh * ny), line,
+                            static_cast<std::ptrdiff_t>(nxh * ny));
+    }
+  }
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t i = 0; i < nxh; ++i) {
+      Complex* line = work.data() + i + nxh * ny * k;
+      py->transform_strided(Direction::Inverse, line,
+                            static_cast<std::ptrdiff_t>(nxh), line,
+                            static_cast<std::ptrdiff_t>(nxh));
+    }
+  }
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      prx->inverse(work.data() + nxh * (j + ny * k), out + nx * (j + ny * k));
+    }
+  }
+}
+
+}  // namespace psdns::fft

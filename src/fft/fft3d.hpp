@@ -1,0 +1,32 @@
+#pragma once
+// Serial 3-D transforms on contiguous arrays (x fastest, then y, then z).
+// These serve as the ground-truth reference that the distributed slab/pencil
+// transposed transforms are tested against, and as the engine of the serial
+// DNS reference solver.
+
+#include <cstddef>
+#include <vector>
+
+#include "fft/types.hpp"
+
+namespace psdns::fft {
+
+/// Dense 3-D shape; index (i, j, k) maps to data[i + nx*(j + ny*k)].
+struct Shape3 {
+  std::size_t nx = 0, ny = 0, nz = 0;
+  std::size_t volume() const { return nx * ny * nz; }
+};
+
+/// In-place 3-D complex transform, one direction at a time (x, then y, then
+/// z for Forward; the DNS uses the reversed y,z,x order but the composite is
+/// identical). Unnormalized in both directions.
+void fft3d_c2c(Direction dir, const Shape3& shape, Complex* data);
+
+/// Real nx*ny*nz array -> complex (nx/2+1)*ny*nz spectrum (x is the
+/// conjugate-symmetric complex-to-real direction, as in the paper).
+void fft3d_r2c(const Shape3& shape, const Real* in, Complex* out);
+
+/// Inverse of fft3d_r2c, unnormalized: returns volume() * original.
+void fft3d_c2r(const Shape3& shape, const Complex* in, Real* out);
+
+}  // namespace psdns::fft

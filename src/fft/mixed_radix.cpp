@@ -1,0 +1,116 @@
+#include "fft/mixed_radix.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/factor.hpp"
+#include "util/check.hpp"
+
+namespace psdns::fft {
+
+MixedRadixEngine::MixedRadixEngine(std::size_t n)
+    : n_(n), factors_(prime_factors(n)) {
+  PSDNS_REQUIRE(n >= 1, "transform length must be positive");
+  PSDNS_REQUIRE(is_smooth(n),
+                "length has a large prime factor; use Bluestein instead");
+  // Merge pairs of 2s into radix-4 stages: the specialized radix-4
+  // butterfly halves the twiddle multiplies of two radix-2 passes.
+  std::vector<std::size_t> merged;
+  std::size_t twos = 0;
+  for (const std::size_t f : factors_) {
+    if (f == 2) {
+      ++twos;
+    } else {
+      merged.push_back(f);
+    }
+  }
+  for (; twos >= 2; twos -= 2) merged.insert(merged.begin(), 4);
+  if (twos == 1) merged.insert(merged.begin(), 2);
+  factors_ = std::move(merged);
+  twiddle_.resize(n_);
+  const double base = -2.0 * std::numbers::pi / static_cast<double>(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double phase = base * static_cast<double>(j);
+    twiddle_[j] = Complex{std::cos(phase), std::sin(phase)};
+  }
+}
+
+void MixedRadixEngine::execute(Direction dir, const Complex* in,
+                               std::ptrdiff_t in_stride, Complex* out) const {
+  recurse(dir == Direction::Inverse, n_, factors_.data(), in, in_stride, out);
+}
+
+void MixedRadixEngine::recurse(bool inverse, std::size_t n,
+                               const std::size_t* factor, const Complex* x,
+                               std::ptrdiff_t xs, Complex* y) const {
+  if (n == 1) {
+    y[0] = x[0];
+    return;
+  }
+  const std::size_t r = *factor;
+  const std::size_t m = n / r;
+
+  // Sub-transforms of the r interleaved subsequences x[q + r*t].
+  for (std::size_t q = 0; q < r; ++q) {
+    recurse(inverse, m, factor + 1, x + static_cast<std::ptrdiff_t>(q) * xs,
+            xs * static_cast<std::ptrdiff_t>(r), y + q * m);
+  }
+
+  // Combine: X[k1 + m*k2] = sum_q w_n^{q*k1} * w_r^{q*k2} * A_q[k1].
+  // The read set {q*m + k1} and write set {k1 + m*k2} coincide for fixed k1,
+  // so the combine is in-place with an r-element temporary.
+  const std::size_t tw_stride = n_ / n;  // w_n^j == twiddle_[j * tw_stride]
+  const std::size_t r_stride = n_ / r;   // w_r^j == twiddle_[j * r_stride]
+
+  if (r == 2) {
+    for (std::size_t k1 = 0; k1 < m; ++k1) {
+      const Complex a = y[k1];
+      const Complex b = y[m + k1] * tw(inverse, k1 * tw_stride);
+      y[k1] = a + b;
+      y[m + k1] = a - b;
+    }
+    return;
+  }
+
+  if (r == 4) {
+    // Radix-4 butterfly: with s = -i (forward) or +i (inverse),
+    //   X0 = (t0+t2) + (t1+t3)
+    //   X1 = (t0-t2) + s (t1-t3)
+    //   X2 = (t0+t2) - (t1+t3)
+    //   X3 = (t0-t2) - s (t1-t3)
+    for (std::size_t k1 = 0; k1 < m; ++k1) {
+      const Complex t0 = y[k1];
+      const Complex t1 = y[m + k1] * tw(inverse, k1 * tw_stride);
+      const Complex t2 = y[2 * m + k1] * tw(inverse, 2 * k1 * tw_stride);
+      const Complex t3 = y[3 * m + k1] * tw(inverse, 3 * k1 * tw_stride);
+      const Complex a = t0 + t2;
+      const Complex b = t0 - t2;
+      const Complex c = t1 + t3;
+      const Complex d = t1 - t3;
+      // s*d: multiply by -i (forward) or +i (inverse).
+      const Complex sd = inverse ? Complex{-d.imag(), d.real()}
+                                 : Complex{d.imag(), -d.real()};
+      y[k1] = a + c;
+      y[m + k1] = b + sd;
+      y[2 * m + k1] = a - c;
+      y[3 * m + k1] = b - sd;
+    }
+    return;
+  }
+
+  Complex t[kMaxDirectPrime];
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    for (std::size_t q = 0; q < r; ++q) {
+      t[q] = y[q * m + k1] * tw(inverse, q * k1 * tw_stride);
+    }
+    for (std::size_t k2 = 0; k2 < r; ++k2) {
+      Complex acc = t[0];
+      for (std::size_t q = 1; q < r; ++q) {
+        acc += t[q] * tw(inverse, ((q * k2) % r) * r_stride);
+      }
+      y[k1 + m * k2] = acc;
+    }
+  }
+}
+
+}  // namespace psdns::fft

@@ -1,0 +1,45 @@
+#pragma once
+// Recursive decimation-in-time mixed-radix complex FFT core.
+//
+// Handles any length whose prime factors are all <= kMaxDirectPrime (the DNS
+// uses N rich in factors of 2 and divisible by 3, exactly like the paper's
+// 18432 = 2^11 * 3^2). Other lengths are served by the Bluestein wrapper.
+//
+// The transform reads a (possibly strided) input sequence and writes a
+// contiguous output sequence; the combine step is in-place within the output
+// buffer, so no auxiliary workspace is required.
+
+#include <cstddef>
+#include <vector>
+
+#include "fft/types.hpp"
+
+namespace psdns::fft {
+
+class MixedRadixEngine {
+ public:
+  /// Requires is_smooth(n).
+  explicit MixedRadixEngine(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// out[k] = sum_j in[j*in_stride] * exp(-+ 2*pi*i*j*k/n).
+  /// `out` must not alias the input sequence.
+  void execute(Direction dir, const Complex* in, std::ptrdiff_t in_stride,
+               Complex* out) const;
+
+ private:
+  void recurse(bool inverse, std::size_t n, const std::size_t* factor,
+               const Complex* x, std::ptrdiff_t xs, Complex* y) const;
+
+  Complex tw(bool inverse, std::size_t index) const {
+    const Complex w = twiddle_[index];
+    return inverse ? Complex{w.real(), -w.imag()} : w;
+  }
+
+  std::size_t n_;
+  std::vector<std::size_t> factors_;
+  std::vector<Complex> twiddle_;  // twiddle_[j] = exp(-2*pi*i*j/n)
+};
+
+}  // namespace psdns::fft

@@ -1,0 +1,101 @@
+#include "fft/plan.hpp"
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "fft/bluestein.hpp"
+#include "fft/factor.hpp"
+#include "fft/mixed_radix.hpp"
+#include "util/check.hpp"
+
+namespace psdns::fft {
+
+struct PlanC2C::Impl {
+  std::optional<MixedRadixEngine> smooth;
+  std::optional<BluesteinEngine> bluestein;
+
+  void execute(Direction dir, const Complex* in, std::ptrdiff_t stride,
+               Complex* out) const {
+    if (smooth) {
+      smooth->execute(dir, in, stride, out);
+    } else {
+      bluestein->execute(dir, in, stride, out);
+    }
+  }
+};
+
+namespace {
+
+// Per-thread scratch shared by all plans; grows monotonically. Keeps
+// transform() allocation-free in steady state while plans stay const and
+// shareable between the functional communicator's rank threads.
+std::vector<Complex>& scratch(std::size_t n) {
+  thread_local std::vector<Complex> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+}  // namespace
+
+PlanC2C::PlanC2C(std::size_t n) : n_(n), impl_(std::make_unique<Impl>()) {
+  PSDNS_REQUIRE(n >= 1, "transform length must be positive");
+  if (is_smooth(n)) {
+    impl_->smooth.emplace(n);
+  } else {
+    impl_->bluestein.emplace(n);
+  }
+}
+
+PlanC2C::~PlanC2C() = default;
+PlanC2C::PlanC2C(PlanC2C&&) noexcept = default;
+PlanC2C& PlanC2C::operator=(PlanC2C&&) noexcept = default;
+
+void PlanC2C::transform(Direction dir, const Complex* in, Complex* out) const {
+  if (in == out) {
+    auto& tmp = scratch(n_);
+    impl_->execute(dir, in, 1, tmp.data());
+    std::copy(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(n_), out);
+  } else {
+    impl_->execute(dir, in, 1, out);
+  }
+}
+
+void PlanC2C::transform_strided(Direction dir, const Complex* in,
+                                std::ptrdiff_t in_stride, Complex* out,
+                                std::ptrdiff_t out_stride) const {
+  auto& tmp = scratch(n_);
+  impl_->execute(dir, in, in_stride, tmp.data());
+  for (std::size_t k = 0; k < n_; ++k) {
+    out[static_cast<std::ptrdiff_t>(k) * out_stride] = tmp[k];
+  }
+}
+
+void PlanC2C::transform_batch(Direction dir, const Complex* in, Complex* out,
+                              const BatchLayout& layout) const {
+  PSDNS_REQUIRE(layout.count >= 1, "batch count must be positive");
+  const std::size_t dist = layout.dist == 0 ? n_ * layout.stride : layout.dist;
+  for (std::size_t b = 0; b < layout.count; ++b) {
+    transform_strided(dir, in + b * dist,
+                      static_cast<std::ptrdiff_t>(layout.stride),
+                      out + b * dist,
+                      static_cast<std::ptrdiff_t>(layout.stride));
+  }
+}
+
+void PlanC2C::normalize(Complex* data, std::size_t count) const {
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < count; ++i) data[i] *= scale;
+}
+
+std::shared_ptr<const PlanC2C> get_plan(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::shared_ptr<const PlanC2C>> cache;
+  std::lock_guard lock(mutex);
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_shared<const PlanC2C>(n);
+  return slot;
+}
+
+}  // namespace psdns::fft

@@ -1,0 +1,58 @@
+#pragma once
+// Plan-based 1-D complex-to-complex FFT API, mirroring the shape of
+// cuFFT/FFTW plans: a plan is built once per (length), is immutable and
+// thread-safe, and supports batched and strided execution (cuFFT "advanced
+// data layout": count / stride / dist).
+
+#include <cstddef>
+#include <memory>
+
+#include "fft/types.hpp"
+
+namespace psdns::fft {
+
+/// Batched layout: element k of batch b lives at data[b*dist + k*stride].
+struct BatchLayout {
+  std::size_t count = 1;   // number of transforms
+  std::size_t stride = 1;  // distance between successive elements of one line
+  std::size_t dist = 0;    // distance between first elements of lines
+};
+
+class PlanC2C {
+ public:
+  explicit PlanC2C(std::size_t n);
+  ~PlanC2C();
+  PlanC2C(PlanC2C&&) noexcept;
+  PlanC2C& operator=(PlanC2C&&) noexcept;
+  PlanC2C(const PlanC2C&) = delete;
+  PlanC2C& operator=(const PlanC2C&) = delete;
+
+  std::size_t size() const { return n_; }
+
+  /// Contiguous transform; in == out (in-place) is allowed.
+  void transform(Direction dir, const Complex* in, Complex* out) const;
+
+  /// Strided transform of a single line; in-place allowed when the strides
+  /// match. Inverse is unnormalized (as with FFTW/cuFFT).
+  void transform_strided(Direction dir, const Complex* in,
+                         std::ptrdiff_t in_stride, Complex* out,
+                         std::ptrdiff_t out_stride) const;
+
+  /// Batched transform with identical input and output layout.
+  void transform_batch(Direction dir, const Complex* in, Complex* out,
+                       const BatchLayout& layout) const;
+
+  /// Scales `count` elements by 1/n (normalizing a Forward+Inverse pair).
+  void normalize(Complex* data, std::size_t count) const;
+
+ private:
+  struct Impl;
+  std::size_t n_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-wide plan cache; returns a shared immutable plan for length n.
+/// Thread-safe.
+std::shared_ptr<const PlanC2C> get_plan(std::size_t n);
+
+}  // namespace psdns::fft

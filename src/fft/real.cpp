@@ -1,0 +1,118 @@
+#include "fft/real.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <numbers>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace psdns::fft {
+
+namespace {
+
+// Per-thread scratch shared by all real plans: the r2c/c2r paths run once
+// per grid line in the DNS, so per-call allocation would dominate.
+std::vector<Complex>& scratch(std::size_t slot, std::size_t n) {
+  thread_local std::vector<Complex> buf[2];
+  if (buf[slot].size() < n) buf[slot].resize(n);
+  return buf[slot];
+}
+
+}  // namespace
+
+PlanR2C::PlanR2C(std::size_t n) : n_(n) {
+  PSDNS_REQUIRE(n >= 2, "real transform length must be >= 2");
+  if (n % 2 == 0) {
+    half_ = get_plan(n / 2);
+    const std::size_t h = n / 2;
+    omega_.resize(h + 1);
+    const double base = -2.0 * std::numbers::pi / static_cast<double>(n);
+    for (std::size_t k = 0; k <= h; ++k) {
+      const double phase = base * static_cast<double>(k);
+      omega_[k] = Complex{std::cos(phase), std::sin(phase)};
+    }
+  } else {
+    full_ = get_plan(n);
+  }
+}
+
+void PlanR2C::forward(const Real* in, Complex* out) const {
+  if (n_ % 2 != 0) {
+    auto& tmp_in = scratch(0, n_);
+    auto& tmp_out = scratch(1, n_);
+    for (std::size_t j = 0; j < n_; ++j) tmp_in[j] = Complex{in[j], 0.0};
+    full_->transform(Direction::Forward, tmp_in.data(), tmp_out.data());
+    for (std::size_t k = 0; k < spectrum_size(); ++k) out[k] = tmp_out[k];
+    return;
+  }
+
+  const std::size_t h = n_ / 2;
+  // Pack adjacent real pairs into h complex samples and take one half-length
+  // complex transform.
+  auto& z = scratch(0, h);
+  auto& zf = scratch(1, h);
+  for (std::size_t j = 0; j < h; ++j) {
+    z[j] = Complex{in[2 * j], in[2 * j + 1]};
+  }
+  half_->transform(Direction::Forward, z.data(), zf.data());
+
+  // Unravel: A[k] = FFT(even samples), B[k] = FFT(odd samples);
+  // X[k] = A[k] + w^k B[k] with w = exp(-2*pi*i/n).
+  const Complex i_unit{0.0, 1.0};
+  for (std::size_t k = 0; k <= h; ++k) {
+    const Complex zk = k == h ? zf[0] : zf[k];
+    const Complex zmk = std::conj(zf[(h - k) % h]);
+    const Complex a = 0.5 * (zk + zmk);
+    const Complex b = (zk - zmk) / (2.0 * i_unit);
+    out[k] = a + omega_[k] * b;
+  }
+}
+
+void PlanR2C::inverse(const Complex* in, Real* out) const {
+  if (n_ % 2 != 0) {
+    // Expand conjugate-symmetric spectrum and use the full complex plan.
+    auto& spec = scratch(0, n_);
+    auto& tmp = scratch(1, n_);
+    for (std::size_t k = 0; k < spectrum_size(); ++k) spec[k] = in[k];
+    for (std::size_t k = spectrum_size(); k < n_; ++k) {
+      spec[k] = std::conj(in[n_ - k]);
+    }
+    full_->transform(Direction::Inverse, spec.data(), tmp.data());
+    for (std::size_t j = 0; j < n_; ++j) out[j] = tmp[j].real();
+    return;
+  }
+
+  const std::size_t h = n_ / 2;
+  // Recover the packed half-length spectrum: Z[k] = A[k] + i*B[k] with
+  // A[k] = (X[k] + conj(X[h-k]))/2, B[k] = (X[k] - conj(X[h-k])) * wbar^k / 2.
+  auto& z = scratch(0, h);
+  auto& zt = scratch(1, h);
+  const Complex i_unit{0.0, 1.0};
+  for (std::size_t k = 0; k < h; ++k) {
+    const Complex xk = in[k];
+    const Complex xmk = std::conj(in[h - k]);
+    const Complex a = 0.5 * (xk + xmk);
+    const Complex b = 0.5 * (xk - xmk) * std::conj(omega_[k]);
+    z[k] = a + i_unit * b;
+  }
+  half_->transform(Direction::Inverse, z.data(), zt.data());
+  // The half-length unnormalized inverse carries a factor h; the FFTW c2r
+  // convention wants a factor n = 2h, hence the extra 2.
+  for (std::size_t j = 0; j < h; ++j) {
+    out[2 * j] = 2.0 * zt[j].real();
+    out[2 * j + 1] = 2.0 * zt[j].imag();
+  }
+}
+
+std::shared_ptr<const PlanR2C> get_plan_r2c(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::shared_ptr<const PlanR2C>> cache;
+  std::lock_guard lock(mutex);
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_shared<const PlanR2C>(n);
+  return slot;
+}
+
+}  // namespace psdns::fft

@@ -1,0 +1,22 @@
+#pragma once
+// Common numeric types for the FFT library.
+//
+// The paper runs single precision on Summit; we compute in double so that the
+// numerical-validation tests (Taylor-Green decay, Parseval, round trips) can
+// assert near round-off agreement. Precision only enters the performance
+// model as a bytes-per-word constant (see psdns::model).
+
+#include <complex>
+#include <cstddef>
+
+namespace psdns::fft {
+
+using Real = double;
+using Complex = std::complex<double>;
+
+enum class Direction {
+  Forward,  // exp(-i k x) convention
+  Inverse,  // exp(+i k x), unnormalized (scale by 1/n to invert Forward)
+};
+
+}  // namespace psdns::fft

@@ -1,0 +1,46 @@
+#pragma once
+// Functional strided-copy primitives mirroring the data-movement APIs the
+// paper's code uses on the device:
+//   - memcpy2d: the cudaMemcpy2DAsync shape (pitched rows of contiguous
+//     elements), used for H2D/D2H pencil copies and the pack-on-copy.
+//   - gather/scatter: the custom zero-copy kernel shape (arbitrary index
+//     mapping), used for unpacking after the all-to-all.
+// These run on the host here; the performance of their device counterparts
+// is modeled separately in gpu::CostModel.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace psdns::gpu {
+
+/// Copies `height` rows of `width` contiguous elements; row r starts at
+/// src[r*src_pitch] and lands at dst[r*dst_pitch]. Pitches are in elements
+/// and must be >= width. Matches cudaMemcpy2D semantics.
+template <class T>
+void memcpy2d(T* dst, std::size_t dst_pitch, const T* src,
+              std::size_t src_pitch, std::size_t width, std::size_t height) {
+  PSDNS_REQUIRE(dst_pitch >= width && src_pitch >= width,
+                "pitch must cover the row width");
+  for (std::size_t r = 0; r < height; ++r) {
+    const T* s = src + r * src_pitch;
+    T* d = dst + r * dst_pitch;
+    for (std::size_t c = 0; c < width; ++c) d[c] = s[c];
+  }
+}
+
+/// dst[i] = src[index[i]] - the zero-copy kernel's read pattern.
+template <class T>
+void gather(T* dst, const T* src, std::span<const std::size_t> index) {
+  for (std::size_t i = 0; i < index.size(); ++i) dst[i] = src[index[i]];
+}
+
+/// dst[index[i]] = src[i] - the zero-copy kernel's scatter pattern.
+template <class T>
+void scatter(T* dst, const T* src, std::span<const std::size_t> index) {
+  for (std::size_t i = 0; i < index.size(); ++i) dst[index[i]] = src[i];
+}
+
+}  // namespace psdns::gpu

@@ -1,0 +1,78 @@
+#include "gpu/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace psdns::gpu {
+
+const char* to_string(CopyMethod m) {
+  switch (m) {
+    case CopyMethod::ManyMemcpyAsync:
+      return "many cudaMemcpyAsync";
+    case CopyMethod::Memcpy2DAsync:
+      return "cudaMemcpy2DAsync";
+    case CopyMethod::ZeroCopy:
+      return "zero-copy kernel";
+  }
+  return "?";
+}
+
+double CostModel::nvlink_bw_per_gpu() const {
+  return spec_.node.nvlink_bw_per_socket / spec_.node.gpus_per_socket;
+}
+
+double CostModel::zero_copy_bw(int blocks, double chunk_bytes) const {
+  PSDNS_REQUIRE(blocks >= 1, "need at least one thread block");
+  // Each block sustains a fixed share of NVLink; tiny chunks lose some
+  // efficiency to uncoalesced tails.
+  const double chunk_eff = chunk_bytes / (chunk_bytes + 512.0);
+  const double ramp = blocks * spec_.node.gpu.zero_copy_block_bw;
+  // Saturation sits just below what the dedicated copy engines reach
+  // (Fig. 8: the kernel approaches the cudaMemcpy2DAsync line from below).
+  return std::min(ramp, 0.88 * nvlink_bw_per_gpu()) * chunk_eff;
+}
+
+double CostModel::strided_copy_time(CopyMethod method, double total_bytes,
+                                    double chunk_bytes, int blocks) const {
+  PSDNS_REQUIRE(total_bytes >= 0.0 && chunk_bytes > 0.0, "bad copy shape");
+  const double chunks = std::ceil(total_bytes / chunk_bytes);
+  const double wire = total_bytes / nvlink_bw_per_gpu();
+
+  switch (method) {
+    case CopyMethod::ManyMemcpyAsync:
+      // Every chunk pays the full host API issue cost; the copies
+      // themselves pipeline behind the calls.
+      return chunks * spec_.api.memcpy_async_call + wire;
+    case CopyMethod::Memcpy2DAsync:
+      // One API call; the copy engine walks rows with a small per-row
+      // descriptor setup.
+      return spec_.api.memcpy2d_call +
+             chunks * spec_.node.gpu.copy_row_setup + wire;
+    case CopyMethod::ZeroCopy:
+      return spec_.api.kernel_launch +
+             total_bytes / zero_copy_bw(blocks, chunk_bytes);
+  }
+  PSDNS_CHECK(false, "unreachable");
+  return 0.0;
+}
+
+double CostModel::fft_time(double lines, double length) const {
+  if (lines <= 0.0 || length <= 1.0) return 0.0;
+  const double flops = 5.0 * lines * length * std::log2(length);
+  return flops / spec_.gpu_fft_flops();
+}
+
+double CostModel::pointwise_time(double bytes) const {
+  // Streaming kernels reach ~80% of HBM peak.
+  return bytes / (0.8 * spec_.node.gpu.hbm_bw);
+}
+
+double CostModel::sm_steal_factor(int blocks) const {
+  const double slots = 2.0 * spec_.node.gpu.sms;  // 2 blocks per SM (Fig. 8)
+  const double free = std::max(1.0, slots - blocks);
+  return slots / free;  // >= 1: multiply compute durations by this
+}
+
+}  // namespace psdns::gpu

@@ -1,0 +1,60 @@
+#pragma once
+// Duration models for the device-side operations of the asynchronous
+// algorithm: strided host<->device copies (Fig. 7), zero-copy kernel
+// bandwidth vs thread blocks (Fig. 8), cuFFT-style kernels and pointwise
+// kernels. All times are seconds on the simulated clock.
+
+#include <cstddef>
+
+#include "hw/summit.hpp"
+
+namespace psdns::gpu {
+
+/// The three strided-copy implementations compared in Sec. 4.2 / Fig. 7.
+enum class CopyMethod {
+  ManyMemcpyAsync,  // one cudaMemcpyAsync per contiguous chunk
+  Memcpy2DAsync,    // single pitched copy on the copy engines
+  ZeroCopy,         // device kernel reading pinned host memory
+};
+
+const char* to_string(CopyMethod m);
+
+class CostModel {
+ public:
+  explicit CostModel(hw::MachineSpec spec = hw::summit()) : spec_(spec) {}
+
+  const hw::MachineSpec& spec() const { return spec_; }
+
+  /// Peak unidirectional host<->device bandwidth of ONE GPU (its share of
+  /// the socket's NVLink): 150 GB/s per socket over 3 GPUs.
+  double nvlink_bw_per_gpu() const;
+
+  /// Time to move `total_bytes` of strided data (contiguous chunks of
+  /// `chunk_bytes`) between pinned host memory and one GPU. For ZeroCopy,
+  /// `blocks` thread blocks drive the transfer (Fig. 8); other methods
+  /// ignore it.
+  double strided_copy_time(CopyMethod method, double total_bytes,
+                           double chunk_bytes, int blocks = 160) const;
+
+  /// Achieved bandwidth of the zero-copy kernel given a thread-block count
+  /// (Fig. 8: ~2 blocks per SM possible; saturates around 16 blocks).
+  double zero_copy_bw(int blocks, double chunk_bytes) const;
+
+  /// 1-D FFT kernel time: `lines` transforms of length `length` on one GPU
+  /// (5 n log2 n real operations per line, cuFFT-like efficiency).
+  double fft_time(double lines, double length) const;
+
+  /// Streaming pointwise kernel (nonlinear products, dealiasing masks):
+  /// HBM-bandwidth bound on `bytes` of traffic.
+  double pointwise_time(double bytes) const;
+
+  /// Fraction by which concurrent compute kernels slow down when a
+  /// zero-copy kernel occupies `blocks` thread blocks (SM stealing,
+  /// Sec. 4.2): compute gets (SMs*2 - blocks) of SMs*2 block slots.
+  double sm_steal_factor(int blocks) const;
+
+ private:
+  hw::MachineSpec spec_;
+};
+
+}  // namespace psdns::gpu

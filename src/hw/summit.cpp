@@ -1,0 +1,7 @@
+#include "hw/summit.hpp"
+
+namespace psdns::hw {
+
+MachineSpec summit() { return MachineSpec{}; }
+
+}  // namespace psdns::hw

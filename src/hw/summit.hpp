@@ -1,0 +1,87 @@
+#pragma once
+// Hardware description of the target system (IBM AC922 "Summit" nodes, as in
+// Sec. 3.2 of the paper) plus calibrated effective-throughput constants.
+//
+// Peak numbers are taken straight from the paper and the cited IBM/OLCF
+// documentation. "Effective" numbers (FFT efficiency, per-API-call
+// overheads) are calibration constants chosen so that the discrete-event
+// model reproduces the shapes of the paper's measurements; each constant
+// says which experiment pins it down.
+
+#include <cstdint>
+
+namespace psdns::hw {
+
+/// NVIDIA V100 (SXM2, 16 GB) as installed in Summit.
+struct GpuSpec {
+  int sms = 80;                    // streaming multiprocessors
+  double hbm_bytes = 16e9;         // 16 GB HBM2
+  double hbm_bw = 900e9;           // B/s
+  double fp32_tflops = 15.7;       // peak single-precision
+  double fft_efficiency = 0.18;    // sustained cuFFT fraction of peak
+                                   //   (calibrated: Table 3 GPU compute share)
+  int copy_engines = 2;            // independent DMA engines
+  double copy_row_setup = 60e-9;   // s per strided row moved by a copy engine
+                                   //   (calibrated: Fig. 7 memcpy2D curve)
+  double zero_copy_block_bw = 10e9;  // B/s one thread block sustains over
+                                     //   NVLink (calibrated: Fig. 8 ramp)
+};
+
+/// One Summit node: dual-socket POWER9 + 6 V100.
+struct NodeSpec {
+  int sockets = 2;
+  int cores_per_socket = 22;
+  int gpus_per_socket = 3;
+  double host_mem_bytes = 512e9;    // DDR4 per node
+  double usable_host_mem = 448e9;   // after ~64 GB OS footprint (Sec. 3.5)
+  double host_mem_bw_per_socket = 135e9;  // peak unidirectional (Sec. 3.2)
+  double nvlink_bw_per_socket = 150e9;    // CPU<->GPU aggregate per socket
+  double nic_bw_per_socket = 12.5e9;      // per-socket share of the dual-rail
+  double node_injection_bw = 23e9;        // EDR IB node injection (Sec. 4.1)
+  GpuSpec gpu;
+
+  int gpus() const { return sockets * gpus_per_socket; }
+  int cores() const { return sockets * cores_per_socket; }
+  double gpu_mem_total() const { return gpus() * gpu.hbm_bytes; }
+  double host_mem_bw() const { return sockets * host_mem_bw_per_socket; }
+};
+
+/// Per-call software overheads of the CUDA/MPI runtime paths the algorithm
+/// exercises. These drive Fig. 7 (strided copies) and the latency terms of
+/// the all-to-all model.
+struct ApiCosts {
+  double memcpy_async_call = 7e-6;    // s per cudaMemcpyAsync call (host API
+                                      //   issue cost; Fig. 7 "many memcpy")
+  double memcpy2d_call = 10e-6;       // s per cudaMemcpy2DAsync call
+  double kernel_launch = 6e-6;        // s per kernel launch
+  double event_overhead = 1.5e-6;     // s per cudaEventRecord/Synchronize
+  double mpi_call_overhead = 15e-6;   // s per collective invocation
+};
+
+/// Effective CPU throughput used by the synchronous pencil baseline (the
+/// code of Yeung et al. 2015, run on the same nodes).
+struct CpuSpec {
+  double fft_gflops_per_core = 10.0;  // sustained single-precision SIMD FFT
+                                      //   throughput (calibrated: Table 3
+                                      //   sync CPU rows)
+  double pointwise_bw_per_core = 6e9; // B/s streaming nonlinear products
+  double pack_bw_per_core = 5e9;      // B/s strided pack/unpack on host
+};
+
+/// Complete machine model.
+struct MachineSpec {
+  NodeSpec node;
+  ApiCosts api;
+  CpuSpec cpu;
+  int total_nodes = 4608;  // full Summit
+
+  /// Effective GPU FFT throughput in FLOP/s (per GPU).
+  double gpu_fft_flops() const {
+    return node.gpu.fp32_tflops * 1e12 * node.gpu.fft_efficiency;
+  }
+};
+
+/// The default calibrated Summit description used by all benches.
+MachineSpec summit();
+
+}  // namespace psdns::hw

@@ -1,0 +1,150 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "fft/types.hpp"
+#include "util/check.hpp"
+
+namespace psdns::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'D', 'N', 'S', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 2;
+
+using fft::Complex;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_exact(std::FILE* f, const void* data, std::size_t bytes) {
+  PSDNS_REQUIRE(std::fwrite(data, 1, bytes, f) == bytes,
+                "checkpoint write failed (disk full?)");
+}
+
+void read_exact(std::FILE* f, void* data, std::size_t bytes) {
+  PSDNS_REQUIRE(std::fread(data, 1, bytes, f) == bytes,
+                "checkpoint truncated or unreadable");
+}
+
+CheckpointInfo read_header(std::FILE* f, const std::string& path) {
+  char magic[8];
+  read_exact(f, magic, sizeof magic);
+  PSDNS_REQUIRE(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                "not a psdns checkpoint: " + path);
+  std::uint32_t version = 0;
+  read_exact(f, &version, sizeof version);
+  PSDNS_REQUIRE(version == kVersion, "unsupported checkpoint version");
+  CheckpointInfo info;
+  read_exact(f, &info.n, sizeof info.n);
+  read_exact(f, &info.time, sizeof info.time);
+  read_exact(f, &info.step, sizeof info.step);
+  read_exact(f, &info.viscosity, sizeof info.viscosity);
+  read_exact(f, &info.scalars, sizeof info.scalars);
+  return info;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, dns::SlabSolver& solver) {
+  auto& comm = solver.communicator();
+  const std::size_t n = solver.n();
+  const std::size_t nxh = n / 2 + 1;
+  const std::size_t slab = solver.modes().local_modes();
+
+  // Z-slabs concatenate to the global (i, j, k) order, so a rank-ordered
+  // gather is exactly the file layout.
+  std::vector<Complex> global;
+  if (comm.rank() == 0) {
+    global.resize(nxh * n * n);
+  }
+
+  File f;
+  if (comm.rank() == 0) {
+    f.reset(std::fopen(path.c_str(), "wb"));
+    PSDNS_REQUIRE(f != nullptr, "cannot open checkpoint for writing: " + path);
+    write_exact(f.get(), kMagic, sizeof kMagic);
+    write_exact(f.get(), &kVersion, sizeof kVersion);
+    const std::uint64_t n64 = n;
+    const double t = solver.time();
+    const std::int64_t step = solver.step_count();
+    const double nu = solver.config().viscosity;
+    write_exact(f.get(), &n64, sizeof n64);
+    write_exact(f.get(), &t, sizeof t);
+    write_exact(f.get(), &step, sizeof step);
+    write_exact(f.get(), &nu, sizeof nu);
+    const std::uint32_t nscalars =
+        static_cast<std::uint32_t>(solver.scalar_count());
+    write_exact(f.get(), &nscalars, sizeof nscalars);
+  }
+
+  for (int c = 0; c < 3; ++c) {
+    comm.gather(solver.uhat(c), global.data(), slab, 0);
+    if (comm.rank() == 0) {
+      write_exact(f.get(), global.data(), global.size() * sizeof(Complex));
+    }
+  }
+  for (int sidx = 0; sidx < solver.scalar_count(); ++sidx) {
+    comm.gather(solver.that(sidx), global.data(), slab, 0);
+    if (comm.rank() == 0) {
+      write_exact(f.get(), global.data(), global.size() * sizeof(Complex));
+    }
+  }
+  comm.barrier();  // nobody returns before the file is complete
+}
+
+CheckpointInfo load_checkpoint(const std::string& path,
+                               dns::SlabSolver& solver) {
+  auto& comm = solver.communicator();
+  const std::size_t n = solver.n();
+  const std::size_t nxh = n / 2 + 1;
+  const std::size_t slab = solver.modes().local_modes();
+
+  CheckpointInfo info;
+  std::vector<Complex> global;
+  File f;
+  if (comm.rank() == 0) {
+    f.reset(std::fopen(path.c_str(), "rb"));
+    PSDNS_REQUIRE(f != nullptr, "cannot open checkpoint: " + path);
+    info = read_header(f.get(), path);
+    PSDNS_REQUIRE(info.n == n,
+                  "checkpoint grid size does not match the solver");
+    PSDNS_REQUIRE(info.scalars ==
+                      static_cast<std::uint32_t>(solver.scalar_count()),
+                  "checkpoint scalar count does not match the solver");
+    global.resize(nxh * n * n);
+  }
+  comm.broadcast(&info, 1, 0);
+
+  const std::size_t nfields = 3 + static_cast<std::size_t>(info.scalars);
+  std::vector<std::vector<Complex>> local(nfields);
+  std::vector<const Complex*> ptrs(nfields);
+  for (std::size_t c = 0; c < nfields; ++c) {
+    auto& mine = local[c];
+    mine.resize(slab);
+    if (comm.rank() == 0) {
+      read_exact(f.get(), global.data(), global.size() * sizeof(Complex));
+    }
+    comm.scatter(global.data(), mine.data(), slab, 0);
+    ptrs[c] = mine.data();
+  }
+
+  solver.restore(std::span<const Complex* const>(ptrs.data(), nfields),
+                 info.time, info.step);
+  return info;
+}
+
+CheckpointInfo peek_checkpoint(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  PSDNS_REQUIRE(f != nullptr, "cannot open checkpoint: " + path);
+  return read_header(f.get(), path);
+}
+
+}  // namespace psdns::io

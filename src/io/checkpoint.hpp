@@ -1,0 +1,43 @@
+#pragma once
+// Checkpoint / restart for long-running simulations.
+//
+// The paper's production runs integrate "many thousands of time steps"
+// across scheduler allocations; a DNS code without restart capability is
+// not usable in production. Checkpoints store the *global* spectral field
+// (gathered in Z-slab order, which concatenates contiguously across ranks),
+// so a run can be restarted on a different rank count - exactly what
+// happens when a job moves between node allocations.
+//
+// File layout (little-endian, doubles):
+//   magic "PSDNSCKP" | u32 version | u64 N | f64 time | i64 step |
+//   f64 viscosity | u32 scalar count m |
+//   (3+m) x (nxh*N*N) complex<double> fields (u, v, w, theta_0..m-1).
+
+#include <cstdint>
+#include <string>
+
+#include "comm/communicator.hpp"
+#include "dns/solver.hpp"
+
+namespace psdns::io {
+
+struct CheckpointInfo {
+  std::uint64_t n = 0;
+  double time = 0.0;
+  std::int64_t step = 0;
+  double viscosity = 0.0;
+  std::uint32_t scalars = 0;
+};
+
+/// Writes the solver state. Collective; rank 0 writes the file.
+void save_checkpoint(const std::string& path, dns::SlabSolver& solver);
+
+/// Restores the solver state (grid size must match; the rank count need
+/// not match the writing run's). Collective; returns the header.
+CheckpointInfo load_checkpoint(const std::string& path,
+                               dns::SlabSolver& solver);
+
+/// Reads only the header (any single process; not collective).
+CheckpointInfo peek_checkpoint(const std::string& path);
+
+}  // namespace psdns::io

@@ -1,0 +1,55 @@
+#include "io/series.hpp"
+
+#include "util/check.hpp"
+
+namespace psdns::io {
+
+SeriesWriter::SeriesWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {
+  PSDNS_REQUIRE(file_ != nullptr, "cannot open series file: " + path);
+  std::fprintf(file_,
+               "step,time,energy,dissipation,u_max,taylor_scale,"
+               "reynolds_lambda,kolmogorov_eta\n");
+}
+
+SeriesWriter::~SeriesWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SeriesWriter::append(std::int64_t step, double time,
+                          const dns::Diagnostics& d) {
+  std::fprintf(file_, "%lld,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+               static_cast<long long>(step), time, d.energy, d.dissipation,
+               d.u_max, d.taylor_scale, d.reynolds_lambda, d.kolmogorov_eta);
+  std::fflush(file_);
+}
+
+void write_spectrum_csv(const std::string& path,
+                        const std::vector<double>& spectrum) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PSDNS_REQUIRE(f != nullptr, "cannot open spectrum file: " + path);
+  std::fprintf(f, "k,E\n");
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    std::fprintf(f, "%zu,%.17g\n", k, spectrum[k]);
+  }
+  std::fclose(f);
+}
+
+std::vector<double> read_spectrum_csv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  PSDNS_REQUIRE(f != nullptr, "cannot open spectrum file: " + path);
+  char header[64];
+  PSDNS_REQUIRE(std::fgets(header, sizeof header, f) != nullptr,
+                "empty spectrum file");
+  std::vector<double> out;
+  std::size_t k = 0;
+  double e = 0.0;
+  while (std::fscanf(f, "%zu,%lf\n", &k, &e) == 2) {
+    if (out.size() <= k) out.resize(k + 1, 0.0);
+    out[k] = e;
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace psdns::io

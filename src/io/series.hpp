@@ -1,0 +1,37 @@
+#pragma once
+// Plain-text outputs for post-processing: a CSV time series of flow
+// statistics (the quantity-of-interest log every production DNS keeps) and
+// spectrum snapshots.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/solver.hpp"
+
+namespace psdns::io {
+
+/// Appends one CSV row per call: step,time,energy,dissipation,u_max,
+/// taylor_scale,reynolds_lambda,kolmogorov_eta. Call from rank 0 only.
+class SeriesWriter {
+ public:
+  explicit SeriesWriter(const std::string& path);
+  ~SeriesWriter();
+  SeriesWriter(const SeriesWriter&) = delete;
+  SeriesWriter& operator=(const SeriesWriter&) = delete;
+
+  void append(std::int64_t step, double time, const dns::Diagnostics& d);
+
+ private:
+  std::FILE* file_;
+};
+
+/// Writes "k,E(k)" rows. Call from rank 0 only.
+void write_spectrum_csv(const std::string& path,
+                        const std::vector<double>& spectrum);
+
+/// Reads back a spectrum CSV (for tests and plotting tools).
+std::vector<double> read_spectrum_csv(const std::string& path);
+
+}  // namespace psdns::io

@@ -1,0 +1,61 @@
+#pragma once
+// Problem geometry shared by the performance models and the pipeline
+// schedule builder: how an N^3 grid maps onto nodes, MPI ranks, slabs and
+// pencils (Figs. 1 and 3 of the paper).
+
+#include <cstdint>
+
+namespace psdns::model {
+
+/// Bytes per word of the production code (single precision, as on Summit).
+inline constexpr double kWordBytes = 4.0;
+
+struct ProblemConfig {
+  std::int64_t n = 0;       // grid points per side (N)
+  int nodes = 0;            // node count (M)
+  int tasks_per_node = 0;   // MPI ranks per node (tpn)
+  int pencils = 1;          // pencils per slab (np)
+  int variables = 3;        // variables moved per all-to-all (nv)
+
+  std::int64_t ranks() const {
+    return static_cast<std::int64_t>(nodes) * tasks_per_node;
+  }
+
+  /// Slab thickness mz = N / P (planes per rank, 1-D decomposition).
+  double slab_thickness() const {
+    return static_cast<double>(n) / static_cast<double>(ranks());
+  }
+
+  /// Pencil width nyp = N / np.
+  double pencil_width() const {
+    return static_cast<double>(n) / static_cast<double>(pencils);
+  }
+
+  /// Grid points per rank (one variable).
+  double points_per_rank() const {
+    return static_cast<double>(n) * static_cast<double>(n) * slab_thickness();
+  }
+
+  double points_per_node() const {
+    return points_per_rank() * tasks_per_node;
+  }
+
+  /// Bytes of one variable's slab on one rank.
+  double slab_bytes() const { return points_per_rank() * kWordBytes; }
+
+  /// Bytes of one variable's pencil on one rank.
+  double pencil_bytes() const {
+    return slab_bytes() / static_cast<double>(pencils);
+  }
+
+  /// P2P message size of an all-to-all over Q pencils of nv variables
+  /// (Sec. 4.1): 4 * nv * Q * (N/np) * (N/P)^2 bytes.
+  double p2p_bytes(int pencils_per_a2a) const {
+    const double per_rank_line = static_cast<double>(n) /
+                                 static_cast<double>(ranks());
+    return kWordBytes * variables * pencils_per_a2a * pencil_width() *
+           per_rank_line * per_rank_line;
+  }
+};
+
+}  // namespace psdns::model

@@ -1,0 +1,67 @@
+#include "model/memory.hpp"
+
+#include <cmath>
+
+#include "model/geometry.hpp"
+#include "util/check.hpp"
+
+namespace psdns::model {
+
+double MemoryModel::host_bytes_per_node(std::int64_t n, int nodes) const {
+  PSDNS_REQUIRE(n > 0 && nodes > 0, "bad problem shape");
+  const double n3 = static_cast<double>(n) * n * static_cast<double>(n);
+  return kWordBytes * p_.variables_resident * n3 / nodes;
+}
+
+double MemoryModel::min_nodes_estimate(std::int64_t n) const {
+  const double n3 = static_cast<double>(n) * n * static_cast<double>(n);
+  return kWordBytes * p_.variables_estimate * n3 / p_.usable_host_mem;
+}
+
+int MemoryModel::min_nodes(std::int64_t n) const {
+  const double estimate = min_nodes_estimate(n);
+  for (std::int64_t m = 1; m <= n; ++m) {
+    if (n % m == 0 && static_cast<double>(m) >= estimate) {
+      return static_cast<int>(m);
+    }
+  }
+  return static_cast<int>(n);  // one plane per node is the hard ceiling
+}
+
+double MemoryModel::pencils_needed_estimate(std::int64_t n, int nodes) const {
+  const double n3 = static_cast<double>(n) * n * static_cast<double>(n);
+  return kWordBytes * p_.gpu_buffers * n3 /
+         (static_cast<double>(nodes) * p_.usable_gpu_mem_per_node);
+}
+
+int MemoryModel::pencils_needed(std::int64_t n, int nodes) const {
+  // Headroom factor 1.5 covers the "further needs for memory from other
+  // smaller arrays" (Sec. 3.5): reproduces np=3 where the estimate says 1.9
+  // and np=4 where it says 2.13.
+  const double with_headroom = 1.5 * pencils_needed_estimate(n, nodes);
+  return std::max(1, static_cast<int>(std::ceil(with_headroom - 1e-9)));
+}
+
+double MemoryModel::pencil_bytes(std::int64_t n, int nodes,
+                                 int pencils) const {
+  const double n3 = static_cast<double>(n) * n * static_cast<double>(n);
+  return kWordBytes * n3 / (static_cast<double>(nodes) * pencils);
+}
+
+std::vector<Table1Row> table1(const MemoryModel& model) {
+  const struct {
+    int nodes;
+    std::int64_t n;
+  } cases[] = {{16, 3072}, {128, 6144}, {1024, 12288}, {3072, 18432}};
+
+  std::vector<Table1Row> rows;
+  for (const auto& c : cases) {
+    const int np = model.pencils_needed(c.n, c.nodes);
+    rows.push_back(Table1Row{
+        c.nodes, c.n, model.host_bytes_per_node(c.n, c.nodes) / kGiB, np,
+        model.pencil_bytes(c.n, c.nodes, np) / kGiB});
+  }
+  return rows;
+}
+
+}  // namespace psdns::model

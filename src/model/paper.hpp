@@ -1,0 +1,77 @@
+#pragma once
+// Reference values transcribed from the paper's tables, used by the benches
+// to print "paper vs model" side by side and by the calibration tests to
+// assert that the model preserves the paper's orderings and rough
+// magnitudes. Nothing in the performance model reads these values.
+
+#include <cstdint>
+#include <vector>
+
+namespace psdns::model::paper {
+
+/// The four weak-scaled configurations (Table 1 / Sec. 3.5).
+struct Case {
+  int nodes;
+  std::int64_t n;
+  int pencils;  // pencils per slab
+};
+inline constexpr Case kCases[] = {
+    {16, 3072, 3}, {128, 6144, 3}, {1024, 12288, 3}, {3072, 18432, 4}};
+
+/// Table 2: effective all-to-all bandwidth per node (GB/s) and P2P message
+/// size (MB, for 3 variables) for configurations A/B/C.
+struct Table2Row {
+  int nodes;
+  double p2p_a_mb, bw_a;  // A: 6 tasks/node, 1 pencil/A2A
+  double p2p_b_mb, bw_b;  // B: 2 tasks/node, 1 pencil/A2A
+  double p2p_c_mb, bw_c;  // C: 2 tasks/node, 1 slab/A2A
+};
+inline constexpr Table2Row kTable2[] = {
+    {16, 12.0, 36.5, 108.0, 43.1, 324.0, 43.6},
+    {128, 1.5, 24.0, 13.5, 39.0, 40.5, 39.0},
+    {1024, 0.19, 11.1, 1.69, 23.5, 5.06, 25.0},
+    {3072, 0.053, 13.2, 0.47, 12.4, 1.90, 17.6},
+};
+
+/// Table 3: elapsed seconds per RK2 step. Speedups are vs the sync CPU code.
+struct Table3Row {
+  int nodes;
+  std::int64_t n;
+  double cpu_sync;       // pencil-decomposed synchronous CPU code
+  double gpu_a;          // async GPU, 6 tasks/node, 1 pencil/A2A
+  double gpu_b;          // async GPU, 2 tasks/node, 1 pencil/A2A
+  double gpu_c;          // async GPU, 2 tasks/node, 1 slab/A2A
+};
+inline constexpr Table3Row kTable3[] = {
+    {16, 3072, 34.38, 8.09, 6.70, 7.50},
+    {128, 6144, 40.18, 12.17, 8.66, 8.07},
+    {1024, 12288, 47.57, 13.63, 12.62, 10.14},
+    {3072, 18432, 41.96, 25.44, 22.30, 14.24},
+};
+
+/// Table 4: weak scaling of the best configuration relative to 3072^3.
+struct Table4Row {
+  int nodes;
+  int ntasks;
+  std::int64_t n;
+  int pencils_per_a2a;
+  double time;
+  double weak_scaling_pct;  // 0 marks the reference row
+};
+inline constexpr Table4Row kTable4[] = {
+    {16, 32, 3072, 1, 6.70, 0.0},
+    {128, 256, 6144, 3, 8.07, 83.0},
+    {1024, 2048, 12288, 3, 10.14, 66.1},
+    {3072, 6144, 18432, 4, 14.24, 52.9},
+};
+
+/// Sec. 5.3: strong scaling of the 18432^3 problem, 6 tasks/node config.
+inline constexpr double kStrong18432Nodes1536Time = 48.7;
+inline constexpr double kStrong18432Nodes3072Time = 25.4;
+inline constexpr double kStrong18432Percent = 95.7;
+
+/// Intro: the 8192^3 CPU production simulation on 262144 cores took a wall
+/// time per step such that the 18432^3 GPU run is "only 50% longer".
+inline constexpr double kWallclockGoalPerStep = 20.0;  // Sec. 3 goal, seconds
+
+}  // namespace psdns::model::paper

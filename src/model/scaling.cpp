@@ -1,0 +1,25 @@
+#include "model/scaling.hpp"
+
+#include "util/check.hpp"
+
+namespace psdns::model {
+
+double weak_scaling_percent(std::int64_t n1, int nodes1, double t1,
+                            std::int64_t n2, int nodes2, double t2) {
+  PSDNS_REQUIRE(n1 > 0 && n2 > 0 && nodes1 > 0 && nodes2 > 0 && t1 > 0.0 &&
+                    t2 > 0.0,
+                "scaling inputs must be positive");
+  const double size_ratio = (static_cast<double>(n2) / n1) *
+                            (static_cast<double>(n2) / n1) *
+                            (static_cast<double>(n2) / n1);
+  return 100.0 * size_ratio * (t1 / t2) *
+         (static_cast<double>(nodes1) / nodes2);
+}
+
+double strong_scaling_percent(int nodes1, double t1, int nodes2, double t2) {
+  PSDNS_REQUIRE(nodes1 > 0 && nodes2 > 0 && t1 > 0.0 && t2 > 0.0,
+                "scaling inputs must be positive");
+  return 100.0 * (t1 / t2) * (static_cast<double>(nodes1) / nodes2);
+}
+
+}  // namespace psdns::model

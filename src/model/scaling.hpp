@@ -1,0 +1,17 @@
+#pragma once
+// Scaling metrics from Sec. 5.3.
+
+#include <cstdint>
+
+namespace psdns::model {
+
+/// Weak scaling percentage (paper Eq. 4) of run 2 relative to run 1:
+/// WS = (N2^3 / N1^3) * (t1 / t2) * (M1 / M2), in percent.
+double weak_scaling_percent(std::int64_t n1, int nodes1, double t1,
+                            std::int64_t n2, int nodes2, double t2);
+
+/// Strong scaling percentage of run 2 (more nodes) relative to run 1 at the
+/// same problem size: SS = (t1 / t2) * (M1 / M2), in percent.
+double strong_scaling_percent(int nodes1, double t1, int nodes2, double t2);
+
+}  // namespace psdns::model

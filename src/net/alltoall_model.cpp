@@ -1,0 +1,67 @@
+#include "net/alltoall_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace psdns::net {
+
+double AlltoallModel::offnode_bytes_per_node(int nodes, int tasks_per_node,
+                                             double p2p_bytes) const {
+  const double P = static_cast<double>(nodes) * tasks_per_node;
+  return p2p_bytes * tasks_per_node * (P - tasks_per_node);
+}
+
+double AlltoallModel::size_curve(double bytes) const {
+  return bytes / (bytes + p_.msg_half_saturation);
+}
+
+double AlltoallModel::congestion(int nodes) const {
+  return 1.0 /
+         (1.0 + std::pow(static_cast<double>(nodes) / p_.congestion_m0,
+                         p_.congestion_gamma));
+}
+
+double AlltoallModel::rank_density(int tasks_per_node) const {
+  const double excess =
+      std::min(static_cast<double>(std::max(0, tasks_per_node - 2)),
+               p_.rank_density_cap);
+  return 1.0 / (1.0 + p_.rank_density_penalty * excess);
+}
+
+double AlltoallModel::effective_injection_bw(int nodes, int tasks_per_node,
+                                             double p2p_bytes) const {
+  PSDNS_REQUIRE(nodes >= 1 && tasks_per_node >= 1, "bad communicator shape");
+  PSDNS_REQUIRE(p2p_bytes > 0.0, "P2P message size must be positive");
+  const double c = congestion(nodes);
+  double bw = p_.peak_injection_bw * c * size_curve(p2p_bytes);
+  if (p2p_bytes <= p_.eager_threshold) {
+    // Eager / hardware-accelerated small-message path (paper Sec. 4.1).
+    bw = std::max(bw, p_.eager_floor_bw * c);
+  }
+  return bw * rank_density(tasks_per_node);
+}
+
+double AlltoallModel::time(int nodes, int tasks_per_node,
+                           double p2p_bytes) const {
+  const double P = static_cast<double>(nodes) * tasks_per_node;
+  if (nodes == 1) {
+    // Purely on-node exchange; modeled as memory-bandwidth bound elsewhere.
+    return p_.base_latency + P * p_.per_peer_latency;
+  }
+  const double bytes = offnode_bytes_per_node(nodes, tasks_per_node, p2p_bytes);
+  const double bw = effective_injection_bw(nodes, tasks_per_node, p2p_bytes);
+  const double latency =
+      p_.base_latency + (P - tasks_per_node) * p_.per_peer_latency;
+  return latency + bytes / bw;
+}
+
+double AlltoallModel::reported_bw_per_node(int nodes, int tasks_per_node,
+                                           double p2p_bytes) const {
+  const double P = static_cast<double>(nodes) * tasks_per_node;
+  const double t = time(nodes, tasks_per_node, p2p_bytes);
+  return 2.0 * p2p_bytes * P * tasks_per_node / t;
+}
+
+}  // namespace psdns::net

@@ -1,0 +1,202 @@
+#include "pipeline/async_fft.hpp"
+
+#include "gpu/copy.hpp"
+#include "util/check.hpp"
+
+namespace psdns::pipeline {
+
+using transpose::pencil_range;
+
+AsyncFft3d::AsyncFft3d(comm::Communicator& comm, std::size_t n, int np, int q)
+    : comm_(comm),
+      n_(n),
+      nxh_(n / 2 + 1),
+      np_(np),
+      q_(q),
+      transpose_(comm, transpose::SlabGrid{n / 2 + 1, n, n, comm.size()}),
+      plan_x_(fft::get_plan_r2c(n)),
+      plan_yz_(fft::get_plan(n)) {
+  PSDNS_REQUIRE(np_ >= 1 && q_ >= 1 && q_ <= np_, "bad pencil batching");
+  const int ngroups = (np_ + q_ - 1) / q_;
+  groups_.resize(static_cast<std::size_t>(ngroups));
+}
+
+void AsyncFft3d::stage_fft_y(fft::Direction dir, std::size_t x0,
+                             std::size_t x1,
+                             std::span<Complex* const> slabs) {
+  // "H2D" the pencil into the staging buffer, transform the y lines there,
+  // and copy it back ("D2H"). Buffer layout: [ii + w*(j + ny*kk)].
+  const std::size_t w = x1 - x0;
+  const std::size_t my_rows = n_ * transpose_.grid().mz();  // j + ny*kk rows
+  if (device_.size() < w * my_rows) device_.resize(w * my_rows);
+
+  for (Complex* slab : slabs) {
+    gpu::memcpy2d(device_.data(), w, slab + x0, nxh_, w, my_rows);
+    for (std::size_t kk = 0; kk < transpose_.grid().mz(); ++kk) {
+      for (std::size_t ii = 0; ii < w; ++ii) {
+        Complex* line = device_.data() + ii + w * n_ * kk;
+        plan_yz_->transform_strided(dir, line, static_cast<std::ptrdiff_t>(w),
+                                    line, static_cast<std::ptrdiff_t>(w));
+      }
+    }
+    gpu::memcpy2d(slab + x0, nxh_, device_.data(), w, w, my_rows);
+  }
+}
+
+void AsyncFft3d::inverse(std::span<const Complex* const> spec,
+                         std::span<Real* const> phys) {
+  PSDNS_REQUIRE(spec.size() == phys.size(), "variable count mismatch");
+  const std::size_t nv = spec.size();
+  const auto& g = transpose_.grid();
+
+  // Region 1 (Fig. 4): per pencil, stage in, inverse y transforms, stage
+  // out packed; post the nonblocking all-to-all as soon as a group's
+  // pencils are packed.
+  if (scratch_.size() < 2 * nv) scratch_.resize(2 * nv);
+  std::vector<Complex*> work(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    auto& s = scratch_[v];
+    if (s.size() < spectral_elems()) s.resize(spectral_elems());
+    std::copy(spec[v], spec[v] + spectral_elems(), s.data());
+    work[v] = s.data();
+  }
+
+  const int ngroups = static_cast<int>(groups_.size());
+  for (int gi = 0; gi < ngroups; ++gi) {
+    auto& grp = groups_[static_cast<std::size_t>(gi)];
+    grp.x0 = pencil_range(nxh_, np_, gi * q_).x0;
+    grp.x1 = pencil_range(nxh_, np_, std::min((gi + 1) * q_, np_) - 1).x1;
+
+    for (int ip = gi * q_; ip < std::min((gi + 1) * q_, np_); ++ip) {
+      const auto r = pencil_range(nxh_, np_, ip);
+      stage_fft_y(fft::Direction::Inverse, r.x0, r.x1,
+                  std::span<Complex* const>(work.data(), nv));
+    }
+
+    // Pack-on-copy (D2H doubles as the pack, Sec. 3.4) and nonblocking
+    // all-to-all for the whole group.
+    const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
+    const std::size_t total = block * static_cast<std::size_t>(comm_.size());
+    if (grp.send.size() < total) grp.send.resize(total);
+    if (grp.recv.size() < total) grp.recv.resize(total);
+    transpose_.pack_z(
+        std::span<const Complex* const>(
+            const_cast<const Complex* const*>(work.data()), nv),
+        grp.x0, grp.x1, grp.send);
+    grp.request = comm_.ialltoall(grp.send.data(), grp.recv.data(), block);
+  }
+
+  // Region 2/3: single MPI_WAIT per group, zero-copy unpack into Y-slabs,
+  // then the z and complex-to-real x transforms pencil by pencil.
+  std::vector<Complex*> yslab(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    auto& s = scratch_[nv + v];
+    if (s.size() < nxh_ * n_ * g.my()) s.resize(nxh_ * n_ * g.my());
+    yslab[v] = s.data();
+  }
+  for (auto& grp : groups_) {
+    grp.request.wait();
+    const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
+    transpose_.unpack_y(
+        std::span<const Complex>(grp.recv.data(),
+                                 block * static_cast<std::size_t>(
+                                             comm_.size())),
+        grp.x0, grp.x1, std::span<Complex* const>(yslab.data(), nv));
+
+    // z transforms inside the freshly arrived x-chunk.
+    for (std::size_t v = 0; v < nv; ++v) {
+      for (std::size_t jj = 0; jj < g.my(); ++jj) {
+        for (std::size_t i = grp.x0; i < grp.x1; ++i) {
+          Complex* line = yslab[v] + i + nxh_ * n_ * jj;
+          plan_yz_->transform_strided(fft::Direction::Inverse, line,
+                                      static_cast<std::ptrdiff_t>(nxh_), line,
+                                      static_cast<std::ptrdiff_t>(nxh_));
+        }
+      }
+    }
+  }
+
+  // Final complex-to-real x transforms (full x lines now local).
+  for (std::size_t v = 0; v < nv; ++v) {
+    for (std::size_t jj = 0; jj < g.my(); ++jj) {
+      for (std::size_t k = 0; k < n_; ++k) {
+        plan_x_->inverse(yslab[v] + nxh_ * (k + n_ * jj),
+                         phys[v] + n_ * (k + n_ * jj));
+      }
+    }
+  }
+}
+
+void AsyncFft3d::forward(std::span<const Real* const> phys,
+                         std::span<Complex* const> spec) {
+  PSDNS_REQUIRE(spec.size() == phys.size(), "variable count mismatch");
+  const std::size_t nv = spec.size();
+  const auto& g = transpose_.grid();
+
+  // Reverse of Fig. 4: real-to-complex x, then z transforms per pencil,
+  // pack + nonblocking all-to-all per group, then y transforms per pencil.
+  if (scratch_.size() < 2 * nv) scratch_.resize(2 * nv);
+  std::vector<Complex*> yslab(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    auto& s = scratch_[nv + v];
+    if (s.size() < nxh_ * n_ * g.my()) s.resize(nxh_ * n_ * g.my());
+    yslab[v] = s.data();
+    for (std::size_t jj = 0; jj < g.my(); ++jj) {
+      for (std::size_t k = 0; k < n_; ++k) {
+        plan_x_->forward(phys[v] + n_ * (k + n_ * jj),
+                         yslab[v] + nxh_ * (k + n_ * jj));
+      }
+    }
+  }
+
+  const int ngroups = static_cast<int>(groups_.size());
+  for (int gi = 0; gi < ngroups; ++gi) {
+    auto& grp = groups_[static_cast<std::size_t>(gi)];
+    grp.x0 = pencil_range(nxh_, np_, gi * q_).x0;
+    grp.x1 = pencil_range(nxh_, np_, std::min((gi + 1) * q_, np_) - 1).x1;
+
+    for (std::size_t v = 0; v < nv; ++v) {
+      for (std::size_t jj = 0; jj < g.my(); ++jj) {
+        for (std::size_t i = grp.x0; i < grp.x1; ++i) {
+          Complex* line = yslab[v] + i + nxh_ * n_ * jj;
+          plan_yz_->transform_strided(fft::Direction::Forward, line,
+                                      static_cast<std::ptrdiff_t>(nxh_), line,
+                                      static_cast<std::ptrdiff_t>(nxh_));
+        }
+      }
+    }
+
+    const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
+    const std::size_t total = block * static_cast<std::size_t>(comm_.size());
+    if (grp.send.size() < total) grp.send.resize(total);
+    if (grp.recv.size() < total) grp.recv.resize(total);
+    transpose_.pack_y(
+        std::span<const Complex* const>(
+            const_cast<const Complex* const*>(yslab.data()), nv),
+        grp.x0, grp.x1, grp.send);
+    grp.request = comm_.ialltoall(grp.send.data(), grp.recv.data(), block);
+  }
+
+  std::vector<Complex*> out(nv);
+  for (std::size_t v = 0; v < nv; ++v) out[v] = spec[v];
+  for (auto& grp : groups_) {
+    grp.request.wait();
+    const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
+    transpose_.unpack_z(
+        std::span<const Complex>(grp.recv.data(),
+                                 block * static_cast<std::size_t>(
+                                             comm_.size())),
+        grp.x0, grp.x1, std::span<Complex* const>(out.data(), nv));
+
+    for (int ip = static_cast<int>(&grp - groups_.data()) * q_;
+         ip < std::min((static_cast<int>(&grp - groups_.data()) + 1) * q_,
+                       np_);
+         ++ip) {
+      const auto r = pencil_range(nxh_, np_, ip);
+      stage_fft_y(fft::Direction::Forward, r.x0, r.x1,
+                  std::span<Complex* const>(out.data(), nv));
+    }
+  }
+}
+
+}  // namespace psdns::pipeline

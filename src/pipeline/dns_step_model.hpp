@@ -1,0 +1,72 @@
+#pragma once
+// Discrete-event co-simulation of one RK2 DNS step at Summit scale.
+//
+// The simulation builds the Fig.-4 operation DAG for the ranks of ONE
+// socket (weak-scaled runs are symmetric, so the socket's makespan is the
+// step time): per rank, a compute stream and a transfer stream per GPU,
+// plus an MPI lane; shared fluid links for the socket memory bus, each
+// GPU's NVLink, and the socket's NIC share. All-to-alls are flows whose
+// standalone rate comes from the calibrated net::AlltoallModel, so they
+// contend with CPU<->GPU traffic on the host bus exactly as the paper
+// observed (Sec. 5.2).
+//
+// One RK2 step = 2 substeps; each substep is two passes:
+//   Pass 1 (Fourier -> physical, 3 variables): per pencil H2D, y-FFTs,
+//     D2H+pack; all-to-all; per pencil zero-copy unpack, z-FFTs, x-FFTs
+//     (complex-to-real), nonlinear products; D2H of the 6 products.
+//   Pass 2 (physical -> Fourier, 6 variables): per pencil H2D, x-FFTs
+//     (real-to-complex), z-FFTs, D2H+pack; all-to-all; per pencil zero-copy
+//     unpack, y-FFTs, RHS/update kernel; D2H of the 3 updated velocities.
+//
+// The synchronous CPU baseline (Table 3's reference column) is modeled
+// analytically: FFT flops on all cores, the 2-D decomposition's row
+// (on-node) and column (off-node, per-variable messages) transposes, and
+// host pack/unpack sweeps.
+
+#include "hw/summit.hpp"
+#include "model/geometry.hpp"
+#include "net/alltoall_model.hpp"
+#include "pipeline/config.hpp"
+
+namespace psdns::pipeline {
+
+class DnsStepModel {
+ public:
+  explicit DnsStepModel(hw::MachineSpec machine = hw::summit(),
+                        net::AlltoallParams net_params = {});
+
+  /// One RK2 step of the asynchronous GPU code.
+  StepResult simulate_gpu_step(const PipelineConfig& cfg) const;
+
+  /// One RK2 step of the synchronous pencil-decomposed CPU code.
+  /// Uses 36 cores/node when N is divisible by 36, else 32 (Sec. 5).
+  double cpu_step_seconds(std::int64_t n, int nodes) const;
+
+  /// Only the MPI all-to-alls of one step (the Fig. 9 dotted lower bound):
+  /// 2 substeps x (3-variable + 6-variable) transposes at Q pencils per
+  /// call, back to back, no compute and no CPU<->GPU transfers.
+  double mpi_only_step_seconds(const PipelineConfig& cfg) const;
+
+  /// Time of a single blocking all-to-all of `nv` variables over `q`
+  /// pencils (the standalone kernel of Sec. 4.1).
+  double standalone_a2a_seconds(const PipelineConfig& cfg, int nv,
+                                int q) const;
+
+  const hw::MachineSpec& machine() const { return machine_; }
+  const net::AlltoallModel& network() const { return a2a_; }
+
+  /// Cores per node usable by the CPU code for problem size n.
+  static int cpu_cores_per_node(std::int64_t n);
+
+  /// Throws if the configuration is infeasible on the machine: the host
+  /// memory cannot hold the problem, or the 27 pencil-sized GPU buffers of
+  /// the asynchronous scheme (Sec. 3.5) exceed GPU memory at the chosen
+  /// pencil count.
+  void validate(const PipelineConfig& cfg) const;
+
+ private:
+  hw::MachineSpec machine_;
+  net::AlltoallModel a2a_;
+};
+
+}  // namespace psdns::pipeline

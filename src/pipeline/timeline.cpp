@@ -1,0 +1,89 @@
+#include "pipeline/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace psdns::pipeline {
+
+namespace {
+
+using sim::OpCategory;
+using sim::OpRecord;
+
+std::string paint_row(const std::vector<const OpRecord*>& ops, double t_end,
+                      int columns) {
+  std::string row(static_cast<std::size_t>(columns), '.');
+  for (const OpRecord* op : ops) {
+    if (op->finish <= op->start) continue;
+    const int c0 = std::clamp(
+        static_cast<int>(op->start / t_end * columns), 0, columns - 1);
+    const int c1 = std::clamp(
+        static_cast<int>(op->finish / t_end * columns), c0, columns - 1);
+    for (int c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = '#';
+  }
+  return row;
+}
+
+}  // namespace
+
+std::string render_timeline(const std::vector<OpRecord>& records,
+                            double t_end, const TimelineOptions& options) {
+  if (t_end <= 0.0) {
+    for (const auto& r : records) t_end = std::max(t_end, r.finish);
+  }
+  if (t_end <= 0.0) return "(empty timeline)\n";
+
+  std::ostringstream os;
+  if (options.show_lane_per_stream) {
+    std::map<std::string, std::vector<const OpRecord*>> lanes;
+    for (const auto& r : records) lanes[r.lane].push_back(&r);
+    std::size_t width = 0;
+    for (const auto& [name, ops] : lanes) width = std::max(width, name.size());
+    for (const auto& [name, ops] : lanes) {
+      os << name << std::string(width - name.size(), ' ') << " |"
+         << paint_row(ops, t_end, options.columns) << "|\n";
+    }
+  } else {
+    const std::pair<OpCategory, const char*> rows[] = {
+        {OpCategory::Mpi, "MPI      "},
+        {OpCategory::H2D, "H2D      "},
+        {OpCategory::D2H, "D2H+pack "},
+        {OpCategory::Compute, "compute  "},
+    };
+    for (const auto& [cat, label] : rows) {
+      std::vector<const OpRecord*> ops;
+      for (const auto& r : records) {
+        if (r.category == cat) ops.push_back(&r);
+      }
+      os << label << "|" << paint_row(ops, t_end, options.columns) << "|\n";
+    }
+  }
+  os << "          0" << std::string(static_cast<std::size_t>(
+                             std::max(0, options.columns - 10)),
+                                     ' ')
+     << util::format_time(t_end) << "\n";
+  return os.str();
+}
+
+std::string summarize_busy(const std::vector<OpRecord>& records,
+                           double t_end) {
+  std::ostringstream os;
+  const std::pair<OpCategory, const char*> cats[] = {
+      {OpCategory::Mpi, "MPI"},
+      {OpCategory::H2D, "H2D"},
+      {OpCategory::D2H, "D2H"},
+      {OpCategory::Compute, "compute"},
+  };
+  for (const auto& [cat, label] : cats) {
+    const double busy = sim::busy_time(records, cat);
+    os << label << ": " << util::format_time(busy) << " ("
+       << util::format_fixed(100.0 * busy / t_end, 1) << "%)  ";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace psdns::pipeline

@@ -1,0 +1,29 @@
+#pragma once
+// Text rendering of simulated op traces as normalized timelines - the
+// Fig.-10 view: one lane per category (MPI / transfer / compute), a fixed
+// number of character columns, '#' where at least one op of that category
+// is active.
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace psdns::pipeline {
+
+struct TimelineOptions {
+  int columns = 100;
+  bool show_lane_per_stream = false;  // true: one row per DAG lane instead
+                                      // of one row per category
+};
+
+/// Renders records in [0, t_end] (t_end defaults to the last finish).
+std::string render_timeline(const std::vector<sim::OpRecord>& records,
+                            double t_end = 0.0,
+                            const TimelineOptions& options = {});
+
+/// One-line per-category summary: busy seconds and share of t_end.
+std::string summarize_busy(const std::vector<sim::OpRecord>& records,
+                           double t_end);
+
+}  // namespace psdns::pipeline

@@ -1,0 +1,29 @@
+#include "sim/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace psdns::sim {
+
+void Engine::schedule_at(SimTime t, Callback cb) {
+  PSDNS_REQUIRE(t >= now_ - 1e-12, "cannot schedule an event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // Moving out of a priority_queue requires a const_cast on the top element;
+  // copy the small struct instead (Callback copy is cheap relative to the
+  // model work it triggers).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ev.cb();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace psdns::sim

@@ -1,0 +1,165 @@
+#include "sim/flow_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace psdns::sim {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+LinkId FlowNetwork::add_link(std::string name, double capacity) {
+  PSDNS_REQUIRE(capacity > 0.0, "link capacity must be positive");
+  links_.push_back(Link{std::move(name), capacity});
+  return links_.size() - 1;
+}
+
+void FlowNetwork::set_interference(int victim_klass, int aggressor_klass) {
+  interference_.emplace_back(victim_klass, aggressor_klass);
+}
+
+double FlowNetwork::effective_cap(const Flow& flow) const {
+  if (flow.interference_factor >= 1.0) return flow.cap;
+  for (const auto& [victim, aggressor] : interference_) {
+    if (flow.klass != victim) continue;
+    for (const auto& [id, other] : flows_) {
+      if (other.klass != aggressor || &other == &flow) continue;
+      for (const LinkId mine : flow.path) {
+        for (const LinkId theirs : other.path) {
+          if (mine == theirs) return flow.cap * flow.interference_factor;
+        }
+      }
+    }
+  }
+  return flow.cap;
+}
+
+FlowId FlowNetwork::start_flow(const std::vector<LinkId>& path, double bytes,
+                               double rate_cap,
+                               std::function<void()> on_complete, int klass,
+                               double interference_factor) {
+  PSDNS_REQUIRE(bytes >= 0.0, "flow size must be non-negative");
+  PSDNS_REQUIRE(rate_cap > 0.0, "flow rate cap must be positive");
+  for (const LinkId l : path) {
+    PSDNS_REQUIRE(l < links_.size(), "unknown link in flow path");
+  }
+
+  advance_to_now();
+  const FlowId id = next_flow_++;
+  if (bytes <= kEps) {
+    // Degenerate flow: completes immediately (still asynchronously, to keep
+    // callback ordering uniform).
+    engine_.schedule_after(0.0, std::move(on_complete));
+    return id;
+  }
+  flows_.emplace(id, Flow{path, bytes, rate_cap, 0.0, std::move(on_complete),
+                          klass, interference_factor});
+  reallocate();
+  schedule_next_completion();
+  return id;
+}
+
+double FlowNetwork::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNetwork::advance_to_now() {
+  const SimTime t = engine_.now();
+  const double dt = t - last_update_;
+  if (dt > 0.0) {
+    for (auto& [id, f] : flows_) {
+      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    }
+  }
+  last_update_ = t;
+}
+
+void FlowNetwork::reallocate() {
+  // Progressive filling (water-filling) for max-min fairness with per-flow
+  // caps: repeatedly freeze the most constrained flows at their bottleneck
+  // rate and subtract their share from every link they traverse.
+  std::vector<double> residual(links_.size());
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    residual[l] = links_[l].capacity;
+  }
+  std::vector<int> load(links_.size(), 0);
+  std::vector<FlowId> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    f.rate = 0.0;
+    unfrozen.push_back(id);
+    for (const LinkId l : f.path) ++load[l];
+  }
+
+  while (!unfrozen.empty()) {
+    // Tentative rate for each unfrozen flow: min over its links of the
+    // current equal share, also bounded by its cap.
+    double min_rate = std::numeric_limits<double>::infinity();
+    for (const FlowId id : unfrozen) {
+      const Flow& f = flows_.at(id);
+      double r = effective_cap(f);
+      for (const LinkId l : f.path) {
+        r = std::min(r, residual[l] / static_cast<double>(load[l]));
+      }
+      min_rate = std::min(min_rate, r);
+    }
+    PSDNS_CHECK(std::isfinite(min_rate) && min_rate > 0.0,
+                "water-filling produced a non-positive rate");
+
+    // Freeze every flow whose bottleneck equals the global minimum.
+    std::vector<FlowId> still;
+    still.reserve(unfrozen.size());
+    for (const FlowId id : unfrozen) {
+      Flow& f = flows_.at(id);
+      double r = effective_cap(f);
+      for (const LinkId l : f.path) {
+        r = std::min(r, residual[l] / static_cast<double>(load[l]));
+      }
+      if (r <= min_rate * (1.0 + 1e-9)) {
+        f.rate = min_rate;
+        for (const LinkId l : f.path) {
+          residual[l] -= min_rate;
+          --load[l];
+        }
+      } else {
+        still.push_back(id);
+      }
+    }
+    PSDNS_CHECK(still.size() < unfrozen.size(),
+                "water-filling failed to make progress");
+    unfrozen.swap(still);
+  }
+}
+
+void FlowNetwork::schedule_next_completion() {
+  if (flows_.empty()) return;
+  double dt = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : flows_) {
+    if (f.rate > 0.0) dt = std::min(dt, f.remaining / f.rate);
+  }
+  PSDNS_CHECK(std::isfinite(dt), "active flows but no positive rates");
+
+  const std::uint64_t gen = ++generation_;
+  engine_.schedule_after(dt, [this, gen] {
+    if (gen != generation_) return;  // superseded by a newer reallocation
+    advance_to_now();
+    std::vector<std::function<void()>> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->second.remaining <= 1e-6 * it->second.rate + kEps) {
+        done.push_back(std::move(it->second.on_complete));
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    reallocate();
+    schedule_next_completion();
+    for (auto& cb : done) cb();
+  });
+}
+
+}  // namespace psdns::sim

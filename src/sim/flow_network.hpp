@@ -1,0 +1,90 @@
+#pragma once
+// Fluid-flow bandwidth model with max-min fair sharing.
+//
+// Links represent shared bandwidth resources (a POWER9 socket's memory bus,
+// an NVLink bundle, a NIC). A flow pushes a byte count along a path of links;
+// its instantaneous rate is its max-min fair share, additionally capped by a
+// per-flow rate limit. Rates are recomputed whenever a flow starts or ends,
+// which is what lets the model reproduce the paper's observation that
+// CPU<->GPU traffic and MPI traffic sharing the host memory bus slow each
+// other down (Sec. 5.2).
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace psdns::sim {
+
+using LinkId = std::size_t;
+using FlowId = std::uint64_t;
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(Engine& engine) : engine_(engine) {}
+
+  /// Adds a link with `capacity` bytes/second.
+  LinkId add_link(std::string name, double capacity);
+
+  double link_capacity(LinkId id) const { return links_.at(id).capacity; }
+  const std::string& link_name(LinkId id) const { return links_.at(id).name; }
+
+  /// Starts a flow of `bytes` along `path` (may be empty: then the flow is
+  /// only bounded by `rate_cap`). `on_complete` fires on the engine when the
+  /// last byte drains.
+  ///
+  /// `klass` groups flows for interference modeling; a flow with
+  /// `interference_factor` < 1 has its rate cap multiplied by that factor
+  /// whenever a flow of an aggressor class (see set_interference) is active
+  /// on any of its links. This models DMA engines degrading each other
+  /// beyond what fair bandwidth sharing captures (e.g. NIC injection
+  /// suffering while NVLink transfers hammer the host memory controllers,
+  /// paper Sec. 5.2).
+  FlowId start_flow(const std::vector<LinkId>& path, double bytes,
+                    double rate_cap, std::function<void()> on_complete,
+                    int klass = 0, double interference_factor = 1.0);
+
+  /// Declares that active flows of `aggressor_klass` degrade flows of
+  /// `victim_klass` (by each victim's own interference_factor).
+  void set_interference(int victim_klass, int aggressor_klass);
+
+  /// Current fair-share rate of an active flow (0 if finished).
+  double flow_rate(FlowId id) const;
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+ private:
+  struct Link {
+    std::string name;
+    double capacity;
+  };
+  struct Flow {
+    std::vector<LinkId> path;
+    double remaining;
+    double cap;
+    double rate = 0.0;
+    std::function<void()> on_complete;
+    int klass = 0;
+    double interference_factor = 1.0;
+  };
+
+  double effective_cap(const Flow& flow) const;
+
+  void advance_to_now();
+  void reallocate();
+  void schedule_next_completion();
+
+  Engine& engine_;
+  std::vector<Link> links_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::vector<std::pair<int, int>> interference_;  // (victim, aggressor)
+  FlowId next_flow_ = 1;
+  SimTime last_update_ = 0.0;
+  std::uint64_t generation_ = 0;  // invalidates stale completion events
+};
+
+}  // namespace psdns::sim

@@ -1,0 +1,60 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace psdns::sim {
+
+const char* to_string(OpCategory c) {
+  switch (c) {
+    case OpCategory::H2D:
+      return "H2D";
+    case OpCategory::D2H:
+      return "D2H";
+    case OpCategory::Compute:
+      return "Compute";
+    case OpCategory::Unpack:
+      return "Unpack";
+    case OpCategory::Mpi:
+      return "MPI";
+    case OpCategory::Cpu:
+      return "CPU";
+    case OpCategory::Wait:
+      return "Wait";
+    case OpCategory::Other:
+      return "Other";
+  }
+  return "?";
+}
+
+double total_time(const std::vector<OpRecord>& records, OpCategory category) {
+  double sum = 0.0;
+  for (const auto& r : records) {
+    if (r.category == category) sum += r.duration();
+  }
+  return sum;
+}
+
+double busy_time(const std::vector<OpRecord>& records, OpCategory category) {
+  std::vector<std::pair<SimTime, SimTime>> spans;
+  for (const auto& r : records) {
+    if (r.category == category && r.finish > r.start) {
+      spans.emplace_back(r.start, r.finish);
+    }
+  }
+  std::sort(spans.begin(), spans.end());
+  double busy = 0.0;
+  SimTime cur_start = 0.0, cur_end = -1.0;
+  for (const auto& [s, e] : spans) {
+    if (s > cur_end) {
+      if (cur_end > cur_start) busy += cur_end - cur_start;
+      cur_start = s;
+      cur_end = e;
+    } else {
+      cur_end = std::max(cur_end, e);
+    }
+  }
+  if (cur_end > cur_start) busy += cur_end - cur_start;
+  return busy;
+}
+
+}  // namespace psdns::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Trace records emitted by the DAG runner. The pipeline module renders these
+// as the Fig.-10-style normalized timelines, and the benches aggregate them
+// into per-category cost breakdowns.
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace psdns::sim {
+
+/// Operation categories, matching the color coding of Fig. 4 in the paper:
+/// transfer stream (blue), compute stream (green), network (red).
+enum class OpCategory {
+  H2D,      // host-to-device copy
+  D2H,      // device-to-host copy (includes the pack-on-copy)
+  Compute,  // FFT / nonlinear-term kernels
+  Unpack,   // zero-copy unpack kernel
+  Mpi,      // all-to-all communication
+  Cpu,      // host-side work (CPU baseline compute, packing on host)
+  Wait,     // explicit MPI_WAIT
+  Other,
+};
+
+const char* to_string(OpCategory c);
+
+struct OpRecord {
+  std::string label;
+  std::string lane;
+  OpCategory category = OpCategory::Other;
+  SimTime start = 0.0;
+  SimTime finish = 0.0;
+
+  SimTime duration() const { return finish - start; }
+};
+
+/// Sum of durations of all records in one category (wall-clock overlap is
+/// NOT collapsed; use busy_time for that).
+double total_time(const std::vector<OpRecord>& records, OpCategory category);
+
+/// Length of the union of [start, finish) intervals in one category, i.e.
+/// wall-clock time during which at least one such op was active.
+double busy_time(const std::vector<OpRecord>& records, OpCategory category);
+
+}  // namespace psdns::sim

@@ -1,0 +1,227 @@
+#include "transpose/dist_fft.hpp"
+
+#include "util/check.hpp"
+
+namespace psdns::transpose {
+
+// ---------------------------------------------------------------- SlabFft3d
+
+SlabFft3d::SlabFft3d(comm::Communicator& comm, std::size_t n)
+    : comm_(comm),
+      n_(n),
+      transpose_(comm, SlabGrid{n / 2 + 1, n, n, comm.size()}),
+      plan_x_(fft::get_plan_r2c(n)),
+      plan_yz_(fft::get_plan(n)) {
+  PSDNS_REQUIRE(n >= 2, "grid too small");
+}
+
+void SlabFft3d::forward(std::span<const Real* const> phys,
+                        std::span<Complex* const> spec, int np, int q) {
+  PSDNS_REQUIRE(phys.size() == spec.size(), "variable count mismatch");
+  const std::size_t nv = phys.size();
+  const std::size_t h = nxh();
+  if (work_.size() < nv) work_.resize(nv);
+
+  std::vector<Complex*> yslabs(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    auto& w = work_[v];
+    if (w.size() < h * n_ * my()) w.resize(h * n_ * my());
+    yslabs[v] = w.data();
+
+    // x: real-to-complex on unit-stride lines.
+    for (std::size_t jj = 0; jj < my(); ++jj) {
+      for (std::size_t k = 0; k < n_; ++k) {
+        plan_x_->forward(phys[v] + n_ * (k + n_ * jj),
+                         w.data() + h * (k + n_ * jj));
+      }
+    }
+    // z: strided lines (stride nxh) inside the Y-slab.
+    for (std::size_t jj = 0; jj < my(); ++jj) {
+      for (std::size_t i = 0; i < h; ++i) {
+        Complex* line = w.data() + i + h * n_ * jj;
+        plan_yz_->transform_strided(fft::Direction::Forward, line,
+                                    static_cast<std::ptrdiff_t>(h), line,
+                                    static_cast<std::ptrdiff_t>(h));
+      }
+    }
+  }
+
+  // Global transpose to Z-slabs, batched as np pencils / q per all-to-all.
+  transpose_.y_to_z(
+      std::span<const Complex* const>(
+          const_cast<const Complex* const*>(yslabs.data()), nv),
+      spec, np, q);
+
+  // y: strided lines (stride nxh) inside the Z-slab.
+  for (std::size_t v = 0; v < nv; ++v) {
+    for (std::size_t kk = 0; kk < mz(); ++kk) {
+      for (std::size_t i = 0; i < h; ++i) {
+        Complex* line = spec[v] + i + h * n_ * kk;
+        plan_yz_->transform_strided(fft::Direction::Forward, line,
+                                    static_cast<std::ptrdiff_t>(h), line,
+                                    static_cast<std::ptrdiff_t>(h));
+      }
+    }
+  }
+}
+
+void SlabFft3d::inverse(std::span<const Complex* const> spec,
+                        std::span<Real* const> phys, int np, int q) {
+  PSDNS_REQUIRE(phys.size() == spec.size(), "variable count mismatch");
+  const std::size_t nv = phys.size();
+  const std::size_t h = nxh();
+  if (work_.size() < 2 * nv) work_.resize(2 * nv);
+
+  // y-inverse into scratch Z-slabs (the input stays const).
+  std::vector<Complex*> zslabs(nv), yslabs(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    auto& wz = work_[v];
+    if (wz.size() < h * n_ * mz()) wz.resize(h * n_ * mz());
+    zslabs[v] = wz.data();
+    std::copy(spec[v], spec[v] + spectral_elems(), wz.data());
+    for (std::size_t kk = 0; kk < mz(); ++kk) {
+      for (std::size_t i = 0; i < h; ++i) {
+        Complex* line = wz.data() + i + h * n_ * kk;
+        plan_yz_->transform_strided(fft::Direction::Inverse, line,
+                                    static_cast<std::ptrdiff_t>(h), line,
+                                    static_cast<std::ptrdiff_t>(h));
+      }
+    }
+    auto& wy = work_[nv + v];
+    if (wy.size() < h * n_ * my()) wy.resize(h * n_ * my());
+    yslabs[v] = wy.data();
+  }
+
+  transpose_.z_to_y(
+      std::span<const Complex* const>(
+          const_cast<const Complex* const*>(zslabs.data()), nv),
+      yslabs, np, q);
+
+  for (std::size_t v = 0; v < nv; ++v) {
+    Complex* w = yslabs[v];
+    // z-inverse.
+    for (std::size_t jj = 0; jj < my(); ++jj) {
+      for (std::size_t i = 0; i < h; ++i) {
+        Complex* line = w + i + h * n_ * jj;
+        plan_yz_->transform_strided(fft::Direction::Inverse, line,
+                                    static_cast<std::ptrdiff_t>(h), line,
+                                    static_cast<std::ptrdiff_t>(h));
+      }
+    }
+    // x: complex-to-real.
+    for (std::size_t jj = 0; jj < my(); ++jj) {
+      for (std::size_t k = 0; k < n_; ++k) {
+        plan_x_->inverse(w + h * (k + n_ * jj),
+                         phys[v] + n_ * (k + n_ * jj));
+      }
+    }
+  }
+}
+
+void SlabFft3d::forward(std::span<const Real> phys, std::span<Complex> spec,
+                        int np, int q) {
+  PSDNS_REQUIRE(phys.size() >= physical_elems(), "phys too small");
+  PSDNS_REQUIRE(spec.size() >= spectral_elems(), "spec too small");
+  const Real* p = phys.data();
+  Complex* s = spec.data();
+  forward(std::span<const Real* const>(&p, 1),
+          std::span<Complex* const>(&s, 1), np, q);
+}
+
+void SlabFft3d::inverse(std::span<const Complex> spec, std::span<Real> phys,
+                        int np, int q) {
+  PSDNS_REQUIRE(phys.size() >= physical_elems(), "phys too small");
+  PSDNS_REQUIRE(spec.size() >= spectral_elems(), "spec too small");
+  const Complex* s = spec.data();
+  Real* p = phys.data();
+  inverse(std::span<const Complex* const>(&s, 1),
+          std::span<Real* const>(&p, 1), np, q);
+}
+
+// -------------------------------------------------------------- PencilFft3d
+
+PencilFft3d::PencilFft3d(comm::Communicator& comm, std::size_t n, int pr,
+                         int pc)
+    : n_(n),
+      transpose_(comm, PencilGrid{n / 2 + 1, n, n, pr, pc}),
+      plan_x_(fft::get_plan_r2c(n)),
+      plan_yz_(fft::get_plan(n)) {
+  PSDNS_REQUIRE(n >= 2, "grid too small");
+}
+
+void PencilFft3d::forward(std::span<const Real> phys,
+                          std::span<Complex> spec) {
+  const auto& g = grid();
+  const std::size_t h = nxh(), yl = g.yl(), zl = g.zl();
+  const std::size_t w = x_range().width();
+  PSDNS_REQUIRE(phys.size() >= physical_elems(), "phys too small");
+  PSDNS_REQUIRE(spec.size() >= spectral_elems(), "spec too small");
+
+  if (px_.size() < h * yl * zl) px_.resize(h * yl * zl);
+  if (py_.size() < n_ * w * zl) py_.resize(n_ * w * zl);
+
+  // x: real-to-complex on unit-stride lines of the X-pencil.
+  for (std::size_t kk = 0; kk < zl; ++kk) {
+    for (std::size_t jj = 0; jj < yl; ++jj) {
+      plan_x_->forward(phys.data() + n_ * (jj + yl * kk),
+                       px_.data() + h * (jj + yl * kk));
+    }
+  }
+
+  // Row transpose, then y on contiguous lines of the Y-pencil.
+  transpose_.x_to_y(px_, py_);
+  for (std::size_t kk = 0; kk < zl; ++kk) {
+    for (std::size_t ii = 0; ii < w; ++ii) {
+      Complex* line = py_.data() + n_ * (ii + w * kk);
+      plan_yz_->transform(fft::Direction::Forward, line, line);
+    }
+  }
+
+  // Column transpose, then z on contiguous lines of the Z-pencil.
+  transpose_.y_to_z(py_, spec);
+  for (std::size_t jj = 0; jj < g.yl2(); ++jj) {
+    for (std::size_t ii = 0; ii < w; ++ii) {
+      Complex* line = spec.data() + n_ * (ii + w * jj);
+      plan_yz_->transform(fft::Direction::Forward, line, line);
+    }
+  }
+}
+
+void PencilFft3d::inverse(std::span<const Complex> spec,
+                          std::span<Real> phys) {
+  const auto& g = grid();
+  const std::size_t h = nxh(), yl = g.yl(), zl = g.zl();
+  const std::size_t w = x_range().width();
+  PSDNS_REQUIRE(phys.size() >= physical_elems(), "phys too small");
+  PSDNS_REQUIRE(spec.size() >= spectral_elems(), "spec too small");
+
+  if (px_.size() < h * yl * zl) px_.resize(h * yl * zl);
+  if (py_.size() < n_ * w * zl) py_.resize(n_ * w * zl);
+
+  // z-inverse on a scratch copy of the Z-pencil.
+  std::vector<Complex> pz(spec.begin(), spec.begin() + spectral_elems());
+  for (std::size_t jj = 0; jj < g.yl2(); ++jj) {
+    for (std::size_t ii = 0; ii < w; ++ii) {
+      Complex* line = pz.data() + n_ * (ii + w * jj);
+      plan_yz_->transform(fft::Direction::Inverse, line, line);
+    }
+  }
+
+  transpose_.z_to_y(pz, py_);
+  for (std::size_t kk = 0; kk < zl; ++kk) {
+    for (std::size_t ii = 0; ii < w; ++ii) {
+      Complex* line = py_.data() + n_ * (ii + w * kk);
+      plan_yz_->transform(fft::Direction::Inverse, line, line);
+    }
+  }
+
+  transpose_.y_to_x(py_, px_);
+  for (std::size_t kk = 0; kk < zl; ++kk) {
+    for (std::size_t jj = 0; jj < yl; ++jj) {
+      plan_x_->inverse(px_.data() + h * (jj + yl * kk),
+                       phys.data() + n_ * (jj + yl * kk));
+    }
+  }
+}
+
+}  // namespace psdns::transpose

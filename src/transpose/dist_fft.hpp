@@ -1,0 +1,98 @@
+#pragma once
+// Distributed 3-D real<->complex FFTs on top of the slab and pencil
+// transposes. These are the "standalone 3D FFT" building blocks the paper's
+// DNS is structured around (Sec. 2: the DNS shares its structure and
+// performance with 3D FFTs). Transform order follows the paper: x, z, y
+// going physical->spectral; y, z, x coming back (Sec. 3.3).
+//
+// Both classes are unnormalized: inverse(forward(u)) == N^3 * u.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "fft/plan.hpp"
+#include "fft/real.hpp"
+#include "fft/types.hpp"
+#include "transpose/pencil.hpp"
+#include "transpose/slab.hpp"
+
+namespace psdns::transpose {
+
+using fft::Complex;
+using fft::Real;
+
+/// Slab-decomposed transform (the new GPU code's layout).
+///
+/// Physical layout (Y-slabs): r[x + n*(k + n*jj)], y = rank*my + jj.
+/// Spectral layout (Z-slabs): a[i + nxh*(j + n*kk)], k = rank*mz + kk.
+class SlabFft3d {
+ public:
+  SlabFft3d(comm::Communicator& comm, std::size_t n);
+
+  std::size_t n() const { return n_; }
+  std::size_t nxh() const { return n_ / 2 + 1; }
+  std::size_t my() const { return grid().my(); }
+  std::size_t mz() const { return grid().mz(); }
+  const SlabGrid& grid() const { return transpose_.grid(); }
+
+  std::size_t physical_elems() const { return n_ * n_ * my(); }
+  std::size_t spectral_elems() const { return nxh() * n_ * mz(); }
+
+  /// Physical -> spectral, one or more variables at once. np/q control the
+  /// pencil batching of the transpose (np pencils, q per all-to-all).
+  void forward(std::span<const Real* const> phys,
+               std::span<Complex* const> spec, int np = 1, int q = 1);
+  void inverse(std::span<const Complex* const> spec,
+               std::span<Real* const> phys, int np = 1, int q = 1);
+
+  /// Single-variable convenience overloads.
+  void forward(std::span<const Real> phys, std::span<Complex> spec,
+               int np = 1, int q = 1);
+  void inverse(std::span<const Complex> spec, std::span<Real> phys,
+               int np = 1, int q = 1);
+
+ private:
+  comm::Communicator& comm_;
+  std::size_t n_;
+  SlabTranspose transpose_;
+  std::shared_ptr<const fft::PlanR2C> plan_x_;
+  std::shared_ptr<const fft::PlanC2C> plan_yz_;
+  std::vector<std::vector<Complex>> work_;  // per-variable Y-slab scratch
+};
+
+/// Pencil-decomposed transform (the CPU baseline's layout).
+///
+/// Physical layout (X-pencils): r[x + n*(jj + yl*kk)],
+///   y = row_rank*yl + jj, z = col_rank*zl + kk.
+/// Spectral layout (Z-pencils): pz[k + n*(ii + w*jj)],
+///   kx = x_range().x0 + ii, ky = col_rank*yl2 + jj.
+class PencilFft3d {
+ public:
+  PencilFft3d(comm::Communicator& comm, std::size_t n, int pr, int pc);
+
+  std::size_t n() const { return n_; }
+  std::size_t nxh() const { return n_ / 2 + 1; }
+  const PencilGrid& grid() const { return transpose_.grid(); }
+  PencilRange x_range() const { return transpose_.x_range(); }
+
+  std::size_t physical_elems() const {
+    return n_ * grid().yl() * grid().zl();
+  }
+  std::size_t spectral_elems() const {
+    return n_ * x_range().width() * grid().yl2();
+  }
+
+  void forward(std::span<const Real> phys, std::span<Complex> spec);
+  void inverse(std::span<const Complex> spec, std::span<Real> phys);
+
+ private:
+  std::size_t n_;
+  PencilTranspose transpose_;
+  std::shared_ptr<const fft::PlanR2C> plan_x_;
+  std::shared_ptr<const fft::PlanC2C> plan_yz_;
+  std::vector<Complex> px_, py_;  // intermediate layouts
+};
+
+}  // namespace psdns::transpose

@@ -1,0 +1,175 @@
+#include "transpose/slab.hpp"
+
+#include "gpu/copy.hpp"
+#include "util/check.hpp"
+
+namespace psdns::transpose {
+
+void SlabGrid::validate() const {
+  PSDNS_REQUIRE(nxh >= 1 && ny >= 1 && nz >= 1, "empty grid");
+  PSDNS_REQUIRE(ranks >= 1, "need at least one rank");
+  PSDNS_REQUIRE(ny % static_cast<std::size_t>(ranks) == 0,
+                "ny must be divisible by the rank count (load balance)");
+  PSDNS_REQUIRE(nz % static_cast<std::size_t>(ranks) == 0,
+                "nz must be divisible by the rank count (load balance)");
+}
+
+PencilRange pencil_range(std::size_t nxh, int np, int ip) {
+  PSDNS_REQUIRE(np >= 1 && ip >= 0 && ip < np, "bad pencil index");
+  const std::size_t base = nxh / static_cast<std::size_t>(np);
+  const std::size_t x0 = base * static_cast<std::size_t>(ip);
+  const std::size_t x1 =
+      ip == np - 1 ? nxh : base * static_cast<std::size_t>(ip + 1);
+  return PencilRange{x0, x1};
+}
+
+SlabTranspose::SlabTranspose(comm::Communicator& comm, SlabGrid grid)
+    : comm_(comm), grid_(grid) {
+  grid_.validate();
+  PSDNS_REQUIRE(grid_.ranks == comm.size(),
+                "grid rank count must match the communicator");
+}
+
+void SlabTranspose::pack_z(std::span<const Complex* const> vars_a,
+                           std::size_t x0, std::size_t x1,
+                           std::span<Complex> send) const {
+  const std::size_t w = x1 - x0;
+  const std::size_t my = grid_.my(), mz = grid_.mz();
+  const std::size_t block = block_elems(w, vars_a.size());
+  PSDNS_REQUIRE(send.size() >= block * static_cast<std::size_t>(comm_.size()),
+                "send buffer too small");
+
+  for (int q = 0; q < comm_.size(); ++q) {
+    Complex* out = send.data() + static_cast<std::size_t>(q) * block;
+    for (std::size_t v = 0; v < vars_a.size(); ++v) {
+      for (std::size_t kk = 0; kk < mz; ++kk) {
+        // my rows of w contiguous elements: jj-th row starts at y index
+        // q*my + jj within this local z-plane.
+        const Complex* src =
+            vars_a[v] + x0 +
+            grid_.nxh * (static_cast<std::size_t>(q) * my + grid_.ny * kk);
+        Complex* dst = out + w * my * (kk + mz * v);
+        gpu::memcpy2d(dst, w, src, grid_.nxh, w, my);
+      }
+    }
+  }
+}
+
+void SlabTranspose::unpack_y(std::span<const Complex> recv, std::size_t x0,
+                             std::size_t x1,
+                             std::span<Complex* const> vars_b) const {
+  const std::size_t w = x1 - x0;
+  const std::size_t my = grid_.my(), mz = grid_.mz();
+  const std::size_t block = block_elems(w, vars_b.size());
+
+  for (int p = 0; p < comm_.size(); ++p) {
+    const Complex* in = recv.data() + static_cast<std::size_t>(p) * block;
+    for (std::size_t v = 0; v < vars_b.size(); ++v) {
+      for (std::size_t jj = 0; jj < my; ++jj) {
+        // mz rows: the kk-th row lands at z index p*mz + kk of local y jj.
+        const Complex* src = in + w * (jj + my * mz * v);
+        Complex* dst =
+            vars_b[v] + x0 +
+            grid_.nxh * (static_cast<std::size_t>(p) * mz + grid_.nz * jj);
+        // Source rows are strided by w*my (kk-major within the block).
+        gpu::memcpy2d(dst, grid_.nxh, src, w * my, w, mz);
+      }
+    }
+  }
+}
+
+void SlabTranspose::pack_y(std::span<const Complex* const> vars_b,
+                           std::size_t x0, std::size_t x1,
+                           std::span<Complex> send) const {
+  const std::size_t w = x1 - x0;
+  const std::size_t my = grid_.my(), mz = grid_.mz();
+  const std::size_t block = block_elems(w, vars_b.size());
+  PSDNS_REQUIRE(send.size() >= block * static_cast<std::size_t>(comm_.size()),
+                "send buffer too small");
+
+  for (int q = 0; q < comm_.size(); ++q) {
+    Complex* out = send.data() + static_cast<std::size_t>(q) * block;
+    for (std::size_t v = 0; v < vars_b.size(); ++v) {
+      for (std::size_t jj = 0; jj < my; ++jj) {
+        const Complex* src =
+            vars_b[v] + x0 +
+            grid_.nxh * (static_cast<std::size_t>(q) * mz + grid_.nz * jj);
+        Complex* dst = out + w * mz * (jj + my * v);
+        gpu::memcpy2d(dst, w, src, grid_.nxh, w, mz);
+      }
+    }
+  }
+}
+
+void SlabTranspose::unpack_z(std::span<const Complex> recv, std::size_t x0,
+                             std::size_t x1,
+                             std::span<Complex* const> vars_a) const {
+  const std::size_t w = x1 - x0;
+  const std::size_t my = grid_.my(), mz = grid_.mz();
+  const std::size_t block = block_elems(w, vars_a.size());
+
+  for (int p = 0; p < comm_.size(); ++p) {
+    const Complex* in = recv.data() + static_cast<std::size_t>(p) * block;
+    for (std::size_t v = 0; v < vars_a.size(); ++v) {
+      for (std::size_t kk = 0; kk < mz; ++kk) {
+        const Complex* src = in + w * (kk + mz * my * v);
+        Complex* dst =
+            vars_a[v] + x0 +
+            grid_.nxh * (static_cast<std::size_t>(p) * my + grid_.ny * kk);
+        // jj-major: source rows strided by w*mz; destination rows strided by
+        // nxh (consecutive y).
+        gpu::memcpy2d(dst, grid_.nxh, src, w * mz, w, my);
+      }
+    }
+  }
+}
+
+void SlabTranspose::z_to_y_chunk(std::span<const Complex* const> vars_a,
+                                 std::span<Complex* const> vars_b,
+                                 std::size_t x0, std::size_t x1) {
+  PSDNS_REQUIRE(x1 > x0 && x1 <= grid_.nxh, "bad x-chunk");
+  PSDNS_REQUIRE(vars_a.size() == vars_b.size(), "variable count mismatch");
+  const std::size_t block = block_elems(x1 - x0, vars_a.size());
+  const std::size_t total = block * static_cast<std::size_t>(comm_.size());
+  if (send_.size() < total) send_.resize(total);
+  if (recv_.size() < total) recv_.resize(total);
+  pack_z(vars_a, x0, x1, send_);
+  comm_.alltoall(send_.data(), recv_.data(), block);
+  unpack_y(std::span<const Complex>(recv_.data(), total), x0, x1, vars_b);
+}
+
+void SlabTranspose::y_to_z_chunk(std::span<const Complex* const> vars_b,
+                                 std::span<Complex* const> vars_a,
+                                 std::size_t x0, std::size_t x1) {
+  PSDNS_REQUIRE(x1 > x0 && x1 <= grid_.nxh, "bad x-chunk");
+  PSDNS_REQUIRE(vars_a.size() == vars_b.size(), "variable count mismatch");
+  const std::size_t block = block_elems(x1 - x0, vars_b.size());
+  const std::size_t total = block * static_cast<std::size_t>(comm_.size());
+  if (send_.size() < total) send_.resize(total);
+  if (recv_.size() < total) recv_.resize(total);
+  pack_y(vars_b, x0, x1, send_);
+  comm_.alltoall(send_.data(), recv_.data(), block);
+  unpack_z(std::span<const Complex>(recv_.data(), total), x0, x1, vars_a);
+}
+
+void SlabTranspose::z_to_y(std::span<const Complex* const> vars_a,
+                           std::span<Complex* const> vars_b, int np, int q) {
+  PSDNS_REQUIRE(np >= 1 && q >= 1, "bad pencil grouping");
+  for (int ip = 0; ip < np; ip += q) {
+    const auto lo = pencil_range(grid_.nxh, np, ip);
+    const auto hi = pencil_range(grid_.nxh, np, std::min(ip + q, np) - 1);
+    z_to_y_chunk(vars_a, vars_b, lo.x0, hi.x1);
+  }
+}
+
+void SlabTranspose::y_to_z(std::span<const Complex* const> vars_b,
+                           std::span<Complex* const> vars_a, int np, int q) {
+  PSDNS_REQUIRE(np >= 1 && q >= 1, "bad pencil grouping");
+  for (int ip = 0; ip < np; ip += q) {
+    const auto lo = pencil_range(grid_.nxh, np, ip);
+    const auto hi = pencil_range(grid_.nxh, np, std::min(ip + q, np) - 1);
+    y_to_z_chunk(vars_b, vars_a, lo.x0, hi.x1);
+  }
+}
+
+}  // namespace psdns::transpose

@@ -1,0 +1,47 @@
+#pragma once
+// Cache-line / SIMD aligned storage. DNS fields and FFT work buffers use
+// 64-byte alignment so that the innermost (unit-stride) dimension vectorizes.
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace psdns::util {
+
+inline constexpr std::size_t kAlignment = 64;
+
+/// Minimal standard allocator returning 64-byte aligned memory.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    // std::aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes =
+        ((n * sizeof(T) + kAlignment - 1) / kAlignment) * kAlignment;
+    void* p = std::aligned_alloc(kAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace psdns::util

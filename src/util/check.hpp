@@ -1,0 +1,54 @@
+#pragma once
+// Error handling primitives used across psdns.
+//
+// PSDNS_REQUIRE  - precondition/argument validation; always on.
+// PSDNS_CHECK    - internal invariant check; always on (the library is not
+//                  performance-bound by these paths).
+// psdns::util::Error - exception carrying a formatted message and location.
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace psdns::util {
+
+/// Exception thrown by all psdns validation failures.
+class Error : public std::runtime_error {
+ public:
+  Error(const std::string& what, std::source_location loc)
+      : std::runtime_error(format(what, loc)) {}
+
+ private:
+  static std::string format(const std::string& what, std::source_location loc) {
+    std::ostringstream os;
+    os << loc.file_name() << ":" << loc.line() << " (" << loc.function_name()
+       << "): " << what;
+    return os.str();
+  }
+};
+
+[[noreturn]] inline void raise(const std::string& msg,
+                               std::source_location loc =
+                                   std::source_location::current()) {
+  throw Error(msg, loc);
+}
+
+}  // namespace psdns::util
+
+#define PSDNS_REQUIRE(cond, msg)                            \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::psdns::util::raise(std::string("requirement `" #cond \
+                                       "` failed: ") +      \
+                           (msg));                          \
+    }                                                       \
+  } while (false)
+
+#define PSDNS_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::psdns::util::raise(std::string("invariant `" #cond "` violated: ") + \
+                           (msg));                                          \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,24 @@
+#pragma once
+// Minimal command-line flag parsing for examples: --name=value or --flag.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace psdns::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace psdns::util

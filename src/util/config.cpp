@@ -1,0 +1,106 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace psdns::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Config Config::from_string(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+    const auto eq = stripped.find('=');
+    PSDNS_REQUIRE(eq != std::string::npos,
+                  "config line " + std::to_string(lineno) +
+                      " is not 'key = value': " + stripped);
+    const std::string key = trim(stripped.substr(0, eq));
+    PSDNS_REQUIRE(!key.empty(), "config line " + std::to_string(lineno) +
+                                    " has an empty key");
+    cfg.values_[key] = trim(stripped.substr(eq + 1));
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  PSDNS_REQUIRE(in.good(), "cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_string(buf.str());
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string Config::get(const std::string& key,
+                        const std::string& fallback) const {
+  touched_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  touched_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  PSDNS_REQUIRE(end != it->second.c_str() && *end == '\0',
+                "config key '" + key + "' is not an integer: " + it->second);
+  return v;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  touched_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  PSDNS_REQUIRE(end != it->second.c_str() && *end == '\0',
+                "config key '" + key + "' is not a number: " + it->second);
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  touched_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  PSDNS_REQUIRE(false, "config key '" + key + "' is not a boolean: " + v);
+  return fallback;
+}
+
+std::set<std::string> Config::unused_keys() const {
+  std::set<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (!touched_.contains(key)) unused.insert(key);
+  }
+  return unused;
+}
+
+}  // namespace psdns::util

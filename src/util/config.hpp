@@ -1,0 +1,36 @@
+#pragma once
+// Minimal key = value configuration files for the production driver:
+// comments with '#', blank lines ignored, values are raw strings with
+// typed accessors. Unknown keys can be enumerated so drivers can reject
+// typos instead of silently ignoring them.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace psdns::util {
+
+class Config {
+ public:
+  static Config from_string(const std::string& text);
+  static Config from_file(const std::string& path);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys present in the file but never read through any accessor; call
+  /// after parsing a config to reject misspelled options.
+  std::set<std::string> unused_keys() const;
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> touched_;
+};
+
+}  // namespace psdns::util

@@ -1,0 +1,42 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace psdns::util {
+
+namespace {
+std::string printf_str(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  const double abs = std::fabs(bytes);
+  if (abs >= 1e9) return printf_str("%.2f GB", bytes / 1e9);
+  if (abs >= 1e6) return printf_str("%.2f MB", bytes / 1e6);
+  if (abs >= 1e3) return printf_str("%.1f KB", bytes / 1e3);
+  return printf_str("%.0f B", bytes);
+}
+
+std::string format_fixed(double value, int decimals) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof fmt, "%%.%df", decimals);
+  return printf_str(fmt, value);
+}
+
+std::string format_problem(std::int64_t n) {
+  return std::to_string(n) + "^3";
+}
+
+std::string format_time(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return printf_str("%.2f s", seconds);
+  if (abs >= 1e-3) return printf_str("%.2f ms", seconds * 1e3);
+  if (abs >= 1e-6) return printf_str("%.2f us", seconds * 1e6);
+  return printf_str("%.1f ns", seconds * 1e9);
+}
+
+}  // namespace psdns::util

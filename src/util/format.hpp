@@ -1,0 +1,22 @@
+#pragma once
+// Human-readable formatting helpers for bench/report output.
+
+#include <cstdint>
+#include <string>
+
+namespace psdns::util {
+
+/// "12.0 MB", "1.90 GB", "53 KB" - binary prefixes are NOT used; the paper
+/// reports sizes in decimal MB/GB, so we match that convention.
+std::string format_bytes(double bytes);
+
+/// "36.5" style fixed formatting with the given number of decimals.
+std::string format_fixed(double value, int decimals);
+
+/// "12288^3" style problem-size label.
+std::string format_problem(std::int64_t n);
+
+/// Seconds with adaptive precision: "14.24 s", "870 ms", "53 us".
+std::string format_time(double seconds);
+
+}  // namespace psdns::util

@@ -1,0 +1,24 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace psdns::util {
+
+double Rng::gaussian() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  cached_ = v * mul;
+  have_cached_ = true;
+  return u * mul;
+}
+
+}  // namespace psdns::util

@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// DNS initial conditions and synthetic workloads must be reproducible across
+// runs and independent of the number of worker threads, so every consumer
+// derives its own counter-based stream from a (seed, stream-id) pair instead
+// of sharing a global engine.
+
+#include <cstdint>
+
+namespace psdns::util {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used both directly and to
+/// seed per-stream state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** with per-stream seeding; supports uniform and Gaussian draws.
+class Rng {
+ public:
+  /// Streams derived from the same seed but different ids are independent.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream_id = 0) {
+    SplitMix64 sm(seed ^ (0xA5A5A5A55A5A5A5AULL * (stream_id + 1)));
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double gaussian();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace psdns::util

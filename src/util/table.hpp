@@ -1,0 +1,27 @@
+#pragma once
+// Fixed-width text table used by the bench harnesses to print rows in the
+// same layout as the paper's tables.
+
+#include <string>
+#include <vector>
+
+namespace psdns::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with column-aligned cells and a header separator.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psdns::util

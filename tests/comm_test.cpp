@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace psdns::comm {
+namespace {
+
+TEST(RunRanks, AllRanksExecuteWithDistinctIds) {
+  std::atomic<int> mask{0};
+  run_ranks(4, [&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    mask.fetch_or(1 << comm.rank());
+  });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(RunRanks, SingleRankWorks) {
+  run_ranks(1, [](Communicator& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    comm.barrier();
+    EXPECT_EQ(comm.allreduce_sum(5), 5);
+  });
+}
+
+TEST(RunRanks, PropagatesException) {
+  EXPECT_THROW(
+      run_ranks(2,
+                [](Communicator& comm) {
+                  if (comm.rank() == 1) {
+                    PSDNS_REQUIRE(false, "rank 1 exploded");
+                  }
+                }),
+      util::Error);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  // Each rank increments a counter before the barrier; after the barrier
+  // every rank must observe the full count.
+  std::atomic<int> before{0};
+  run_ranks(4, [&](Communicator& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(before.load(), 4);
+  });
+}
+
+TEST(Alltoall, ExchangesBlocksByRank) {
+  const int P = 4;
+  const std::size_t count = 3;
+  run_ranks(P, [&](Communicator& comm) {
+    std::vector<int> send(P * count), recv(P * count, -1);
+    // Block for rank r holds value 100*me + r repeated.
+    for (int r = 0; r < P; ++r) {
+      for (std::size_t i = 0; i < count; ++i) {
+        send[r * count + i] = 100 * comm.rank() + r;
+      }
+    }
+    comm.alltoall(send.data(), recv.data(), count);
+    for (int r = 0; r < P; ++r) {
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(recv[r * count + i], 100 * r + comm.rank());
+      }
+    }
+  });
+}
+
+TEST(Alltoall, SelfBlockDelivered) {
+  run_ranks(3, [](Communicator& comm) {
+    std::vector<int> send{10 + comm.rank(), 20 + comm.rank(),
+                          30 + comm.rank()};
+    std::vector<int> recv(3, -1);
+    comm.alltoall(send.data(), recv.data(), 1);
+    EXPECT_EQ(recv[comm.rank()], (comm.rank() + 1) * 10 + comm.rank());
+  });
+}
+
+TEST(Alltoall, RepeatedCallsDoNotInterfere) {
+  run_ranks(4, [](Communicator& comm) {
+    for (int iter = 0; iter < 10; ++iter) {
+      std::vector<int> send(4), recv(4);
+      for (int r = 0; r < 4; ++r) send[r] = 1000 * iter + comm.rank();
+      comm.alltoall(send.data(), recv.data(), 1);
+      for (int r = 0; r < 4; ++r) EXPECT_EQ(recv[r], 1000 * iter + r);
+    }
+  });
+}
+
+TEST(Ialltoall, CompletesAtWait) {
+  run_ranks(4, [](Communicator& comm) {
+    std::vector<int> send(4), recv(4, -1);
+    for (int r = 0; r < 4; ++r) send[r] = comm.rank() * 10 + r;
+    Request req = comm.ialltoall(send.data(), recv.data(), 1);
+    EXPECT_TRUE(req.valid());
+    req.wait();
+    EXPECT_FALSE(req.valid());
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(recv[r], r * 10 + comm.rank());
+  });
+}
+
+TEST(Ialltoall, WaitOnConsumedRequestThrows) {
+  run_ranks(2, [](Communicator& comm) {
+    std::vector<int> send(2), recv(2);
+    Request req = comm.ialltoall(send.data(), recv.data(), 1);
+    req.wait();
+    EXPECT_THROW(req.wait(), util::Error);
+  });
+}
+
+TEST(Alltoallv, VariableBlockSizes) {
+  // Rank r sends r+1 elements to every destination.
+  const int P = 3;
+  run_ranks(P, [&](Communicator& comm) {
+    const std::size_t mine = static_cast<std::size_t>(comm.rank()) + 1;
+    std::vector<double> send(mine * P);
+    std::vector<std::size_t> scounts(P, mine), sdispls(P);
+    for (int r = 0; r < P; ++r) {
+      sdispls[r] = static_cast<std::size_t>(r) * mine;
+      for (std::size_t i = 0; i < mine; ++i) {
+        send[sdispls[r] + i] = comm.rank() * 100 + r;
+      }
+    }
+    std::vector<std::size_t> rcounts(P), rdispls(P);
+    std::size_t total = 0;
+    for (int r = 0; r < P; ++r) {
+      rcounts[r] = static_cast<std::size_t>(r) + 1;
+      rdispls[r] = total;
+      total += rcounts[r];
+    }
+    std::vector<double> recv(total, -1.0);
+    comm.alltoallv(send.data(), scounts.data(), sdispls.data(), recv.data(),
+                   rcounts.data(), rdispls.data());
+    for (int r = 0; r < P; ++r) {
+      for (std::size_t i = 0; i < rcounts[r]; ++i) {
+        EXPECT_DOUBLE_EQ(recv[rdispls[r] + i], r * 100 + comm.rank());
+      }
+    }
+  });
+}
+
+TEST(Allreduce, SumAcrossRanks) {
+  run_ranks(5, [](Communicator& comm) {
+    EXPECT_EQ(comm.allreduce_sum(comm.rank() + 1), 15);
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(0.5), 2.5);
+  });
+}
+
+TEST(Allreduce, VectorSumInPlace) {
+  run_ranks(3, [](Communicator& comm) {
+    std::vector<double> v{1.0 * comm.rank(), 10.0};
+    comm.allreduce_sum(v.data(), v.data(), 2);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);  // 0+1+2
+    EXPECT_DOUBLE_EQ(v[1], 30.0);
+  });
+}
+
+TEST(Allreduce, Max) {
+  run_ranks(4, [](Communicator& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(comm.rank())),
+                     3.0);
+  });
+}
+
+TEST(Broadcast, RootValueReachesAll) {
+  run_ranks(4, [](Communicator& comm) {
+    std::vector<int> data(3, comm.rank() == 2 ? 7 : -1);
+    comm.broadcast(data.data(), 3, 2);
+    for (const int v : data) EXPECT_EQ(v, 7);
+  });
+}
+
+TEST(Gather, RootCollectsRankOrderedBlocks) {
+  run_ranks(4, [](Communicator& comm) {
+    std::vector<int> send{comm.rank() * 10, comm.rank() * 10 + 1};
+    std::vector<int> recv(comm.rank() == 1 ? 8 : 0);
+    comm.gather(send.data(), recv.data(), 2, /*root=*/1);
+    if (comm.rank() == 1) {
+      EXPECT_EQ(recv, (std::vector<int>{0, 1, 10, 11, 20, 21, 30, 31}));
+    }
+  });
+}
+
+TEST(Scatter, BlocksReachTheRightRanks) {
+  run_ranks(3, [](Communicator& comm) {
+    std::vector<double> send;
+    if (comm.rank() == 0) send = {0.5, 1.5, 2.5};
+    std::vector<double> recv(1, -1.0);
+    comm.scatter(send.data(), recv.data(), 1, /*root=*/0);
+    EXPECT_DOUBLE_EQ(recv[0], comm.rank() + 0.5);
+  });
+}
+
+TEST(GatherScatter, RoundTrip) {
+  run_ranks(4, [](Communicator& comm) {
+    std::vector<int> mine{comm.rank(), comm.rank() * comm.rank()};
+    std::vector<int> all(comm.rank() == 0 ? 8 : 0);
+    comm.gather(mine.data(), all.data(), 2, 0);
+    std::vector<int> back(2, -1);
+    comm.scatter(all.data(), back.data(), 2, 0);
+    EXPECT_EQ(back, mine);
+  });
+}
+
+TEST(Split, RowColumnGrid) {
+  // 6 ranks as a 2x3 grid: row communicators of size 3, column of size 2.
+  run_ranks(6, [](Communicator& comm) {
+    const int row = comm.rank() / 3;
+    const int col = comm.rank() % 3;
+    Communicator row_comm = comm.split(row, col);
+    Communicator col_comm = comm.split(col, row);
+    EXPECT_EQ(row_comm.size(), 3);
+    EXPECT_EQ(row_comm.rank(), col);
+    EXPECT_EQ(col_comm.size(), 2);
+    EXPECT_EQ(col_comm.rank(), row);
+
+    // Collectives on the subcommunicators work independently.
+    EXPECT_EQ(row_comm.allreduce_sum(1), 3);
+    EXPECT_EQ(col_comm.allreduce_sum(comm.rank()), col + (col + 3));
+  });
+}
+
+TEST(Split, AlltoallWithinSubcommunicator) {
+  run_ranks(4, [](Communicator& comm) {
+    Communicator half = comm.split(comm.rank() / 2, comm.rank());
+    std::vector<int> send{comm.rank() * 10, comm.rank() * 10 + 1};
+    std::vector<int> recv(2, -1);
+    half.alltoall(send.data(), recv.data(), 1);
+    const int partner0 = (comm.rank() / 2) * 2;
+    EXPECT_EQ(recv[0], partner0 * 10 + half.rank());
+    EXPECT_EQ(recv[1], (partner0 + 1) * 10 + half.rank());
+  });
+}
+
+TEST(Split, KeyControlsOrdering) {
+  // Reverse ordering via descending keys.
+  run_ranks(3, [](Communicator& comm) {
+    Communicator rev = comm.split(0, -comm.rank());
+    EXPECT_EQ(rev.rank(), 2 - comm.rank());
+  });
+}
+
+}  // namespace
+}  // namespace psdns::comm

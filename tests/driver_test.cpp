@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "comm/communicator.hpp"
+#include "driver/campaign.hpp"
+#include "io/series.hpp"
+#include "util/config.hpp"
+
+namespace psdns::driver {
+namespace {
+
+std::string tmp(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- util::Config ---
+
+TEST(Config, ParsesKeysCommentsAndBlanks) {
+  const auto cfg = util::Config::from_string(R"(
+# a comment
+n = 64           # trailing comment
+viscosity=0.01
+name = run one
+flag = true
+)");
+  EXPECT_EQ(cfg.size(), 4u);
+  EXPECT_EQ(cfg.get_int("n", 0), 64);
+  EXPECT_DOUBLE_EQ(cfg.get_double("viscosity", 0.0), 0.01);
+  EXPECT_EQ(cfg.get("name", ""), "run one");
+  EXPECT_TRUE(cfg.get_bool("flag", false));
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+}
+
+TEST(Config, RejectsMalformedLines) {
+  EXPECT_THROW(util::Config::from_string("just words\n"), util::Error);
+  EXPECT_THROW(util::Config::from_string("= value\n"), util::Error);
+}
+
+TEST(Config, RejectsBadTypes) {
+  const auto cfg = util::Config::from_string("n = twelve\nb = maybe\n");
+  EXPECT_THROW(cfg.get_int("n", 0), util::Error);
+  EXPECT_THROW(cfg.get_bool("b", false), util::Error);
+}
+
+TEST(Config, TracksUnusedKeys) {
+  const auto cfg = util::Config::from_string("a = 1\nb = 2\nc = 3\n");
+  cfg.get_int("a", 0);
+  cfg.get("c", "");
+  const auto unused = cfg.unused_keys();
+  EXPECT_EQ(unused.size(), 1u);
+  EXPECT_TRUE(unused.contains("b"));
+}
+
+TEST(Config, MissingFileThrows) {
+  EXPECT_THROW(util::Config::from_file(tmp("psdns_no_such.cfg")),
+               util::Error);
+}
+
+// --- CampaignConfig parsing ---
+
+TEST(CampaignConfig, ParsesFullSchema) {
+  const auto file = util::Config::from_string(R"(
+n = 48
+viscosity = 0.005
+scheme = rk4
+forcing.enabled = true
+forcing.power = 0.3
+scalars = 2
+scalar0.schmidt = 0.7
+scalar1.schmidt = 4
+scalar1.mean_gradient = 1.0
+steps = 250
+cfl = 0.4
+checkpoint_every = 50
+checkpoint_path = /tmp/x.ckp
+)");
+  const auto cfg = CampaignConfig::from(file);
+  EXPECT_EQ(cfg.solver.n, 48u);
+  EXPECT_EQ(cfg.solver.scheme, dns::TimeScheme::RK4);
+  EXPECT_TRUE(cfg.solver.forcing.enabled);
+  ASSERT_EQ(cfg.solver.scalars.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.solver.scalars[0].schmidt, 0.7);
+  EXPECT_DOUBLE_EQ(cfg.solver.scalars[1].mean_gradient, 1.0);
+  EXPECT_EQ(cfg.max_steps, 250);
+  EXPECT_EQ(cfg.checkpoint_every, 50);
+}
+
+TEST(CampaignConfig, RejectsUnknownKeys) {
+  const auto file = util::Config::from_string("n = 32\nviscossity = 0.01\n");
+  EXPECT_THROW(CampaignConfig::from(file), util::Error);
+}
+
+TEST(CampaignConfig, RejectsBadScheme) {
+  const auto file = util::Config::from_string("scheme = euler\n");
+  EXPECT_THROW(CampaignConfig::from(file), util::Error);
+}
+
+// --- run_campaign ---
+
+TEST(Campaign, RunsAndReportsAtCadence) {
+  CampaignConfig cfg;
+  cfg.solver.n = 16;
+  cfg.solver.viscosity = 0.02;
+  cfg.max_steps = 8;
+  cfg.diagnostics_every = 4;
+  int reports = 0;
+  CampaignResult result;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    const auto r = run_campaign(
+        comm, cfg, [&](std::int64_t, double, const dns::Diagnostics& d) {
+          ++reports;
+          EXPECT_GT(d.energy, 0.0);
+        });
+    if (comm.rank() == 0) result = r;
+  });
+  EXPECT_EQ(result.steps_run, 8);
+  EXPECT_FALSE(result.restarted);
+  EXPECT_EQ(reports, 2);  // steps 4 and 8, rank 0 only
+  EXPECT_GT(result.final_time, 0.0);
+  EXPECT_GT(result.final_diagnostics.energy, 0.0);
+}
+
+TEST(Campaign, TimeBudgetStopsEarly) {
+  CampaignConfig cfg;
+  cfg.solver.n = 16;
+  cfg.max_steps = 1000;
+  cfg.max_dt = 0.01;
+  cfg.max_time = 0.035;  // ~4 steps
+  CampaignResult result;
+  comm::run_ranks(1, [&](comm::Communicator& comm) {
+    result = run_campaign(comm, cfg);
+  });
+  EXPECT_LT(result.steps_run, 10);
+  EXPECT_GE(result.final_time, 0.035);
+}
+
+TEST(Campaign, SegmentsResumeAcrossInvocations) {
+  const auto ckp = tmp("psdns_campaign_seg.ckp");
+  std::remove(ckp.c_str());
+
+  CampaignConfig cfg;
+  cfg.solver.n = 16;
+  cfg.solver.viscosity = 0.02;
+  cfg.max_steps = 5;
+  cfg.max_dt = 0.01;
+  cfg.diagnostics_every = 0;
+  cfg.checkpoint_path = ckp;
+
+  CampaignResult seg1, seg2;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    const auto r = run_campaign(comm, cfg);
+    if (comm.rank() == 0) seg1 = r;
+  });
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    const auto r = run_campaign(comm, cfg);
+    if (comm.rank() == 0) seg2 = r;
+  });
+  EXPECT_FALSE(seg1.restarted);
+  EXPECT_TRUE(seg2.restarted);
+  EXPECT_NEAR(seg2.final_time, 2.0 * seg1.final_time, 1e-9);
+
+  // The two-segment result equals one uninterrupted 10-step run.
+  CampaignConfig uninterrupted = cfg;
+  uninterrupted.max_steps = 10;
+  uninterrupted.checkpoint_path.clear();
+  CampaignResult ref;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    const auto r = run_campaign(comm, uninterrupted);
+    if (comm.rank() == 0) ref = r;
+  });
+  EXPECT_NEAR(seg2.final_diagnostics.energy, ref.final_diagnostics.energy,
+              1e-12);
+  std::remove(ckp.c_str());
+}
+
+TEST(Campaign, WritesSeriesAndSpectrumArtifacts) {
+  const auto series = tmp("psdns_campaign_series.csv");
+  const auto spectrum = tmp("psdns_campaign_spec.csv");
+  CampaignConfig cfg;
+  cfg.solver.n = 16;
+  cfg.max_steps = 3;
+  cfg.max_dt = 0.01;
+  cfg.series_path = series;
+  cfg.spectrum_path = spectrum;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    run_campaign(comm, cfg);
+  });
+  EXPECT_TRUE(std::filesystem::exists(series));
+  const auto spec = io::read_spectrum_csv(spectrum);
+  EXPECT_EQ(spec.size(), 9u);  // N/2+1 shells
+  double total = 0.0;
+  for (const double e : spec) total += e;
+  EXPECT_GT(total, 0.0);
+  std::remove(series.c_str());
+  std::remove(spectrum.c_str());
+}
+
+TEST(Campaign, ScalarsInitializedAndEvolved) {
+  CampaignConfig cfg;
+  cfg.solver.n = 16;
+  cfg.solver.scalars = {{.schmidt = 1.0, .mean_gradient = 1.0}};
+  cfg.max_steps = 4;
+  cfg.max_dt = 0.01;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    EXPECT_NO_THROW(run_campaign(comm, cfg));
+  });
+}
+
+}  // namespace
+}  // namespace psdns::driver

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "fft/bluestein.hpp"
+#include "fft/dft.hpp"
+#include "fft/factor.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/mixed_radix.hpp"
+#include "fft/plan.hpp"
+#include "fft/real.hpp"
+#include "util/rng.hpp"
+
+namespace psdns::fft {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex{rng.gaussian(), rng.gaussian()};
+  return v;
+}
+
+double max_abs_diff(const std::vector<Complex>& a,
+                    const std::vector<Complex>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(Factor, PrimeFactors) {
+  EXPECT_EQ(prime_factors(1), std::vector<std::size_t>{});
+  EXPECT_EQ(prime_factors(12), (std::vector<std::size_t>{2, 2, 3}));
+  EXPECT_EQ(prime_factors(18432),
+            (std::vector<std::size_t>{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 3}));
+  EXPECT_EQ(prime_factors(97), std::vector<std::size_t>{97});
+}
+
+TEST(Factor, Smoothness) {
+  EXPECT_TRUE(is_smooth(18432));
+  EXPECT_TRUE(is_smooth(360));
+  EXPECT_FALSE(is_smooth(97));
+  EXPECT_FALSE(is_smooth(2 * 23));
+}
+
+TEST(Factor, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+}
+
+// --- parameterized sweep over transform lengths ---
+
+class C2CLength : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(C2CLength, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 100 + n);
+  std::vector<Complex> want(n), got(n);
+  dft_reference(Direction::Forward, n, x.data(), want.data());
+  PlanC2C plan(n);
+  plan.transform(Direction::Forward, x.data(), got.data());
+  EXPECT_LT(max_abs_diff(want, got), 1e-9 * static_cast<double>(n))
+      << "n=" << n;
+}
+
+TEST_P(C2CLength, InverseMatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 200 + n);
+  std::vector<Complex> want(n), got(n);
+  dft_reference(Direction::Inverse, n, x.data(), want.data());
+  PlanC2C plan(n);
+  plan.transform(Direction::Inverse, x.data(), got.data());
+  EXPECT_LT(max_abs_diff(want, got), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(C2CLength, RoundTripRecoversInput) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 300 + n);
+  std::vector<Complex> f(n), back(n);
+  PlanC2C plan(n);
+  plan.transform(Direction::Forward, x.data(), f.data());
+  plan.transform(Direction::Inverse, f.data(), back.data());
+  plan.normalize(back.data(), n);
+  EXPECT_LT(max_abs_diff(x, back), 1e-10 * static_cast<double>(n));
+}
+
+TEST_P(C2CLength, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 400 + n);
+  std::vector<Complex> f(n);
+  PlanC2C plan(n);
+  plan.transform(Direction::Forward, x.data(), f.data());
+  double phys = 0.0, spec = 0.0;
+  for (const auto& c : x) phys += std::norm(c);
+  for (const auto& c : f) spec += std::norm(c);
+  EXPECT_NEAR(spec, phys * static_cast<double>(n),
+              1e-8 * phys * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lengths, C2CLength,
+    ::testing::Values(1, 2, 3, 4, 5, 6, 8, 9, 12, 15, 16, 17, 24, 27, 30, 32,
+                      36, 48, 60, 64, 97, 100, 128, 144, 192, 210, 243, 256,
+                      360, 512),
+    [](const ::testing::TestParamInfo<std::size_t>& pinfo) { return "n" + std::to_string(pinfo.param); });
+
+TEST(C2C, InPlaceTransformAllowed) {
+  const std::size_t n = 64;
+  auto x = random_signal(n, 1);
+  std::vector<Complex> want(n);
+  PlanC2C plan(n);
+  plan.transform(Direction::Forward, x.data(), want.data());
+  plan.transform(Direction::Forward, x.data(), x.data());
+  EXPECT_LT(max_abs_diff(want, x), 1e-12);
+}
+
+TEST(C2C, SingleFrequencyIsDelta) {
+  const std::size_t n = 48;
+  std::vector<Complex> x(n), f(n);
+  const double k0 = 5.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double phase =
+        2.0 * std::numbers::pi * k0 * static_cast<double>(j) / n;
+    x[j] = Complex{std::cos(phase), std::sin(phase)};
+  }
+  PlanC2C plan(n);
+  plan.transform(Direction::Forward, x.data(), f.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const double want = k == 5 ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(f[k]), want, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(C2C, StridedMatchesContiguous) {
+  const std::size_t n = 36, stride = 7;
+  const auto x = random_signal(n * stride, 2);
+  std::vector<Complex> want(n), got_buf(n * stride, Complex{-1, -1});
+  std::vector<Complex> gathered(n);
+  for (std::size_t j = 0; j < n; ++j) gathered[j] = x[j * stride];
+  PlanC2C plan(n);
+  plan.transform(Direction::Forward, gathered.data(), want.data());
+  plan.transform_strided(Direction::Forward, x.data(),
+                         static_cast<std::ptrdiff_t>(stride), got_buf.data(),
+                         static_cast<std::ptrdiff_t>(stride));
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_LT(std::abs(got_buf[k * stride] - want[k]), 1e-12);
+  }
+}
+
+TEST(C2C, BatchedMatchesLoop) {
+  const std::size_t n = 32, count = 5;
+  auto x = random_signal(n * count, 3);
+  auto want = x;
+  PlanC2C plan(n);
+  for (std::size_t b = 0; b < count; ++b) {
+    plan.transform(Direction::Forward, want.data() + b * n,
+                   want.data() + b * n);
+  }
+  plan.transform_batch(Direction::Forward, x.data(), x.data(),
+                       BatchLayout{.count = count, .stride = 1, .dist = n});
+  EXPECT_LT(max_abs_diff(want, x), 1e-12);
+}
+
+TEST(C2C, BatchedStridedLayout) {
+  // Lines of length 16 interleaved with stride 4 (like y-lines in a plane).
+  const std::size_t n = 16, stride = 4;
+  auto x = random_signal(n * stride, 4);
+  auto want = x;
+  PlanC2C plan(n);
+  for (std::size_t b = 0; b < stride; ++b) {
+    plan.transform_strided(Direction::Forward, want.data() + b,
+                           static_cast<std::ptrdiff_t>(stride),
+                           want.data() + b, static_cast<std::ptrdiff_t>(stride));
+  }
+  plan.transform_batch(Direction::Forward, x.data(), x.data(),
+                       BatchLayout{.count = stride, .stride = stride, .dist = 1});
+  EXPECT_LT(max_abs_diff(want, x), 1e-12);
+}
+
+TEST(Bluestein, PrimeLengthMatchesReference) {
+  for (const std::size_t n : {7u, 23u, 97u, 101u}) {
+    const auto x = random_signal(n, 500 + n);
+    std::vector<Complex> want(n), got(n);
+    dft_reference(Direction::Forward, n, x.data(), want.data());
+    BluesteinEngine engine(n);
+    engine.execute(Direction::Forward, x.data(), 1, got.data());
+    EXPECT_LT(max_abs_diff(want, got), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(PlanCache, ReturnsSharedInstance) {
+  const auto a = get_plan(64);
+  const auto b = get_plan(64);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(get_plan(128).get(), a.get());
+}
+
+// --- real transforms ---
+
+class R2CLength : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(R2CLength, ForwardMatchesComplexDft) {
+  const std::size_t n = GetParam();
+  util::Rng rng(600 + n);
+  std::vector<Real> x(n);
+  for (auto& v : x) v = rng.gaussian();
+  std::vector<Complex> full_in(n), want(n);
+  for (std::size_t j = 0; j < n; ++j) full_in[j] = Complex{x[j], 0.0};
+  dft_reference(Direction::Forward, n, full_in.data(), want.data());
+
+  PlanR2C plan(n);
+  std::vector<Complex> got(plan.spectrum_size());
+  plan.forward(x.data(), got.data());
+  for (std::size_t k = 0; k < plan.spectrum_size(); ++k) {
+    EXPECT_LT(std::abs(got[k] - want[k]), 1e-9 * static_cast<double>(n))
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(R2CLength, RoundTripScalesByN) {
+  const std::size_t n = GetParam();
+  util::Rng rng(700 + n);
+  std::vector<Real> x(n), back(n);
+  for (auto& v : x) v = rng.gaussian();
+  PlanR2C plan(n);
+  std::vector<Complex> spec(plan.spectrum_size());
+  plan.forward(x.data(), spec.data());
+  plan.inverse(spec.data(), back.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(back[j], x[j] * static_cast<double>(n),
+                1e-9 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lengths, R2CLength,
+    ::testing::Values(2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 7, 9, 15),
+    [](const ::testing::TestParamInfo<std::size_t>& pinfo) { return "n" + std::to_string(pinfo.param); });
+
+TEST(R2C, NyquistAndMeanAreReal) {
+  const std::size_t n = 32;
+  util::Rng rng(8);
+  std::vector<Real> x(n);
+  for (auto& v : x) v = rng.gaussian();
+  PlanR2C plan(n);
+  std::vector<Complex> spec(plan.spectrum_size());
+  plan.forward(x.data(), spec.data());
+  EXPECT_NEAR(spec.front().imag(), 0.0, 1e-12);
+  EXPECT_NEAR(spec.back().imag(), 0.0, 1e-12);
+}
+
+// --- 3-D transforms ---
+
+TEST(Fft3d, C2CRoundTrip) {
+  const Shape3 shape{6, 4, 8};
+  auto x = random_signal(shape.volume(), 10);
+  auto data = x;
+  fft3d_c2c(Direction::Forward, shape, data.data());
+  fft3d_c2c(Direction::Inverse, shape, data.data());
+  const double scale = static_cast<double>(shape.volume());
+  double err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    err = std::max(err, std::abs(data[i] / scale - x[i]));
+  }
+  EXPECT_LT(err, 1e-11);
+}
+
+TEST(Fft3d, C2CSingleModeIsDelta) {
+  const Shape3 shape{8, 8, 8};
+  std::vector<Complex> data(shape.volume());
+  const int kx = 2, ky = 3, kz = 1;
+  for (std::size_t k = 0; k < shape.nz; ++k) {
+    for (std::size_t j = 0; j < shape.ny; ++j) {
+      for (std::size_t i = 0; i < shape.nx; ++i) {
+        const double phase =
+            2.0 * std::numbers::pi *
+            (kx * static_cast<double>(i) / shape.nx +
+             ky * static_cast<double>(j) / shape.ny +
+             kz * static_cast<double>(k) / shape.nz);
+        data[i + shape.nx * (j + shape.ny * k)] =
+            Complex{std::cos(phase), std::sin(phase)};
+      }
+    }
+  }
+  fft3d_c2c(Direction::Forward, shape, data.data());
+  const std::size_t peak = kx + shape.nx * (ky + shape.ny * kz);
+  for (std::size_t idx = 0; idx < data.size(); ++idx) {
+    const double want =
+        idx == peak ? static_cast<double>(shape.volume()) : 0.0;
+    EXPECT_NEAR(std::abs(data[idx]), want, 1e-8);
+  }
+}
+
+TEST(Fft3d, R2CRoundTrip) {
+  const Shape3 shape{16, 6, 10};
+  util::Rng rng(11);
+  std::vector<Real> x(shape.volume());
+  for (auto& v : x) v = rng.gaussian();
+  std::vector<Complex> spec((shape.nx / 2 + 1) * shape.ny * shape.nz);
+  std::vector<Real> back(shape.volume());
+  fft3d_r2c(shape, x.data(), spec.data());
+  fft3d_c2r(shape, spec.data(), back.data());
+  const double scale = static_cast<double>(shape.volume());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i] / scale, x[i], 1e-11);
+  }
+}
+
+TEST(Fft3d, R2CMatchesC2COnRealInput) {
+  const Shape3 shape{8, 4, 6};
+  util::Rng rng(12);
+  std::vector<Real> x(shape.volume());
+  for (auto& v : x) v = rng.gaussian();
+  std::vector<Complex> full(shape.volume());
+  for (std::size_t i = 0; i < x.size(); ++i) full[i] = Complex{x[i], 0.0};
+  fft3d_c2c(Direction::Forward, shape, full.data());
+
+  const std::size_t nxh = shape.nx / 2 + 1;
+  std::vector<Complex> spec(nxh * shape.ny * shape.nz);
+  fft3d_r2c(shape, x.data(), spec.data());
+  for (std::size_t k = 0; k < shape.nz; ++k) {
+    for (std::size_t j = 0; j < shape.ny; ++j) {
+      for (std::size_t i = 0; i < nxh; ++i) {
+        EXPECT_LT(std::abs(spec[i + nxh * (j + shape.ny * k)] -
+                           full[i + shape.nx * (j + shape.ny * k)]),
+                  1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psdns::fft

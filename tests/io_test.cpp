@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "comm/communicator.hpp"
+#include "dns/solver.hpp"
+#include "io/checkpoint.hpp"
+#include "io/series.hpp"
+
+namespace psdns::io {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct FileGuard {
+  explicit FileGuard(std::string p) : path(std::move(p)) {}
+  ~FileGuard() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+dns::SolverConfig small_config() {
+  dns::SolverConfig cfg;
+  cfg.n = 16;
+  cfg.viscosity = 0.02;
+  return cfg;
+}
+
+TEST(Checkpoint, RoundTripSameRankCount) {
+  const FileGuard file(temp_path("psdns_ckp_same.bin"));
+  comm::run_ranks(4, [&](comm::Communicator& comm) {
+    dns::SlabSolver a(comm, small_config());
+    a.init_isotropic(5, 3.0, 0.5);
+    for (int s = 0; s < 3; ++s) a.step(0.01);
+    save_checkpoint(file.path, a);
+
+    dns::SlabSolver b(comm, small_config());
+    const auto info = load_checkpoint(file.path, b);
+    EXPECT_EQ(info.n, 16u);
+    EXPECT_DOUBLE_EQ(info.time, a.time());
+    EXPECT_EQ(info.step, 3);
+    EXPECT_DOUBLE_EQ(b.time(), a.time());
+
+    // Bitwise-identical state.
+    for (int c = 0; c < 3; ++c) {
+      for (std::size_t i = 0; i < a.modes().local_modes(); ++i) {
+        EXPECT_EQ(b.uhat(c)[i], a.uhat(c)[i]);
+      }
+    }
+  });
+}
+
+TEST(Checkpoint, RestartOnDifferentRankCount) {
+  // A production restart may land on a different allocation size; the
+  // global-layout file makes that transparent.
+  const FileGuard file(temp_path("psdns_ckp_regrid.bin"));
+  double energy2 = 0.0;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    dns::SlabSolver a(comm, small_config());
+    a.init_isotropic(8, 3.0, 0.5);
+    for (int s = 0; s < 2; ++s) a.step(0.01);
+    save_checkpoint(file.path, a);
+    a.step(0.01);  // continue the original run one more step
+    const double e = a.diagnostics().energy;
+    if (comm.rank() == 0) energy2 = e;
+  });
+
+  double energy4 = 0.0;
+  comm::run_ranks(4, [&](comm::Communicator& comm) {
+    dns::SlabSolver b(comm, small_config());
+    load_checkpoint(file.path, b);
+    b.step(0.01);  // the restarted run takes the same step
+    const double e = b.diagnostics().energy;
+    if (comm.rank() == 0) energy4 = e;
+  });
+  // Reduction order differs across rank counts, so agreement is to
+  // round-off rather than bitwise.
+  EXPECT_NEAR(energy4, energy2, 1e-12);
+}
+
+TEST(Checkpoint, ContinuedRunMatchesUninterruptedRun) {
+  const FileGuard file(temp_path("psdns_ckp_continue.bin"));
+  double uninterrupted = 0.0, restarted = 0.0;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    dns::SlabSolver a(comm, small_config());
+    a.init_isotropic(3, 3.0, 0.4);
+    for (int s = 0; s < 6; ++s) a.step(0.01);
+    const double e = a.diagnostics().energy;
+    if (comm.rank() == 0) uninterrupted = e;
+  });
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    dns::SlabSolver a(comm, small_config());
+    a.init_isotropic(3, 3.0, 0.4);
+    for (int s = 0; s < 3; ++s) a.step(0.01);
+    save_checkpoint(file.path, a);
+
+    dns::SlabSolver b(comm, small_config());
+    load_checkpoint(file.path, b);
+    for (int s = 0; s < 3; ++s) b.step(0.01);
+    EXPECT_EQ(b.step_count(), 6);
+    const double e = b.diagnostics().energy;
+    if (comm.rank() == 0) restarted = e;
+  });
+  EXPECT_DOUBLE_EQ(restarted, uninterrupted);
+}
+
+TEST(Checkpoint, PeekReadsHeaderOnly) {
+  const FileGuard file(temp_path("psdns_ckp_peek.bin"));
+  comm::run_ranks(1, [&](comm::Communicator& comm) {
+    dns::SlabSolver a(comm, small_config());
+    a.init_taylor_green();
+    a.step(0.05);
+    save_checkpoint(file.path, a);
+  });
+  const auto info = peek_checkpoint(file.path);
+  EXPECT_EQ(info.n, 16u);
+  EXPECT_DOUBLE_EQ(info.time, 0.05);
+  EXPECT_EQ(info.step, 1);
+  EXPECT_DOUBLE_EQ(info.viscosity, 0.02);
+}
+
+TEST(Checkpoint, RejectsWrongGridSize) {
+  const FileGuard file(temp_path("psdns_ckp_wrongn.bin"));
+  comm::run_ranks(1, [&](comm::Communicator& comm) {
+    dns::SlabSolver a(comm, small_config());
+    a.init_taylor_green();
+    save_checkpoint(file.path, a);
+
+    dns::SolverConfig bigger = small_config();
+    bigger.n = 32;
+    dns::SlabSolver b(comm, bigger);
+    EXPECT_THROW(load_checkpoint(file.path, b), util::Error);
+  });
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  const FileGuard file(temp_path("psdns_ckp_garbage.bin"));
+  std::FILE* f = std::fopen(file.path.c_str(), "wb");
+  std::fputs("this is not a checkpoint", f);
+  std::fclose(f);
+  EXPECT_THROW(peek_checkpoint(file.path), util::Error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(peek_checkpoint(temp_path("psdns_ckp_missing.bin")),
+               util::Error);
+}
+
+TEST(Series, WritesAndReadsSpectrum) {
+  const FileGuard file(temp_path("psdns_spectrum.csv"));
+  const std::vector<double> spec{0.0, 1.5, 0.25, 0.0625};
+  write_spectrum_csv(file.path, spec);
+  const auto back = read_spectrum_csv(file.path);
+  ASSERT_EQ(back.size(), spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i], spec[i]);
+  }
+}
+
+TEST(Series, WriterProducesHeaderAndRows) {
+  const FileGuard file(temp_path("psdns_series.csv"));
+  {
+    SeriesWriter w(file.path);
+    dns::Diagnostics d;
+    d.energy = 0.5;
+    d.dissipation = 0.1;
+    w.append(0, 0.0, d);
+    w.append(1, 0.01, d);
+  }
+  std::FILE* f = std::fopen(file.path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof line, f), nullptr);
+  EXPECT_EQ(std::string(line).substr(0, 9), "step,time");
+  int rows = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) ++rows;
+  std::fclose(f);
+  EXPECT_EQ(rows, 2);
+}
+
+}  // namespace
+}  // namespace psdns::io

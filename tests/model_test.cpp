@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+#include <algorithm>
+
+#include "model/geometry.hpp"
+#include "model/memory.hpp"
+#include "model/paper.hpp"
+#include "model/scaling.hpp"
+#include "util/check.hpp"
+
+namespace psdns::model {
+namespace {
+
+TEST(Geometry, SlabAndPencilSizes18432) {
+  // The paper's flagship case: 18432^3 on 3072 nodes, 2 tasks/node, np=4.
+  ProblemConfig cfg{.n = 18432,
+                    .nodes = 3072,
+                    .tasks_per_node = 2,
+                    .pencils = 4,
+                    .variables = 3};
+  EXPECT_EQ(cfg.ranks(), 6144);
+  EXPECT_DOUBLE_EQ(cfg.slab_thickness(), 3.0);   // mz = N/P
+  EXPECT_DOUBLE_EQ(cfg.pencil_width(), 4608.0);  // nyp = N/np
+}
+
+TEST(Geometry, P2PMessageSizesMatchTable2) {
+  // Sec. 4.1: P2P = 4 * nv * (N/np) * (N/P)^2 for one pencil per A2A.
+  // (the paper reports these sizes in binary MiB)
+  constexpr double kMiB = 1024.0 * 1024.0;
+  for (const auto& row : paper::kTable2) {
+    const auto* c = std::find_if(
+        std::begin(paper::kCases), std::end(paper::kCases),
+        [&](const paper::Case& pc) { return pc.nodes == row.nodes; });
+    ASSERT_NE(c, std::end(paper::kCases));
+
+    // Case A: 6 tasks/node, 1 pencil per all-to-all.
+    ProblemConfig a{.n = c->n,
+                    .nodes = c->nodes,
+                    .tasks_per_node = 6,
+                    .pencils = c->pencils,
+                    .variables = 3};
+    EXPECT_NEAR(a.p2p_bytes(1) / kMiB, row.p2p_a_mb,
+                0.05 * row.p2p_a_mb + 0.005)
+        << "nodes=" << row.nodes;
+
+    // Case B: 2 tasks/node, 1 pencil per all-to-all.
+    ProblemConfig b = a;
+    b.tasks_per_node = 2;
+    EXPECT_NEAR(b.p2p_bytes(1) / kMiB, row.p2p_b_mb, 0.05 * row.p2p_b_mb)
+        << "nodes=" << row.nodes;
+
+    // Case C: 2 tasks/node, whole slab (np pencils) per all-to-all.
+    EXPECT_NEAR(b.p2p_bytes(c->pencils) / kMiB, row.p2p_c_mb,
+                0.05 * row.p2p_c_mb)
+        << "nodes=" << row.nodes;
+  }
+}
+
+TEST(Memory, MinNodesEstimateMatchesSec35) {
+  MemoryModel m;
+  // Sec. 3.5: equating 4*25*N^3/M to 448 GB gives M = 1302 for N = 18432.
+  EXPECT_NEAR(m.min_nodes_estimate(18432), 1302.0, 2.0);
+}
+
+TEST(Memory, MinNodesIsDivisorOfN) {
+  MemoryModel m;
+  const int nodes = m.min_nodes(18432);
+  EXPECT_EQ(nodes, 1536);  // smallest divisor of 18432 above 1302
+  EXPECT_EQ(18432 % nodes, 0);
+}
+
+TEST(Memory, PencilEstimateMatchesSec35) {
+  MemoryModel m;
+  // Sec. 3.5: nominally np = 2.13 for 18432^3 on 3072 nodes.
+  EXPECT_NEAR(m.pencils_needed_estimate(18432, 3072), 2.13, 0.02);
+  EXPECT_EQ(m.pencils_needed(18432, 3072), 4);
+}
+
+TEST(Memory, Table1Reproduced) {
+  const auto rows = table1();
+  ASSERT_EQ(rows.size(), 4u);
+
+  const double want_mem[] = {202.5, 202.5, 202.5, 227.8};
+  const int want_np[] = {3, 3, 3, 4};
+  const double want_pencil[] = {2.25, 2.25, 2.25, 1.90};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].nodes, paper::kCases[i].nodes);
+    EXPECT_EQ(rows[i].n, paper::kCases[i].n);
+    EXPECT_NEAR(rows[i].mem_per_node_gib, want_mem[i], 0.1) << "row " << i;
+    EXPECT_EQ(rows[i].pencils, want_np[i]) << "row " << i;
+    EXPECT_NEAR(rows[i].pencil_gib, want_pencil[i], 0.01) << "row " << i;
+  }
+}
+
+TEST(Memory, HostFootprintScalesInverselyWithNodes) {
+  MemoryModel m;
+  EXPECT_NEAR(m.host_bytes_per_node(6144, 128) * 2,
+              m.host_bytes_per_node(6144, 64), 1.0);
+}
+
+TEST(Scaling, WeakScalingMatchesTable4) {
+  // Recompute Table 4 from Table 3's best timings via Eq. 4.
+  const auto& ref = paper::kTable4[0];
+  for (std::size_t i = 1; i < std::size(paper::kTable4); ++i) {
+    const auto& row = paper::kTable4[i];
+    const double ws = weak_scaling_percent(ref.n, ref.nodes, ref.time, row.n,
+                                           row.nodes, row.time);
+    EXPECT_NEAR(ws, row.weak_scaling_pct, 0.25) << "row " << i;
+  }
+}
+
+TEST(Scaling, StrongScalingMatchesSec53) {
+  const double ss = strong_scaling_percent(
+      1536, paper::kStrong18432Nodes1536Time, 3072,
+      paper::kStrong18432Nodes3072Time);
+  EXPECT_NEAR(ss, paper::kStrong18432Percent, 0.3);
+}
+
+TEST(Scaling, PerfectScalingIsHundredPercent) {
+  EXPECT_DOUBLE_EQ(weak_scaling_percent(64, 1, 1.0, 128, 8, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(strong_scaling_percent(1, 2.0, 2, 1.0), 100.0);
+}
+
+TEST(Scaling, RejectsNonPositiveInputs) {
+  EXPECT_THROW(weak_scaling_percent(0, 1, 1.0, 1, 1, 1.0), util::Error);
+  EXPECT_THROW(strong_scaling_percent(1, -1.0, 2, 1.0), util::Error);
+}
+
+}  // namespace
+}  // namespace psdns::model

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "model/geometry.hpp"
+#include "model/paper.hpp"
+#include "net/alltoall_model.hpp"
+
+namespace psdns::net {
+namespace {
+
+using model::ProblemConfig;
+using model::paper::kCases;
+using model::paper::kTable2;
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+AlltoallModel default_model() { return AlltoallModel{}; }
+
+TEST(AlltoallModel, OffnodeBytesExcludeOnNodePeers) {
+  AlltoallModel m = default_model();
+  // 2 nodes x 2 tasks, 10 bytes per pair: each node's 2 ranks send to the 2
+  // off-node ranks only -> 2*2*10 = 40 bytes.
+  EXPECT_DOUBLE_EQ(m.offnode_bytes_per_node(2, 2, 10.0), 40.0);
+}
+
+TEST(AlltoallModel, TimeIncreasesWithMessageVolume) {
+  AlltoallModel m = default_model();
+  EXPECT_LT(m.time(128, 2, 1e6), m.time(128, 2, 4e6));
+}
+
+TEST(AlltoallModel, LargerMessagesGetBetterBandwidth) {
+  AlltoallModel m = default_model();
+  EXPECT_LT(m.effective_injection_bw(1024, 2, 0.2e6),
+            m.effective_injection_bw(1024, 2, 5e6));
+}
+
+TEST(AlltoallModel, ScaleCongestionDegradesBandwidth) {
+  AlltoallModel m = default_model();
+  EXPECT_GT(m.effective_injection_bw(16, 2, 10e6),
+            m.effective_injection_bw(3072, 2, 10e6));
+}
+
+TEST(AlltoallModel, BandwidthNeverExceedsPeak) {
+  AlltoallModel m = default_model();
+  for (const int nodes : {2, 16, 128, 1024, 3072}) {
+    for (const double s : {1e3, 64e3, 1e6, 10e6, 300e6}) {
+      EXPECT_LE(m.effective_injection_bw(nodes, 6, s),
+                m.params().peak_injection_bw);
+    }
+  }
+}
+
+// --- calibration against Table 2 ---
+
+struct Cell {
+  int nodes;
+  int tpn;
+  double p2p;       // bytes
+  double paper_bw;  // GB/s, paper's Eq. 3 convention
+};
+
+std::vector<Cell> table2_cells() {
+  std::vector<Cell> cells;
+  for (const auto& row : kTable2) {
+    cells.push_back({row.nodes, 6, row.p2p_a_mb * kMiB, row.bw_a});
+    cells.push_back({row.nodes, 2, row.p2p_b_mb * kMiB, row.bw_b});
+    cells.push_back({row.nodes, 2, row.p2p_c_mb * kMiB, row.bw_c});
+  }
+  return cells;
+}
+
+TEST(Table2Calibration, ReportedBandwidthWithin35Percent) {
+  AlltoallModel m = default_model();
+  for (const auto& cell : table2_cells()) {
+    const double got =
+        m.reported_bw_per_node(cell.nodes, cell.tpn, cell.p2p) / 1e9;
+    EXPECT_GT(got, 0.65 * cell.paper_bw)
+        << "nodes=" << cell.nodes << " tpn=" << cell.tpn
+        << " p2p=" << cell.p2p;
+    EXPECT_LT(got, 1.35 * cell.paper_bw)
+        << "nodes=" << cell.nodes << " tpn=" << cell.tpn
+        << " p2p=" << cell.p2p;
+  }
+}
+
+TEST(Table2Calibration, CaseBBeatsCaseAUpTo1024Nodes) {
+  AlltoallModel m = default_model();
+  for (const auto& row : kTable2) {
+    if (row.nodes > 1024) continue;
+    EXPECT_GT(m.reported_bw_per_node(row.nodes, 2, row.p2p_b_mb * kMiB),
+              m.reported_bw_per_node(row.nodes, 6, row.p2p_a_mb * kMiB))
+        << "nodes=" << row.nodes;
+  }
+}
+
+TEST(Table2Calibration, EagerPathFlipsAAboveBAt3072Nodes) {
+  // The paper's surprise: at 3072 nodes the 53 KB case-A messages get a
+  // better effective bandwidth than case B's 470 KB messages.
+  AlltoallModel m = default_model();
+  EXPECT_GT(m.reported_bw_per_node(3072, 6, 0.053 * kMiB),
+            m.reported_bw_per_node(3072, 2, 0.47 * kMiB));
+}
+
+TEST(Table2Calibration, SlabMessagesWinAtEveryScaleAbove16) {
+  AlltoallModel m = default_model();
+  for (const auto& row : kTable2) {
+    if (row.nodes <= 16) continue;
+    EXPECT_GE(m.reported_bw_per_node(row.nodes, 2, row.p2p_c_mb * kMiB),
+              m.reported_bw_per_node(row.nodes, 2, row.p2p_b_mb * kMiB))
+        << "nodes=" << row.nodes;
+  }
+}
+
+TEST(Table2Calibration, AbsoluteTimesAreSaneAtFlagshipScale) {
+  // 18432^3 on 3072 nodes, case C (whole slab of 3 variables): the paper's
+  // Eq. 3 numbers imply roughly 2.6 s per all-to-all.
+  AlltoallModel m = default_model();
+  const double t = m.time(3072, 2, 1.90 * kMiB);
+  EXPECT_GT(t, 1.5);
+  EXPECT_LT(t, 4.5);
+}
+
+TEST(AlltoallModel, SingleNodeCollectiveIsCheap) {
+  AlltoallModel m = default_model();
+  EXPECT_LT(m.time(1, 6, 100e6), 1e-3);
+}
+
+}  // namespace
+}  // namespace psdns::net

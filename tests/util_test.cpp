@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace psdns::util {
+namespace {
+
+TEST(Check, RequireThrowsWithMessage) {
+  try {
+    PSDNS_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckPassesSilently) {
+  EXPECT_NO_THROW(PSDNS_CHECK(2 + 2 == 4, "unused"));
+}
+
+TEST(Aligned, VectorDataIsAligned) {
+  AlignedVector<double> v(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kAlignment, 0u);
+  AlignedVector<char> c(3);  // size not a multiple of alignment
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % kAlignment, 0u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsApproximate) {
+  Rng r(7);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double t0 = sw.seconds();
+  EXPECT_GE(t0, 0.0);
+  // Busy-wait a tiny amount; elapsed must be monotone.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(sw.seconds(), t0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(12e6), "12.00 MB");
+  EXPECT_EQ(format_bytes(1.9e9), "1.90 GB");
+  EXPECT_EQ(format_bytes(53e3), "53.0 KB");
+  EXPECT_EQ(format_bytes(12), "12 B");
+}
+
+TEST(Format, Time) {
+  EXPECT_EQ(format_time(14.24), "14.24 s");
+  EXPECT_EQ(format_time(0.87), "870.00 ms");
+  EXPECT_EQ(format_time(53e-6), "53.00 us");
+}
+
+TEST(Format, Problem) { EXPECT_EQ(format_problem(18432), "18432^3"); }
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Nodes", "Time (s)"});
+  t.add_row({"16", "6.70"});
+  t.add_row({"3072", "14.24"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Nodes | Time (s) |"), std::string::npos);
+  EXPECT_NE(s.find("| 3072  | 14.24    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--n=128", "--viscosity=0.01", "--verbose",
+                        "--name=run1"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 128);
+  EXPECT_DOUBLE_EQ(cli.get_double("viscosity", 0.0), 0.01);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get("name", ""), "run1");
+  EXPECT_EQ(cli.get_int("missing", 77), 77);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+}  // namespace
+}  // namespace psdns::util
