@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/decomposition_comparison"
+  "../bench/decomposition_comparison.pdb"
+  "CMakeFiles/decomposition_comparison.dir/decomposition_comparison.cpp.o"
+  "CMakeFiles/decomposition_comparison.dir/decomposition_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_strided_copy"
+  "../bench/fig7_strided_copy.pdb"
+  "CMakeFiles/fig7_strided_copy.dir/fig7_strided_copy.cpp.o"
+  "CMakeFiles/fig7_strided_copy.dir/fig7_strided_copy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_strided_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

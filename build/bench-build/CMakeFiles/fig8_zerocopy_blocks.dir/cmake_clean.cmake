@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_zerocopy_blocks"
+  "../bench/fig8_zerocopy_blocks.pdb"
+  "CMakeFiles/fig8_zerocopy_blocks.dir/fig8_zerocopy_blocks.cpp.o"
+  "CMakeFiles/fig8_zerocopy_blocks.dir/fig8_zerocopy_blocks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_zerocopy_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

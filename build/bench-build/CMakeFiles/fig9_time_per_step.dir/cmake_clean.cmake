@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_time_per_step"
+  "../bench/fig9_time_per_step.pdb"
+  "CMakeFiles/fig9_time_per_step.dir/fig9_time_per_step.cpp.o"
+  "CMakeFiles/fig9_time_per_step.dir/fig9_time_per_step.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_time_per_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_transpose"
+  "../bench/micro_transpose.pdb"
+  "CMakeFiles/micro_transpose.dir/micro_transpose.cpp.o"
+  "CMakeFiles/micro_transpose.dir/micro_transpose.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/strong_scaling_18432"
+  "../bench/strong_scaling_18432.pdb"
+  "CMakeFiles/strong_scaling_18432.dir/strong_scaling_18432.cpp.o"
+  "CMakeFiles/strong_scaling_18432.dir/strong_scaling_18432.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strong_scaling_18432.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

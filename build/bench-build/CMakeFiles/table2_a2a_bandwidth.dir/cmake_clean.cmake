@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_a2a_bandwidth"
+  "../bench/table2_a2a_bandwidth.pdb"
+  "CMakeFiles/table2_a2a_bandwidth.dir/table2_a2a_bandwidth.cpp.o"
+  "CMakeFiles/table2_a2a_bandwidth.dir/table2_a2a_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_a2a_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_dns_timings"
+  "../bench/table3_dns_timings.pdb"
+  "CMakeFiles/table3_dns_timings.dir/table3_dns_timings.cpp.o"
+  "CMakeFiles/table3_dns_timings.dir/table3_dns_timings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dns_timings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

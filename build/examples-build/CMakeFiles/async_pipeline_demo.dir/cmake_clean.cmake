@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/async_pipeline_demo"
+  "../examples/async_pipeline_demo.pdb"
+  "CMakeFiles/async_pipeline_demo.dir/async_pipeline_demo.cpp.o"
+  "CMakeFiles/async_pipeline_demo.dir/async_pipeline_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/forced_turbulence"
+  "../examples/forced_turbulence.pdb"
+  "CMakeFiles/forced_turbulence.dir/forced_turbulence.cpp.o"
+  "CMakeFiles/forced_turbulence.dir/forced_turbulence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forced_turbulence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/production_main.cpp" "examples-build/CMakeFiles/production_main.dir/production_main.cpp.o" "gcc" "examples-build/CMakeFiles/production_main.dir/production_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/psdns_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/psdns_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/psdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpose/CMakeFiles/psdns_transpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/psdns_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/psdns_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/psdns_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/psdns_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psdns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/production_main"
+  "../examples/production_main.pdb"
+  "CMakeFiles/production_main.dir/production_main.cpp.o"
+  "CMakeFiles/production_main.dir/production_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

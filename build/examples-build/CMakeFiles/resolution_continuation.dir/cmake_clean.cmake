@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/resolution_continuation"
+  "../examples/resolution_continuation.pdb"
+  "CMakeFiles/resolution_continuation.dir/resolution_continuation.cpp.o"
+  "CMakeFiles/resolution_continuation.dir/resolution_continuation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolution_continuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/restart_workflow"
+  "../examples/restart_workflow.pdb"
+  "CMakeFiles/restart_workflow.dir/restart_workflow.cpp.o"
+  "CMakeFiles/restart_workflow.dir/restart_workflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

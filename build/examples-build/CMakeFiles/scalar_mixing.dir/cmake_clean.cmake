@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/scalar_mixing"
+  "../examples/scalar_mixing.pdb"
+  "CMakeFiles/scalar_mixing.dir/scalar_mixing.cpp.o"
+  "CMakeFiles/scalar_mixing.dir/scalar_mixing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

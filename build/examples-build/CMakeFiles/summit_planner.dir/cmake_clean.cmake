@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/summit_planner"
+  "../examples/summit_planner.pdb"
+  "CMakeFiles/summit_planner.dir/summit_planner.cpp.o"
+  "CMakeFiles/summit_planner.dir/summit_planner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summit_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

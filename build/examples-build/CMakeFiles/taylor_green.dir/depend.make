@@ -1,0 +1,2 @@
+# Empty dependencies file for taylor_green.
+# This may be replaced when dependencies are built.

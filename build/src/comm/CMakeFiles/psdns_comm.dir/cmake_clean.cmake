@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_comm.dir/communicator.cpp.o"
+  "CMakeFiles/psdns_comm.dir/communicator.cpp.o.d"
+  "libpsdns_comm.a"
+  "libpsdns_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/pencil_solver.cpp" "src/dns/CMakeFiles/psdns_dns.dir/pencil_solver.cpp.o" "gcc" "src/dns/CMakeFiles/psdns_dns.dir/pencil_solver.cpp.o.d"
+  "/root/repo/src/dns/regrid.cpp" "src/dns/CMakeFiles/psdns_dns.dir/regrid.cpp.o" "gcc" "src/dns/CMakeFiles/psdns_dns.dir/regrid.cpp.o.d"
+  "/root/repo/src/dns/solver.cpp" "src/dns/CMakeFiles/psdns_dns.dir/solver.cpp.o" "gcc" "src/dns/CMakeFiles/psdns_dns.dir/solver.cpp.o.d"
+  "/root/repo/src/dns/spectral_ops.cpp" "src/dns/CMakeFiles/psdns_dns.dir/spectral_ops.cpp.o" "gcc" "src/dns/CMakeFiles/psdns_dns.dir/spectral_ops.cpp.o.d"
+  "/root/repo/src/dns/statistics.cpp" "src/dns/CMakeFiles/psdns_dns.dir/statistics.cpp.o" "gcc" "src/dns/CMakeFiles/psdns_dns.dir/statistics.cpp.o.d"
+  "/root/repo/src/dns/two_point.cpp" "src/dns/CMakeFiles/psdns_dns.dir/two_point.cpp.o" "gcc" "src/dns/CMakeFiles/psdns_dns.dir/two_point.cpp.o.d"
+  "/root/repo/src/dns/vorticity.cpp" "src/dns/CMakeFiles/psdns_dns.dir/vorticity.cpp.o" "gcc" "src/dns/CMakeFiles/psdns_dns.dir/vorticity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psdns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/psdns_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/psdns_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpose/CMakeFiles/psdns_transpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/psdns_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/psdns_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psdns_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_dns.dir/pencil_solver.cpp.o"
+  "CMakeFiles/psdns_dns.dir/pencil_solver.cpp.o.d"
+  "CMakeFiles/psdns_dns.dir/regrid.cpp.o"
+  "CMakeFiles/psdns_dns.dir/regrid.cpp.o.d"
+  "CMakeFiles/psdns_dns.dir/solver.cpp.o"
+  "CMakeFiles/psdns_dns.dir/solver.cpp.o.d"
+  "CMakeFiles/psdns_dns.dir/spectral_ops.cpp.o"
+  "CMakeFiles/psdns_dns.dir/spectral_ops.cpp.o.d"
+  "CMakeFiles/psdns_dns.dir/statistics.cpp.o"
+  "CMakeFiles/psdns_dns.dir/statistics.cpp.o.d"
+  "CMakeFiles/psdns_dns.dir/two_point.cpp.o"
+  "CMakeFiles/psdns_dns.dir/two_point.cpp.o.d"
+  "CMakeFiles/psdns_dns.dir/vorticity.cpp.o"
+  "CMakeFiles/psdns_dns.dir/vorticity.cpp.o.d"
+  "libpsdns_dns.a"
+  "libpsdns_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_driver.dir/campaign.cpp.o"
+  "CMakeFiles/psdns_driver.dir/campaign.cpp.o.d"
+  "libpsdns_driver.a"
+  "libpsdns_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

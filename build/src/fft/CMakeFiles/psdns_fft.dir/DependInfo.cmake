@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/bluestein.cpp" "src/fft/CMakeFiles/psdns_fft.dir/bluestein.cpp.o" "gcc" "src/fft/CMakeFiles/psdns_fft.dir/bluestein.cpp.o.d"
+  "/root/repo/src/fft/dft.cpp" "src/fft/CMakeFiles/psdns_fft.dir/dft.cpp.o" "gcc" "src/fft/CMakeFiles/psdns_fft.dir/dft.cpp.o.d"
+  "/root/repo/src/fft/factor.cpp" "src/fft/CMakeFiles/psdns_fft.dir/factor.cpp.o" "gcc" "src/fft/CMakeFiles/psdns_fft.dir/factor.cpp.o.d"
+  "/root/repo/src/fft/fft3d.cpp" "src/fft/CMakeFiles/psdns_fft.dir/fft3d.cpp.o" "gcc" "src/fft/CMakeFiles/psdns_fft.dir/fft3d.cpp.o.d"
+  "/root/repo/src/fft/mixed_radix.cpp" "src/fft/CMakeFiles/psdns_fft.dir/mixed_radix.cpp.o" "gcc" "src/fft/CMakeFiles/psdns_fft.dir/mixed_radix.cpp.o.d"
+  "/root/repo/src/fft/plan.cpp" "src/fft/CMakeFiles/psdns_fft.dir/plan.cpp.o" "gcc" "src/fft/CMakeFiles/psdns_fft.dir/plan.cpp.o.d"
+  "/root/repo/src/fft/real.cpp" "src/fft/CMakeFiles/psdns_fft.dir/real.cpp.o" "gcc" "src/fft/CMakeFiles/psdns_fft.dir/real.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_fft.dir/bluestein.cpp.o"
+  "CMakeFiles/psdns_fft.dir/bluestein.cpp.o.d"
+  "CMakeFiles/psdns_fft.dir/dft.cpp.o"
+  "CMakeFiles/psdns_fft.dir/dft.cpp.o.d"
+  "CMakeFiles/psdns_fft.dir/factor.cpp.o"
+  "CMakeFiles/psdns_fft.dir/factor.cpp.o.d"
+  "CMakeFiles/psdns_fft.dir/fft3d.cpp.o"
+  "CMakeFiles/psdns_fft.dir/fft3d.cpp.o.d"
+  "CMakeFiles/psdns_fft.dir/mixed_radix.cpp.o"
+  "CMakeFiles/psdns_fft.dir/mixed_radix.cpp.o.d"
+  "CMakeFiles/psdns_fft.dir/plan.cpp.o"
+  "CMakeFiles/psdns_fft.dir/plan.cpp.o.d"
+  "CMakeFiles/psdns_fft.dir/real.cpp.o"
+  "CMakeFiles/psdns_fft.dir/real.cpp.o.d"
+  "libpsdns_fft.a"
+  "libpsdns_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

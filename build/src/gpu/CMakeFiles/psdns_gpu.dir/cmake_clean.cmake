@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_gpu.dir/cost_model.cpp.o"
+  "CMakeFiles/psdns_gpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/psdns_gpu.dir/virtual_gpu.cpp.o"
+  "CMakeFiles/psdns_gpu.dir/virtual_gpu.cpp.o.d"
+  "libpsdns_gpu.a"
+  "libpsdns_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_hw.dir/summit.cpp.o"
+  "CMakeFiles/psdns_hw.dir/summit.cpp.o.d"
+  "libpsdns_hw.a"
+  "libpsdns_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

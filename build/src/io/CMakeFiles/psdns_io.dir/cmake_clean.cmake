@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/psdns_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/psdns_io.dir/series.cpp.o"
+  "CMakeFiles/psdns_io.dir/series.cpp.o.d"
+  "libpsdns_io.a"
+  "libpsdns_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/memory.cpp" "src/model/CMakeFiles/psdns_model.dir/memory.cpp.o" "gcc" "src/model/CMakeFiles/psdns_model.dir/memory.cpp.o.d"
+  "/root/repo/src/model/scaling.cpp" "src/model/CMakeFiles/psdns_model.dir/scaling.cpp.o" "gcc" "src/model/CMakeFiles/psdns_model.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psdns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/psdns_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_model.dir/memory.cpp.o"
+  "CMakeFiles/psdns_model.dir/memory.cpp.o.d"
+  "CMakeFiles/psdns_model.dir/scaling.cpp.o"
+  "CMakeFiles/psdns_model.dir/scaling.cpp.o.d"
+  "libpsdns_model.a"
+  "libpsdns_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_net.dir/alltoall_model.cpp.o"
+  "CMakeFiles/psdns_net.dir/alltoall_model.cpp.o.d"
+  "libpsdns_net.a"
+  "libpsdns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_pipeline.dir/async_fft.cpp.o"
+  "CMakeFiles/psdns_pipeline.dir/async_fft.cpp.o.d"
+  "CMakeFiles/psdns_pipeline.dir/dns_step_model.cpp.o"
+  "CMakeFiles/psdns_pipeline.dir/dns_step_model.cpp.o.d"
+  "CMakeFiles/psdns_pipeline.dir/timeline.cpp.o"
+  "CMakeFiles/psdns_pipeline.dir/timeline.cpp.o.d"
+  "libpsdns_pipeline.a"
+  "libpsdns_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_sim.dir/dag.cpp.o"
+  "CMakeFiles/psdns_sim.dir/dag.cpp.o.d"
+  "CMakeFiles/psdns_sim.dir/engine.cpp.o"
+  "CMakeFiles/psdns_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/psdns_sim.dir/flow_network.cpp.o"
+  "CMakeFiles/psdns_sim.dir/flow_network.cpp.o.d"
+  "CMakeFiles/psdns_sim.dir/trace.cpp.o"
+  "CMakeFiles/psdns_sim.dir/trace.cpp.o.d"
+  "libpsdns_sim.a"
+  "libpsdns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_transpose.dir/dist_fft.cpp.o"
+  "CMakeFiles/psdns_transpose.dir/dist_fft.cpp.o.d"
+  "CMakeFiles/psdns_transpose.dir/pencil.cpp.o"
+  "CMakeFiles/psdns_transpose.dir/pencil.cpp.o.d"
+  "CMakeFiles/psdns_transpose.dir/slab.cpp.o"
+  "CMakeFiles/psdns_transpose.dir/slab.cpp.o.d"
+  "libpsdns_transpose.a"
+  "libpsdns_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

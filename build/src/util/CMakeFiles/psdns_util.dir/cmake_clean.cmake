@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdns_util.dir/cli.cpp.o"
+  "CMakeFiles/psdns_util.dir/cli.cpp.o.d"
+  "CMakeFiles/psdns_util.dir/config.cpp.o"
+  "CMakeFiles/psdns_util.dir/config.cpp.o.d"
+  "CMakeFiles/psdns_util.dir/format.cpp.o"
+  "CMakeFiles/psdns_util.dir/format.cpp.o.d"
+  "CMakeFiles/psdns_util.dir/rng.cpp.o"
+  "CMakeFiles/psdns_util.dir/rng.cpp.o.d"
+  "CMakeFiles/psdns_util.dir/table.cpp.o"
+  "CMakeFiles/psdns_util.dir/table.cpp.o.d"
+  "libpsdns_util.a"
+  "libpsdns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
