@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "obs/bench_report.hpp"
 #include "pipeline/dns_step_model.hpp"
 #include "util/format.hpp"
 #include "util/check.hpp"
@@ -33,6 +34,10 @@ int main() {
 
   std::printf("Ablations at 12288^3 on 1024 nodes (seconds per RK2 step)\n\n");
 
+  obs::BenchReport report("ablations");
+  report.meta("description",
+              "design-choice ablations at the 12288^3 / 1024-node point");
+
   {
     std::printf("1. Pencils aggregated per all-to-all (np = 6):\n");
     util::Table t({"Q (pencils/A2A)", "Time (s)"});
@@ -40,8 +45,9 @@ int main() {
       auto cfg = base_config();
       cfg.pencils = 6;
       cfg.pencils_per_a2a = q;
-      t.add_row({std::to_string(q),
-                 util::format_fixed(model.simulate_gpu_step(cfg).seconds, 2)});
+      const double tsec = model.simulate_gpu_step(cfg).seconds;
+      report.metric("pencils_per_a2a." + std::to_string(q), tsec);
+      t.add_row({std::to_string(q), util::format_fixed(tsec, 2)});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -57,7 +63,9 @@ int main() {
       cfg.pencils = np;
       std::string cell;
       try {
-        cell = util::format_fixed(model.simulate_gpu_step(cfg).seconds, 2);
+        const double tsec = model.simulate_gpu_step(cfg).seconds;
+        report.metric("pencils_per_slab." + std::to_string(np), tsec);
+        cell = util::format_fixed(tsec, 2);
       } catch (const util::Error&) {
         cell = "infeasible (27 buffers exceed GPU memory)";
       }
@@ -75,8 +83,10 @@ int main() {
           gpu::CopyMethod::ZeroCopy}) {
       auto cfg = base_config();
       cfg.copy_method = method;
-      t.add_row({gpu::to_string(method),
-                 util::format_fixed(model.simulate_gpu_step(cfg).seconds, 2)});
+      const double tsec = model.simulate_gpu_step(cfg).seconds;
+      report.metric(std::string("copy_method.") + gpu::to_string(method),
+                    tsec);
+      t.add_row({gpu::to_string(method), util::format_fixed(tsec, 2)});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -89,6 +99,8 @@ int main() {
     const double async_t = model.simulate_gpu_step(cfg).seconds;
     cfg.async = false;
     const double sync_t = model.simulate_gpu_step(cfg).seconds;
+    report.metric("scheduling.async_seconds", async_t);
+    report.metric("scheduling.serialized_seconds", sync_t);
     std::printf("   async: %s    serialized: %s    gain: %.1f%%\n\n",
                 util::format_time(async_t).c_str(),
                 util::format_time(sync_t).c_str(),
@@ -102,8 +114,10 @@ int main() {
          {gpu::CopyMethod::ZeroCopy, gpu::CopyMethod::Memcpy2DAsync}) {
       auto cfg = base_config();
       cfg.unpack_method = method;
-      t.add_row({gpu::to_string(method),
-                 util::format_fixed(model.simulate_gpu_step(cfg).seconds, 2)});
+      const double tsec = model.simulate_gpu_step(cfg).seconds;
+      report.metric(std::string("unpack_method.") + gpu::to_string(method),
+                    tsec);
+      t.add_row({gpu::to_string(method), util::format_fixed(tsec, 2)});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -114,6 +128,8 @@ int main() {
     const double staged = model.simulate_gpu_step(cfg).seconds;
     cfg.gpu_direct = true;
     const double direct = model.simulate_gpu_step(cfg).seconds;
+    report.metric("gpu_direct.staged_seconds", staged);
+    report.metric("gpu_direct.direct_seconds", direct);
     std::printf("   staged through host: %s    GPU-direct: %s (%+.1f%%)\n",
                 util::format_time(staged).c_str(),
                 util::format_time(direct).c_str(),
@@ -128,6 +144,8 @@ int main() {
     const double rk2 = model.simulate_gpu_step(cfg).seconds;
     cfg.rk_substeps = 4;
     const double rk4 = model.simulate_gpu_step(cfg).seconds;
+    report.metric("time_scheme.rk2_seconds", rk2);
+    report.metric("time_scheme.rk4_seconds", rk4);
     std::printf("   RK2: %s    RK4: %s (ratio %.2f)\n\n",
                 util::format_time(rk2).c_str(),
                 util::format_time(rk4).c_str(), rk4 / rk2);
@@ -142,6 +160,7 @@ int main() {
       auto cfg = base_config();
       cfg.scalars = m;
       const double tsec = model.simulate_gpu_step(cfg).seconds;
+      report.metric("scalars." + std::to_string(m), tsec);
       if (m == 0) base = tsec;
       t.add_row({std::to_string(m), util::format_fixed(tsec, 2),
                  util::format_fixed(tsec / base, 2) + "x"});
@@ -160,8 +179,9 @@ int main() {
       const pipeline::DnsStepModel m2(hw::summit(), params);
       auto cfg = base_config();
       cfg.mpi = pipeline::MpiConfig::B;
-      t.add_row({util::format_fixed(p, 1),
-                 util::format_fixed(m2.simulate_gpu_step(cfg).seconds, 2)});
+      const double tsec = m2.simulate_gpu_step(cfg).seconds;
+      report.metric("progression." + util::format_fixed(p, 1), tsec);
+      t.add_row({util::format_fixed(p, 1), util::format_fixed(tsec, 2)});
     }
     std::printf("%s\n", t.to_string().c_str());
     std::printf(
@@ -169,5 +189,6 @@ int main() {
         "   rival the whole-slab strategy - the paper's observation that\n"
         "   async MPI 'provided good but not the best performance' (Sec. 1).\n");
   }
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "model/geometry.hpp"
 #include "model/paper.hpp"
 #include "net/alltoall_model.hpp"
+#include "obs/bench_report.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -62,6 +63,10 @@ int main() {
       "configuration (32 ranks/node, as the CPU baseline) shrinks the\n"
       "column messages ~11x and pays the full rank-density penalty.\n\n");
 
+  obs::BenchReport report("decomposition_comparison");
+  report.meta("description",
+              "per-step MPI time: 1-D slab vs 2-D pencil decompositions");
+
   util::Table t({"Nodes", "Problem", "Slab msg (3v)", "Slab MPI (s)",
                  "Pencil 2t/n (s)", "Pencil 32t/n msg", "Pencil 32t/n (s)"});
   for (const auto& c : model::paper::kCases) {
@@ -88,6 +93,11 @@ int main() {
           2.0 * (pencil_column_phase(a2a, c.n, c.nodes, 32, nv).seconds +
                  pencil_row_phase(hw_spec, c.n, c.nodes, nv));
     }
+    const std::string key =
+        std::to_string(c.n) + "_" + std::to_string(c.nodes) + "n";
+    report.metric("slab_mpi_seconds." + key, slab_step);
+    report.metric("pencil_2tpn_seconds." + key, pencil2);
+    report.metric("pencil_32tpn_seconds." + key, pencil32);
     t.add_row({std::to_string(c.nodes), util::format_problem(c.n),
                util::format_bytes(slab.p2p_bytes(c.pencils)),
                util::format_fixed(slab_step, 2),
@@ -106,5 +116,6 @@ int main() {
       "exactly the communication regime the paper escapes by pairing\n"
       "dense nodes with a 1-D decomposition. (Slabs require P <= N;\n"
       "Summit's node density is what makes that satisfiable here.)\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

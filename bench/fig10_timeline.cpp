@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "obs/bench_report.hpp"
+#include "obs/trace_export.hpp"
 #include "pipeline/dns_step_model.hpp"
 #include "pipeline/timeline.hpp"
 #include "util/format.hpp"
@@ -50,6 +52,10 @@ int main() {
   std::printf("MPI-only code (same all-to-alls, nothing else): %s\n\n",
               util::format_time(model.mpi_only_step_seconds(mpi_cfg)).c_str());
 
+  obs::BenchReport report("fig10_timeline");
+  report.meta("description",
+              "per-category busy times of one RK2 step, 12288^3 / 1024 nodes");
+  const char* variant_key[] = {"b_async_pencil", "c_slab", "a_6tasks"};
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::printf("%s  [step: %s]\n", variants[i].title,
                 util::format_time(results[i].seconds).c_str());
@@ -59,7 +65,23 @@ int main() {
                 pipeline::summarize_busy(results[i].records,
                                          results[i].seconds)
                     .c_str());
+    const std::string key = variant_key[i];
+    report.metric("step_seconds." + key, results[i].seconds);
+    report.metric("mpi_busy_seconds." + key, results[i].mpi_busy);
+    report.metric("transfer_busy_seconds." + key, results[i].transfer_busy);
+    report.metric("compute_busy_seconds." + key, results[i].compute_busy);
   }
+
+  // The same records, interactively: one Chrome trace per variant,
+  // loadable in Perfetto / chrome://tracing (see README "Observability").
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string path = obs::bench_output_path(
+        std::string("fig10_trace_") + variant_key[i] + ".json");
+    obs::write_text_file(path,
+                         obs::to_chrome_trace(results[i].records));
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("wrote %s\n", report.write().c_str());
 
   std::printf(
       "Takeaways reproduced (Sec. 5.2): MPI (red in the paper) dominates\n"

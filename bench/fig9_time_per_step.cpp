@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "model/paper.hpp"
+#include "obs/bench_report.hpp"
 #include "pipeline/dns_step_model.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -18,6 +19,10 @@ int main() {
       "Fig. 9: time per step vs node count (weak-scaled problem sizes).\n"
       "'MPI only' performs just the required all-to-alls (no compute, no\n"
       "CPU<->GPU movement) - the lower bound any GPU optimization can reach.\n\n");
+
+  obs::BenchReport report("fig9_time_per_step");
+  report.meta("description",
+              "seconds per RK2 step vs node count, with the MPI-only bound");
 
   util::Table t({"Nodes", "Problem", "A: 6 t/n (s)", "B: 2 t/n 1 pencil (s)",
                  "C: 2 t/n 1 slab (s)", "MPI only (s)", "paper best (s)"});
@@ -42,6 +47,12 @@ int main() {
     const auto& row = model::paper::kTable3[i];
     const double paper_best =
         std::min(row.gpu_a, std::min(row.gpu_b, row.gpu_c));
+    const std::string key =
+        std::to_string(c.n) + "_" + std::to_string(c.nodes) + "n";
+    report.metric("step_seconds." + key + ".a", cell[0]);
+    report.metric("step_seconds." + key + ".b", cell[1]);
+    report.metric("step_seconds." + key + ".c", cell[2]);
+    report.metric("mpi_only_seconds." + key, mpi_only);
     t.add_row({std::to_string(c.nodes), util::format_problem(c.n),
                util::format_fixed(cell[0], 2), util::format_fixed(cell[1], 2),
                util::format_fixed(cell[2], 2),
@@ -70,10 +81,14 @@ int main() {
     cfg.mpi = MpiConfig::C;
     const double tsec = model.simulate_gpu_step(cfg).seconds;
     if (nodes == 512) t512 = tsec;
+    report.metric("strong_scaling_12288.step_seconds." +
+                      std::to_string(nodes) + "n",
+                  tsec);
     ss.add_row({std::to_string(nodes), std::to_string(cfg.pencils),
                 util::format_fixed(tsec, 2),
                 util::format_fixed(100.0 * t512 / tsec * 512.0 / nodes, 1)});
   }
   std::printf("%s", ss.to_string().c_str());
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -1,0 +1,63 @@
+// Drop-in replacement for BENCHMARK_MAIN() that keeps the normal console
+// output and additionally writes a machine-readable BENCH_<name>.json via
+// obs::BenchReport, one metric per benchmark (real seconds per iteration).
+//
+// Lives in bench/ (not src/obs) so the obs library itself stays free of the
+// google-benchmark dependency.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+
+namespace psdns::bench {
+
+// Forwards to the stock console reporter, capturing (name, seconds/iter) of
+// every plain iteration run along the way; aggregates and errored runs are
+// reported to the console but kept out of the JSON.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      results_.emplace_back(run.benchmark_name(),
+                            run.real_accumulated_time / iters);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
+inline int run_benchmarks_with_report(int argc, char** argv,
+                                      const std::string& report_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  obs::BenchReport report(report_name);
+  report.meta("description",
+              "google-benchmark micro-kernels, real seconds per iteration");
+  for (const auto& [name, seconds] : reporter.results()) {
+    report.metric("seconds_per_iter." + name, seconds);
+  }
+  std::printf("wrote %s\n", report.write().c_str());
+  return 0;
+}
+
+}  // namespace psdns::bench

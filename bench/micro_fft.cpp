@@ -8,6 +8,7 @@
 #include "fft/fft3d.hpp"
 #include "fft/plan.hpp"
 #include "fft/real.hpp"
+#include "gbench_main.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -93,4 +94,6 @@ BENCHMARK(BM_Fft3dR2C)->Arg(16)->Arg(32)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return psdns::bench::run_benchmarks_with_report(argc, argv, "micro_fft");
+}

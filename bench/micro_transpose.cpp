@@ -8,6 +8,7 @@
 
 #include "comm/communicator.hpp"
 #include "dns/solver.hpp"
+#include "gbench_main.hpp"
 #include "gpu/copy.hpp"
 #include "transpose/dist_fft.hpp"
 #include "transpose/slab.hpp"
@@ -103,4 +104,7 @@ BENCHMARK(BM_DnsStep)->Arg(32)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return psdns::bench::run_benchmarks_with_report(argc, argv,
+                                                  "micro_transpose");
+}

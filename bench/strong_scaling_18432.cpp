@@ -5,6 +5,7 @@
 
 #include "model/memory.hpp"
 #include "model/scaling.hpp"
+#include "obs/bench_report.hpp"
 #include "pipeline/dns_step_model.hpp"
 #include "util/format.hpp"
 
@@ -34,5 +35,14 @@ int main() {
               util::format_time(t3072).c_str());
   std::printf("  strong scaling: %.1f%%   (paper: 95.7%%)\n",
               model::strong_scaling_percent(1536, t1536, 3072, t3072));
+
+  obs::BenchReport report("strong_scaling_18432");
+  report.meta("description",
+              "18432^3 strong scaling, 1536 vs 3072 nodes (Sec. 5.3)");
+  report.metric("step_seconds.1536n", t1536);
+  report.metric("step_seconds.3072n", t3072);
+  report.metric("strong_scaling_pct",
+                model::strong_scaling_percent(1536, t1536, 3072, t3072));
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "model/memory.hpp"
 #include "model/paper.hpp"
+#include "obs/bench_report.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -15,6 +16,10 @@ int main() {
   std::printf("Table 1: problem sizes, memory occupancy and pencil counts\n");
   std::printf("(model | paper)\n\n");
 
+  obs::BenchReport report("table1_memory_model");
+  report.meta("description",
+              "memory occupancy and pencil sizes for Table 1 problem sizes");
+
   util::Table t({"# Nodes", "Problem size", "Mem. occ. per node (GiB)",
                  "No. of pencils", "Size of pencil (GiB)"});
   const double paper_mem[] = {202.5, 202.5, 202.5, 227.8};
@@ -22,6 +27,11 @@ int main() {
   const auto rows = model::table1(mm);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
+    const std::string key =
+        std::to_string(r.n) + "_" + std::to_string(r.nodes) + "n";
+    report.metric("mem_per_node_gib." + key, r.mem_per_node_gib);
+    report.metric("pencils." + key, static_cast<double>(r.pencils));
+    report.metric("pencil_gib." + key, r.pencil_gib);
     t.add_row({std::to_string(r.nodes), util::format_problem(r.n),
                util::format_fixed(r.mem_per_node_gib, 1) + " | " +
                    util::format_fixed(paper_mem[i], 1),
@@ -41,5 +51,8 @@ int main() {
               mm.pencils_needed_estimate(18432, 3072));
   std::printf("  pencils used in practice: %d (paper: 4)\n",
               mm.pencils_needed(18432, 3072));
+  report.metric("min_nodes_estimate.18432", mm.min_nodes_estimate(18432));
+  report.metric("min_nodes.18432", static_cast<double>(mm.min_nodes(18432)));
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "model/geometry.hpp"
 #include "model/paper.hpp"
 #include "net/alltoall_model.hpp"
+#include "obs/bench_report.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -19,6 +20,10 @@ int main() {
       "Table 2: effective all-to-all bandwidth per node (Eq. 3)\n"
       "A: 6 tasks/node, 1 pencil/A2A; B: 2 tasks/node, 1 pencil/A2A;\n"
       "C: 2 tasks/node, 1 slab/A2A. BW cells: model | paper, GB/s.\n\n");
+
+  obs::BenchReport report("table2_a2a_bandwidth");
+  report.meta("description",
+              "effective all-to-all bandwidth per node, configs A/B/C");
 
   util::Table t({"Nodes", "A: P2P (MiB)", "A: BW", "B: P2P (MiB)", "B: BW",
                  "C: P2P (MiB)", "C: BW"});
@@ -39,6 +44,10 @@ int main() {
     const auto bw = [&](int tpn, double p2p) {
       return a2a.reported_bw_per_node(row.nodes, tpn, p2p) / 1e9;
     };
+    const std::string key = std::to_string(row.nodes) + "n";
+    report.metric("bw_gbps.a." + key, bw(6, p2p_a));
+    report.metric("bw_gbps.b." + key, bw(2, p2p_b));
+    report.metric("bw_gbps.c." + key, bw(2, p2p_c));
     t.add_row({std::to_string(row.nodes),
                util::format_fixed(p2p_a / kMiB, p2p_a < kMiB ? 3 : 1),
                util::format_fixed(bw(6, p2p_a), 1) + " | " +
@@ -54,5 +63,6 @@ int main() {
   std::printf(
       "Shapes reproduced: B > A up to 1024 nodes; A edges B at 3072 (eager\n"
       "path for 53 KB messages); whole-slab messages (C) best at scale.\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

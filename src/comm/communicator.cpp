@@ -3,6 +3,8 @@
 #include <thread>
 #include <tuple>
 
+#include "obs/log.hpp"
+
 namespace psdns::comm {
 
 Communicator Communicator::split(int color, int key) {
@@ -54,6 +56,7 @@ void run_ranks(int nranks, const std::function<void(Communicator&)>& body) {
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      obs::set_rank_tag(r);  // stamp this rank's log lines and trace spans
       try {
         Communicator comm(group, r);
         body(comm);

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace psdns::comm {
@@ -84,6 +85,11 @@ class Communicator {
   /// destined for rank r; recv receives one block from every rank.
   template <class T>
   void alltoall(const T* send, T* recv, std::size_t count) {
+    obs::registry().counter_add("comm.alltoall.calls");
+    obs::registry().counter_add(
+        "comm.alltoall.bytes",
+        static_cast<std::int64_t>(sizeof(T) * count *
+                                  static_cast<std::size_t>(size())));
     publish(send);
     for (int r = 0; r < size(); ++r) {
       const T* theirs = peek<T>(r);
@@ -113,6 +119,12 @@ class Communicator {
       const std::size_t* counts;
       const std::size_t* displs;
     };
+    std::size_t send_elems = 0;
+    for (int r = 0; r < size(); ++r) send_elems += send_counts[r];
+    obs::registry().counter_add("comm.alltoall.calls");
+    obs::registry().counter_add(
+        "comm.alltoall.bytes",
+        static_cast<std::int64_t>(sizeof(T) * send_elems));
     const Spec mine{send, send_counts, send_displs};
     publish(&mine);
     for (int r = 0; r < size(); ++r) {

@@ -4,7 +4,10 @@
 #include <filesystem>
 
 #include "io/checkpoint.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
+#include "util/stopwatch.hpp"
 
 namespace psdns::driver {
 
@@ -65,6 +68,7 @@ CampaignResult run_campaign(comm::Communicator& comm,
                             const CampaignObserver& observer) {
   PSDNS_REQUIRE(cfg.max_steps >= 0, "negative step budget");
   PSDNS_REQUIRE(cfg.cfl > 0.0 && cfg.max_dt > 0.0, "bad stepping limits");
+  obs::init_logging_from_env();
 
   dns::SlabSolver solver(comm, cfg.solver);
 
@@ -91,9 +95,20 @@ CampaignResult run_campaign(comm::Communicator& comm,
   const std::int64_t first_step = solver.step_count();
   while (solver.step_count() - first_step < cfg.max_steps &&
          solver.time() < cfg.max_time) {
-    const double dt = std::min(solver.cfl_dt(cfg.cfl), cfg.max_dt);
+    const double cfl_dt = solver.cfl_dt(cfg.cfl);
+    const double dt = std::min(cfl_dt, cfg.max_dt);
+    const util::Stopwatch step_watch;
     solver.step(dt);
+    const double wall = step_watch.seconds();
     ++result.steps_run;
+    if (comm.rank() == 0) {
+      auto& reg = obs::registry();
+      reg.counter_add("driver.steps");
+      reg.gauge_set("driver.dt", dt);
+      reg.gauge_set("driver.cfl_dt", cfl_dt);
+      reg.gauge_set("driver.sim_time", solver.time());
+      reg.observe("driver.step.wall_seconds", wall);
+    }
 
     const bool report =
         cfg.diagnostics_every > 0 &&
@@ -104,11 +119,20 @@ CampaignResult run_campaign(comm::Communicator& comm,
     if (report || !cfg.series_path.empty()) {
       const auto d = solver.diagnostics();
       if (comm.rank() == 0) {
+        obs::registry().gauge_set("driver.energy", d.energy);
         if (series != nullptr) {
-          series->append(solver.step_count(), solver.time(), d);
+          series->append(solver.step_count(), solver.time(), d, dt,
+                         wall * 1e3);
         }
-        if (report && observer) {
-          observer(solver.step_count(), solver.time(), d);
+        if (report) {
+          obs::log_event(obs::LogLevel::Info, "driver", "step",
+                         {{"step", solver.step_count()},
+                          {"time", solver.time()},
+                          {"dt", dt},
+                          {"cfl_dt", cfl_dt},
+                          {"energy", d.energy},
+                          {"wall_ms", wall * 1e3}});
+          if (observer) observer(solver.step_count(), solver.time(), d);
         }
       }
     }

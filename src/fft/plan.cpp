@@ -8,6 +8,8 @@
 #include "fft/bluestein.hpp"
 #include "fft/factor.hpp"
 #include "fft/mixed_radix.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace psdns::fft {
@@ -94,7 +96,14 @@ std::shared_ptr<const PlanC2C> get_plan(std::size_t n) {
   static std::map<std::size_t, std::shared_ptr<const PlanC2C>> cache;
   std::lock_guard lock(mutex);
   auto& slot = cache[n];
-  if (!slot) slot = std::make_shared<const PlanC2C>(n);
+  if (!slot) {
+    obs::registry().counter_add("fft.plan_cache.miss");
+    obs::log_event(obs::LogLevel::Debug, "fft", "plan cache miss",
+                   {{"n", n}});
+    slot = std::make_shared<const PlanC2C>(n);
+  } else {
+    obs::registry().counter_add("fft.plan_cache.hit");
+  }
   return slot;
 }
 

@@ -6,6 +6,8 @@
 #include <numbers>
 #include <vector>
 
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace psdns::fft {
@@ -111,7 +113,14 @@ std::shared_ptr<const PlanR2C> get_plan_r2c(std::size_t n) {
   static std::map<std::size_t, std::shared_ptr<const PlanR2C>> cache;
   std::lock_guard lock(mutex);
   auto& slot = cache[n];
-  if (!slot) slot = std::make_shared<const PlanR2C>(n);
+  if (!slot) {
+    obs::registry().counter_add("fft.plan_cache.miss");
+    obs::log_event(obs::LogLevel::Debug, "fft", "r2c plan cache miss",
+                   {{"n", n}});
+    slot = std::make_shared<const PlanR2C>(n);
+  } else {
+    obs::registry().counter_add("fft.plan_cache.hit");
+  }
   return slot;
 }
 

@@ -6,7 +6,10 @@
 #include <vector>
 
 #include "fft/types.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
+#include "util/stopwatch.hpp"
 
 namespace psdns::io {
 
@@ -27,11 +30,15 @@ using File = std::unique_ptr<std::FILE, FileCloser>;
 void write_exact(std::FILE* f, const void* data, std::size_t bytes) {
   PSDNS_REQUIRE(std::fwrite(data, 1, bytes, f) == bytes,
                 "checkpoint write failed (disk full?)");
+  obs::registry().counter_add("io.checkpoint.write_bytes",
+                              static_cast<std::int64_t>(bytes));
 }
 
 void read_exact(std::FILE* f, void* data, std::size_t bytes) {
   PSDNS_REQUIRE(std::fread(data, 1, bytes, f) == bytes,
                 "checkpoint truncated or unreadable");
+  obs::registry().counter_add("io.checkpoint.read_bytes",
+                              static_cast<std::int64_t>(bytes));
 }
 
 CheckpointInfo read_header(std::FILE* f, const std::string& path) {
@@ -55,6 +62,7 @@ CheckpointInfo read_header(std::FILE* f, const std::string& path) {
 
 void save_checkpoint(const std::string& path, dns::SlabSolver& solver) {
   auto& comm = solver.communicator();
+  const util::Stopwatch watch;
   const std::size_t n = solver.n();
   const std::size_t nxh = n / 2 + 1;
   const std::size_t slab = solver.modes().local_modes();
@@ -98,11 +106,21 @@ void save_checkpoint(const std::string& path, dns::SlabSolver& solver) {
     }
   }
   comm.barrier();  // nobody returns before the file is complete
+  if (comm.rank() == 0) {
+    const double seconds = watch.seconds();
+    obs::registry().counter_add("io.checkpoint.writes");
+    obs::registry().observe("io.checkpoint.write_seconds", seconds);
+    obs::log_event(obs::LogLevel::Info, "io", "checkpoint written",
+                   {{"path", path},
+                    {"step", solver.step_count()},
+                    {"seconds", seconds}});
+  }
 }
 
 CheckpointInfo load_checkpoint(const std::string& path,
                                dns::SlabSolver& solver) {
   auto& comm = solver.communicator();
+  const util::Stopwatch watch;
   const std::size_t n = solver.n();
   const std::size_t nxh = n / 2 + 1;
   const std::size_t slab = solver.modes().local_modes();
@@ -138,6 +156,15 @@ CheckpointInfo load_checkpoint(const std::string& path,
 
   solver.restore(std::span<const Complex* const>(ptrs.data(), nfields),
                  info.time, info.step);
+  if (comm.rank() == 0) {
+    const double seconds = watch.seconds();
+    obs::registry().counter_add("io.checkpoint.reads");
+    obs::registry().observe("io.checkpoint.read_seconds", seconds);
+    obs::log_event(obs::LogLevel::Info, "io", "checkpoint restored",
+                   {{"path", path},
+                    {"step", info.step},
+                    {"seconds", seconds}});
+  }
   return info;
 }
 

@@ -9,7 +9,7 @@ SeriesWriter::SeriesWriter(const std::string& path)
   PSDNS_REQUIRE(file_ != nullptr, "cannot open series file: " + path);
   std::fprintf(file_,
                "step,time,energy,dissipation,u_max,taylor_scale,"
-               "reynolds_lambda,kolmogorov_eta\n");
+               "reynolds_lambda,kolmogorov_eta,dt,wall_ms\n");
 }
 
 SeriesWriter::~SeriesWriter() {
@@ -17,10 +17,13 @@ SeriesWriter::~SeriesWriter() {
 }
 
 void SeriesWriter::append(std::int64_t step, double time,
-                          const dns::Diagnostics& d) {
-  std::fprintf(file_, "%lld,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+                          const dns::Diagnostics& d, double dt,
+                          double wall_ms) {
+  std::fprintf(file_,
+               "%lld,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
                static_cast<long long>(step), time, d.energy, d.dissipation,
-               d.u_max, d.taylor_scale, d.reynolds_lambda, d.kolmogorov_eta);
+               d.u_max, d.taylor_scale, d.reynolds_lambda, d.kolmogorov_eta,
+               dt, wall_ms);
   std::fflush(file_);
 }
 

@@ -13,7 +13,9 @@
 namespace psdns::io {
 
 /// Appends one CSV row per call: step,time,energy,dissipation,u_max,
-/// taylor_scale,reynolds_lambda,kolmogorov_eta. Call from rank 0 only.
+/// taylor_scale,reynolds_lambda,kolmogorov_eta,dt,wall_ms. Call from
+/// rank 0 only. dt/wall_ms are the per-step driver stats; callers without
+/// stepping context may leave them 0.
 class SeriesWriter {
  public:
   explicit SeriesWriter(const std::string& path);
@@ -21,7 +23,8 @@ class SeriesWriter {
   SeriesWriter(const SeriesWriter&) = delete;
   SeriesWriter& operator=(const SeriesWriter&) = delete;
 
-  void append(std::int64_t step, double time, const dns::Diagnostics& d);
+  void append(std::int64_t step, double time, const dns::Diagnostics& d,
+              double dt = 0.0, double wall_ms = 0.0);
 
  private:
   std::FILE* file_;

@@ -1,0 +1,111 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
+
+namespace psdns::obs {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string read_first_line(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  std::getline(in, line);
+  return trim(line);
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::metric(const std::string& key, double value) {
+  for (auto& [k, v] : metrics_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(key, value);
+}
+
+void BenchReport::meta(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"name\": " << json_quote(name_)
+     << ",\n  \"schema_version\": 1"
+     << ",\n  \"git_sha\": " << json_quote(current_git_sha())
+     << ",\n  \"metadata\": {";
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    " << json_quote(meta_[i].first)
+       << ": " << json_quote(meta_[i].second);
+  }
+  os << (meta_.empty() ? "" : "\n  ") << "},\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    " << json_quote(metrics_[i].first)
+       << ": " << json_number(metrics_[i].second);
+  }
+  os << (metrics_.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string BenchReport::write() const {
+  const std::string path = output_path(name_);
+  write_text_file(path, to_json());
+  return path;
+}
+
+std::string BenchReport::output_path(const std::string& name) {
+  return bench_output_path("BENCH_" + name + ".json");
+}
+
+std::string bench_output_path(const std::string& filename) {
+  const char* dir = std::getenv("PSDNS_BENCH_DIR");
+  const std::string base = (dir != nullptr && *dir != '\0') ? dir : ".";
+  return (std::filesystem::path(base) / filename).string();
+}
+
+std::string current_git_sha() {
+  if (const char* sha = std::getenv("PSDNS_GIT_SHA")) return sha;
+  std::error_code ec;
+  auto dir = std::filesystem::current_path(ec);
+  if (ec) return "unknown";
+  for (int depth = 0; depth < 10; ++depth) {
+    const auto head = dir / ".git" / "HEAD";
+    if (std::filesystem::exists(head, ec)) {
+      const std::string line = read_first_line(head);
+      if (line.rfind("ref: ", 0) == 0) {
+        const std::string sha = read_first_line(dir / ".git" / line.substr(5));
+        return sha.empty() ? "unknown" : sha;
+      }
+      return line.empty() ? "unknown" : line;
+    }
+    if (!dir.has_parent_path() || dir.parent_path() == dir) break;
+    dir = dir.parent_path();
+  }
+  return "unknown";
+}
+
+}  // namespace psdns::obs

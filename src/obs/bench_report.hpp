@@ -1,0 +1,51 @@
+#pragma once
+// Machine-readable benchmark output. Every bench binary emits a
+// BENCH_<name>.json next to its human-readable tables so each commit
+// leaves a perf-trajectory datapoint that tooling can diff. Schema
+// (version 1):
+//   { "name": "<bench name>", "schema_version": 1, "git_sha": "<sha>",
+//     "metadata": { "<key>": "<string>", ... },
+//     "metrics":  { "<key>": <number>, ... } }
+// The output directory is PSDNS_BENCH_DIR when set, else the working
+// directory (the repo root under the tier-1 flow).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psdns::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Last write wins on duplicate keys.
+  void metric(const std::string& key, double value);
+  void meta(const std::string& key, const std::string& value);
+
+  std::string to_json() const;
+
+  /// Writes BENCH_<name>.json and returns the path written.
+  std::string write() const;
+
+  const std::string& name() const { return name_; }
+
+  /// "<dir>/BENCH_<name>.json" under PSDNS_BENCH_DIR (default ".").
+  static std::string output_path(const std::string& name);
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Joins PSDNS_BENCH_DIR (default ".") with `filename` - for extra bench
+/// artifacts like exported traces that should land next to the reports.
+std::string bench_output_path(const std::string& filename);
+
+/// HEAD commit of the enclosing git checkout, resolved by reading
+/// .git/HEAD (searching upward from the working directory); "unknown"
+/// when no checkout is found. PSDNS_GIT_SHA overrides.
+std::string current_git_sha();
+
+}  // namespace psdns::obs

@@ -1,0 +1,292 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace psdns::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  // Prefer the shorter representation when it round-trips exactly.
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%.15g", value);
+  if (std::strtod(shorter, nullptr) == value) return shorter;
+  return buf;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return type == Type::Object && object.count(key) > 0;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  PSDNS_REQUIRE(type == Type::Object, "JSON value is not an object");
+  const auto it = object.find(key);
+  PSDNS_REQUIRE(it != object.end(), "missing JSON key: " + key);
+  return it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    PSDNS_REQUIRE(pos_ == text_.size(), "trailing garbage after JSON value");
+    return v;
+  }
+
+ private:
+  JsonValue parse_value() {
+    skip_ws();
+    PSDNS_REQUIRE(pos_ < text_.size(), "unexpected end of JSON input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_string() {
+    expect('"');
+    JsonValue v;
+    v.type = JsonValue::Type::String;
+    while (true) {
+      PSDNS_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        PSDNS_REQUIRE(static_cast<unsigned char>(c) >= 0x20,
+                      "raw control character inside JSON string");
+        v.string += c;
+        continue;
+      }
+      PSDNS_REQUIRE(pos_ < text_.size(), "unterminated JSON escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          v.string += e;
+          break;
+        case 'b':
+          v.string += '\b';
+          break;
+        case 'f':
+          v.string += '\f';
+          break;
+        case 'n':
+          v.string += '\n';
+          break;
+        case 'r':
+          v.string += '\r';
+          break;
+        case 't':
+          v.string += '\t';
+          break;
+        case 'u': {
+          PSDNS_REQUIRE(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            PSDNS_REQUIRE(std::isxdigit(static_cast<unsigned char>(h)),
+                          "bad hex digit in \\u escape");
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       std::isdigit(static_cast<unsigned char>(h))
+                           ? h - '0'
+                           : std::tolower(h) - 'a' + 10);
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two separate 3-byte sequences; good enough for the
+          // telemetry payloads this parser validates).
+          if (code < 0x80) {
+            v.string += static_cast<char>(code);
+          } else if (code < 0x800) {
+            v.string += static_cast<char>(0xC0 | (code >> 6));
+            v.string += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            v.string += static_cast<char>(0xE0 | (code >> 12));
+            v.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            v.string += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          util::raise(std::string("invalid JSON escape: \\") + e);
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type = JsonValue::Type::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      util::raise("invalid JSON literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    PSDNS_REQUIRE(text_.compare(pos_, 4, "null") == 0,
+                  "invalid JSON literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    PSDNS_REQUIRE(pos_ > start, "invalid JSON number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    v.number = std::strtod(token.c_str(), &end);
+    PSDNS_REQUIRE(end != nullptr && *end == '\0',
+                  "invalid JSON number: " + token);
+    return v;
+  }
+
+  char peek() const {
+    PSDNS_REQUIRE(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    PSDNS_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
+                  std::string("expected '") + c + "' in JSON");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace psdns::obs

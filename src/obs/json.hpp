@@ -1,0 +1,54 @@
+#pragma once
+// Zero-dependency JSON primitives for the telemetry layer: string/number
+// formatting for the writers and a small recursive-descent parser used by
+// tests and CI to validate every document this repo emits (structured log
+// lines, Chrome traces, BENCH_*.json reports).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psdns::obs {
+
+/// Escapes a string for inclusion between JSON double quotes (the quotes
+/// themselves are not added): ", \, control characters as \uXXXX.
+std::string json_escape(const std::string& s);
+
+/// Escaped and double-quoted: json_quote("a\"b") == "\"a\\\"b\"".
+std::string json_quote(const std::string& s);
+
+/// Shortest round-trippable decimal for a finite double; non-finite values
+/// (which raw printf would render as the invalid tokens inf/nan) become
+/// "null".
+std::string json_number(double value);
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_bool() const { return type == Type::Bool; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_object() const { return type == Type::Object; }
+
+  bool has(const std::string& key) const;
+
+  /// Object member access; throws util::Error when absent or not an object.
+  const JsonValue& at(const std::string& key) const;
+};
+
+/// Parses one complete JSON document. Throws util::Error on malformed
+/// input or trailing non-whitespace.
+JsonValue json_parse(const std::string& text);
+
+}  // namespace psdns::obs

@@ -1,0 +1,120 @@
+#pragma once
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms with percentile summaries, plus RAII scoped timers. Timers
+// feed the registry and, when span capture is on, the buffer the Chrome
+// trace exporter turns into one track per thread. Thread-safe; the
+// hot-path cost is one mutex acquisition plus a map lookup, which the
+// laptop-scale functional paths that carry instrumentation can afford.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.hpp"
+
+namespace psdns::obs {
+
+struct HistogramSummary {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
+class Registry {
+ public:
+  void counter_add(const std::string& name, std::int64_t delta = 1);
+  /// 0 when the counter has never been touched.
+  std::int64_t counter(const std::string& name) const;
+
+  void gauge_set(const std::string& name, double value);
+  double gauge(const std::string& name) const;
+
+  /// Declares a histogram with explicit ascending bucket upper bounds.
+  /// Re-declaring an existing histogram is an error; observing into an
+  /// undeclared one creates it with default_bounds().
+  void declare_histogram(const std::string& name, std::vector<double> bounds);
+  void observe(const std::string& name, double value);
+  HistogramSummary histogram(const std::string& name) const;
+
+  MetricsSnapshot snapshot() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count,sum,min,max,p50,p95,p99}}}
+  std::string to_json() const;
+  void reset();
+
+  /// Log-spaced seconds-oriented bounds, 1 us .. 1000 s, 4 per decade.
+  static std::vector<double> default_bounds();
+
+ private:
+  struct Histogram {
+    std::vector<double> bounds;           // ascending upper bucket edges
+    std::vector<std::int64_t> buckets;    // bounds.size() + 1 (overflow last)
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  HistogramSummary summarize(const Histogram& h) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The process-wide registry all library instrumentation reports into.
+Registry& registry();
+
+/// Small dense per-thread index (0, 1, 2, ... in first-use order) used to
+/// tag log lines and trace spans; stable for the thread's lifetime.
+int thread_index();
+
+// --- span capture (tracing of functional runs) ---
+
+struct Span {
+  std::string name;
+  int thread = 0;     // thread_index() of the emitting thread
+  double start_s = 0.0;  // seconds since capture was enabled
+  double dur_s = 0.0;
+};
+
+/// Enabling clears previously captured spans and restarts the time origin.
+void enable_span_capture(bool on);
+bool span_capture_enabled();
+std::vector<Span> captured_spans();
+void clear_spans();
+
+/// Records elapsed wall time into registry histogram `name` on destruction
+/// (or stop()), and appends a Span when span capture is enabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name, Registry& reg = registry());
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Stops early and returns the elapsed seconds; later calls (and the
+  /// destructor) are no-ops.
+  double stop();
+
+ private:
+  std::string name_;
+  Registry& reg_;
+  util::Stopwatch watch_;
+  bool stopped_ = false;
+};
+
+}  // namespace psdns::obs

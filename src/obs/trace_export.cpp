@@ -1,0 +1,131 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace psdns::obs {
+
+namespace {
+
+void append_metadata(std::ostringstream& os, const ChromeTraceOptions& opt,
+                     const std::string& kind, int tid,
+                     const std::string& name, bool& first) {
+  os << (first ? "" : ",\n") << "{\"name\":" << json_quote(kind)
+     << ",\"ph\":\"M\",\"ts\":0,\"dur\":0,\"pid\":" << opt.pid
+     << ",\"tid\":" << tid << ",\"args\":{\"name\":" << json_quote(name)
+     << "}}";
+  first = false;
+}
+
+void append_complete_event(std::ostringstream& os,
+                           const ChromeTraceOptions& opt,
+                           const std::string& name, const char* category,
+                           const char* cname, int tid, double start_s,
+                           double dur_s, bool& first) {
+  os << (first ? "" : ",\n") << "{\"name\":" << json_quote(name)
+     << ",\"cat\":" << json_quote(category) << ",\"ph\":\"X\",\"ts\":"
+     << json_number(start_s * opt.seconds_to_us)
+     << ",\"dur\":" << json_number(dur_s * opt.seconds_to_us)
+     << ",\"pid\":" << opt.pid << ",\"tid\":" << tid;
+  if (cname != nullptr) os << ",\"cname\":" << json_quote(cname);
+  os << "}";
+  first = false;
+}
+
+}  // namespace
+
+const char* chrome_color(sim::OpCategory category) {
+  // Stable chrome://tracing palette names, matching the paper's Fig.-4
+  // scheme: transfers blue, compute green, network red.
+  switch (category) {
+    case sim::OpCategory::H2D:
+      return "thread_state_iowait";  // blue
+    case sim::OpCategory::D2H:
+      return "thread_state_sleeping";  // light blue-grey
+    case sim::OpCategory::Compute:
+      return "thread_state_running";  // green
+    case sim::OpCategory::Unpack:
+      return "thread_state_runnable";  // teal
+    case sim::OpCategory::Mpi:
+      return "terrible";  // red
+    case sim::OpCategory::Cpu:
+      return "good";  // dark green
+    case sim::OpCategory::Wait:
+      return "grey";
+    case sim::OpCategory::Other:
+      return "generic_work";
+  }
+  return "generic_work";
+}
+
+std::string to_chrome_trace(const std::vector<sim::OpRecord>& records,
+                            const ChromeTraceOptions& options) {
+  // Lane -> tid in order of first appearance, so related streams of one
+  // rank stay adjacent in the viewer.
+  std::map<std::string, int> lane_tid;
+  std::vector<const std::string*> lane_order;
+  for (const auto& r : records) {
+    if (lane_tid.emplace(r.lane, static_cast<int>(lane_tid.size())).second) {
+      lane_order.push_back(&r.lane);
+    }
+  }
+
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  append_metadata(os, options, "process_name", 0, options.process_name,
+                  first);
+  for (const std::string* lane : lane_order) {
+    append_metadata(os, options, "thread_name", lane_tid[*lane], *lane,
+                    first);
+  }
+  for (const auto& r : records) {
+    append_complete_event(os, options, r.label, sim::to_string(r.category),
+                          chrome_color(r.category), lane_tid[r.lane],
+                          r.start, r.duration(), first);
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+std::string spans_to_chrome_trace(const std::vector<Span>& spans,
+                                  const ChromeTraceOptions& options) {
+  std::map<int, int> thread_tid;
+  std::vector<int> thread_order;
+  for (const auto& s : spans) {
+    if (thread_tid.emplace(s.thread, static_cast<int>(thread_tid.size()))
+            .second) {
+      thread_order.push_back(s.thread);
+    }
+  }
+
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  append_metadata(os, options, "process_name", 0, options.process_name,
+                  first);
+  for (const int thread : thread_order) {
+    append_metadata(os, options, "thread_name", thread_tid[thread],
+                    "thread " + std::to_string(thread), first);
+  }
+  for (const auto& s : spans) {
+    append_complete_event(os, options, s.name, "timer", nullptr,
+                          thread_tid[s.thread], s.start_s, s.dur_s, first);
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PSDNS_REQUIRE(f != nullptr, "cannot open file for writing: " + path);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  PSDNS_REQUIRE(written == text.size(), "short write to " + path);
+}
+
+}  // namespace psdns::obs

@@ -1,0 +1,39 @@
+#pragma once
+// Chrome trace-event export: converts simulated sim::OpRecord traces and
+// captured scoped-timer spans into the JSON array form of the Trace Event
+// Format, loadable by Perfetto (ui.perfetto.dev) and chrome://tracing -
+// the paper's Fig.-10 timeline view, but interactive. Every op becomes a
+// complete event (ph "X") with microsecond timestamps; each DAG lane (or
+// capture thread) becomes one named track; op categories map to stable
+// Chrome color names so the transfer/compute/network streams render in
+// the paper's blue/green/red scheme.
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "sim/trace.hpp"
+
+namespace psdns::obs {
+
+struct ChromeTraceOptions {
+  int pid = 1;
+  double seconds_to_us = 1e6;  // sim/wall seconds -> trace microseconds
+  std::string process_name = "psdns";
+};
+
+/// Chrome color-name for an op category (the `cname` event field).
+const char* chrome_color(sim::OpCategory category);
+
+/// One track per distinct OpRecord::lane, in order of first appearance.
+std::string to_chrome_trace(const std::vector<sim::OpRecord>& records,
+                            const ChromeTraceOptions& options = {});
+
+/// One track per capturing thread (spans from obs::captured_spans()).
+std::string spans_to_chrome_trace(const std::vector<Span>& spans,
+                                  const ChromeTraceOptions& options = {});
+
+/// Writes `text` to `path` (truncating). Throws util::Error on failure.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace psdns::obs

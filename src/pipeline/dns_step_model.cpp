@@ -5,6 +5,8 @@
 
 #include "gpu/virtual_gpu.hpp"
 #include "model/memory.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
 #include "sim/dag.hpp"
 #include "sim/engine.hpp"
 #include "sim/flow_network.hpp"
@@ -326,6 +328,20 @@ StepResult DnsStepModel::simulate_gpu_step(const PipelineConfig& cfg) const {
   result.transfer_busy =
       sim::busy_time(result.records, sim::OpCategory::H2D) +
       sim::busy_time(result.records, sim::OpCategory::D2H);
+
+  auto& reg = obs::registry();
+  reg.counter_add("pipeline.steps_simulated");
+  reg.observe("pipeline.step.seconds", result.seconds);
+  reg.gauge_set("pipeline.last_step.seconds", result.seconds);
+  reg.gauge_set("pipeline.last_step.mpi_busy", result.mpi_busy);
+  reg.gauge_set("pipeline.last_step.transfer_busy", result.transfer_busy);
+  reg.gauge_set("pipeline.last_step.compute_busy", result.compute_busy);
+  obs::log_event(obs::LogLevel::Debug, "pipeline", "gpu step simulated",
+                 {{"n", cfg.n},
+                  {"nodes", cfg.nodes},
+                  {"mpi", to_string(cfg.mpi)},
+                  {"seconds", result.seconds},
+                  {"mpi_busy", result.mpi_busy}});
   return result;
 }
 

@@ -18,10 +18,15 @@ std::string paint_row(const std::vector<const OpRecord*>& ops, double t_end,
   std::string row(static_cast<std::size_t>(columns), '.');
   for (const OpRecord* op : ops) {
     if (op->finish <= op->start) continue;
+    // Clip to [0, t_end]: ops entirely outside the window paint nothing
+    // (instead of smearing into the first/last column).
+    if (op->start >= t_end || op->finish <= 0.0) continue;
+    const double start = std::max(op->start, 0.0);
+    const double finish = std::min(op->finish, t_end);
     const int c0 = std::clamp(
-        static_cast<int>(op->start / t_end * columns), 0, columns - 1);
+        static_cast<int>(start / t_end * columns), 0, columns - 1);
     const int c1 = std::clamp(
-        static_cast<int>(op->finish / t_end * columns), c0, columns - 1);
+        static_cast<int>(finish / t_end * columns), c0, columns - 1);
     for (int c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = '#';
   }
   return row;

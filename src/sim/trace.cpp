@@ -35,25 +35,33 @@ double total_time(const std::vector<OpRecord>& records, OpCategory category) {
 }
 
 double busy_time(const std::vector<OpRecord>& records, OpCategory category) {
+  // Zero-length ops contribute no busy time; dropping them here also keeps
+  // them from seeding a bogus merge interval.
   std::vector<std::pair<SimTime, SimTime>> spans;
   for (const auto& r : records) {
     if (r.category == category && r.finish > r.start) {
       spans.emplace_back(r.start, r.finish);
     }
   }
+  if (spans.empty()) return 0.0;
   std::sort(spans.begin(), spans.end());
+  // Sweep the sorted spans, merging overlapping AND back-to-back touching
+  // intervals (s == cur_end) so shared endpoints are not double-counted.
+  // No sentinel start value: the first span seeds the merge interval, so
+  // spans at negative times are handled like any other.
   double busy = 0.0;
-  SimTime cur_start = 0.0, cur_end = -1.0;
+  SimTime cur_start = spans.front().first;
+  SimTime cur_end = spans.front().second;
   for (const auto& [s, e] : spans) {
     if (s > cur_end) {
-      if (cur_end > cur_start) busy += cur_end - cur_start;
+      busy += cur_end - cur_start;
       cur_start = s;
       cur_end = e;
     } else {
       cur_end = std::max(cur_end, e);
     }
   }
-  if (cur_end > cur_start) busy += cur_end - cur_start;
+  busy += cur_end - cur_start;
   return busy;
 }
 

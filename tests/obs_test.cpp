@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "obs/bench_report.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_export.hpp"
+#include "pipeline/dns_step_model.hpp"
+#include "util/check.hpp"
+
+namespace psdns::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// --- JSON primitives ---
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+}
+
+TEST(Json, NumbersRoundTripAndNonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  const double pi = 3.141592653589793;
+  EXPECT_DOUBLE_EQ(std::strtod(json_number(pi).c_str(), nullptr), pi);
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(Json, ParsesDocuments) {
+  const auto v = json_parse(
+      R"({"a": 1.5, "b": [true, false, null], "s": "x\ny", "o": {"k": -2}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("a").number, 1.5);
+  ASSERT_TRUE(v.at("b").is_array());
+  ASSERT_EQ(v.at("b").array.size(), 3u);
+  EXPECT_TRUE(v.at("b").array[0].boolean);
+  EXPECT_TRUE(v.at("b").array[2].is_null());
+  EXPECT_EQ(v.at("s").string, "x\ny");
+  EXPECT_DOUBLE_EQ(v.at("o").at("k").number, -2.0);
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_THROW(v.at("missing"), util::Error);
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  // A unicode escape for e-acute decodes to its two UTF-8 bytes; raw
+  // multi-byte input passes through untouched. (The escape sequence is
+  // assembled from adjacent literals so this source file stays ASCII.)
+  const std::string escaped = std::string("\"A\\") + "u00e9\"";
+  EXPECT_EQ(json_parse(escaped).string, "A\xc3\xa9");
+  EXPECT_EQ(json_parse("\"A\xc3\xa9\"").string, "A\xc3\xa9");
+  const std::string ascii_escape = std::string("\"\\") + "u0041\"";
+  EXPECT_EQ(json_parse(ascii_escape).string, "A");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), util::Error);
+  EXPECT_THROW(json_parse("{"), util::Error);
+  EXPECT_THROW(json_parse("[1,]"), util::Error);
+  EXPECT_THROW(json_parse("{\"a\":1} trailing"), util::Error);
+  EXPECT_THROW(json_parse("\"unterminated"), util::Error);
+  EXPECT_THROW(json_parse("nul"), util::Error);
+  EXPECT_THROW(json_parse("\"raw\ncontrol\""), util::Error);
+}
+
+// --- metrics registry ---
+
+TEST(Registry, CountersAndGauges) {
+  Registry reg;
+  EXPECT_EQ(reg.counter("c"), 0);
+  reg.counter_add("c");
+  reg.counter_add("c", 41);
+  EXPECT_EQ(reg.counter("c"), 42);
+  reg.gauge_set("g", 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g"), 2.5);
+  reg.gauge_set("g", -1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("g"), -1.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c"), 0);
+}
+
+TEST(Registry, HistogramPercentiles) {
+  Registry reg;
+  // One bucket per unit: observations k=1..100 land one per bucket, so the
+  // interpolated percentiles are exact.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  reg.declare_histogram("h", bounds);
+  for (int k = 1; k <= 100; ++k) reg.observe("h", static_cast<double>(k));
+  const auto s = reg.histogram("h");
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.0, 1.0);
+  EXPECT_NEAR(s.p95, 95.0, 1.0);
+  EXPECT_NEAR(s.p99, 99.0, 1.0);
+}
+
+TEST(Registry, HistogramDefaultBoundsAndClamping) {
+  Registry reg;
+  // Undeclared histograms spring into existence with default bounds.
+  reg.observe("auto", 1e-9);   // below the lowest bound
+  reg.observe("auto", 1e9);    // above the highest (overflow bucket)
+  const auto s = reg.histogram("auto");
+  EXPECT_EQ(s.count, 2);
+  // Percentile estimates stay within the observed range.
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_THROW(reg.declare_histogram("auto", {1.0}), util::Error);
+}
+
+TEST(Registry, SnapshotAndJson) {
+  Registry reg;
+  reg.counter_add("ops", 3);
+  reg.gauge_set("temp", 1.25);
+  reg.observe("lat", 0.5);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("ops"), 3);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("temp"), 1.25);
+  EXPECT_EQ(snap.histograms.at("lat").count, 1);
+
+  const auto v = json_parse(reg.to_json());
+  EXPECT_DOUBLE_EQ(v.at("counters").at("ops").number, 3.0);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("temp").number, 1.25);
+  EXPECT_DOUBLE_EQ(v.at("histograms").at("lat").at("count").number, 1.0);
+  EXPECT_TRUE(v.at("histograms").at("lat").has("p99"));
+}
+
+TEST(Registry, ScopedTimerRecordsIntoHistogram) {
+  Registry reg;
+  {
+    ScopedTimer t("block.seconds", reg);
+  }
+  ScopedTimer t2("block.seconds", reg);
+  const double elapsed = t2.stop();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_DOUBLE_EQ(t2.stop(), 0.0);  // second stop is a no-op
+  const auto s = reg.histogram("block.seconds");
+  EXPECT_EQ(s.count, 2);
+  EXPECT_GE(s.sum, 0.0);
+}
+
+TEST(Registry, SpanCaptureCollectsTimerSpans) {
+  enable_span_capture(true);
+  {
+    ScopedTimer t("traced.work");
+  }
+  {
+    ScopedTimer t("traced.more");
+  }
+  enable_span_capture(false);
+  const auto spans = captured_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "traced.work");
+  EXPECT_EQ(spans[1].name, "traced.more");
+  EXPECT_GE(spans[0].dur_s, 0.0);
+  EXPECT_LE(spans[0].start_s, spans[1].start_s);
+
+  // Spans convert to a parseable Chrome trace with per-thread tracks.
+  const auto v = json_parse(spans_to_chrome_trace(spans));
+  ASSERT_TRUE(v.is_array());
+  std::size_t complete = 0;
+  for (const auto& e : v.array) {
+    if (e.at("ph").string == "X") ++complete;
+  }
+  EXPECT_EQ(complete, 2u);
+
+  clear_spans();
+  EXPECT_TRUE(captured_spans().empty());
+}
+
+TEST(Registry, ThreadIndexIsDenseAndStable) {
+  const int self = thread_index();
+  EXPECT_GE(self, 0);
+  EXPECT_EQ(thread_index(), self);
+  int other = -1;
+  std::thread([&] { other = thread_index(); }).join();
+  EXPECT_GE(other, 0);
+  EXPECT_NE(other, self);
+}
+
+// --- structured logging ---
+
+class LogToFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "obs_log_test.jsonl";
+    std::remove(path_.c_str());
+    set_log_file(path_);
+  }
+  void TearDown() override {
+    set_log_file("");
+    set_log_level(LogLevel::Warn);
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(LogToFile, LevelFilteringAndJsonLines) {
+  set_log_level(LogLevel::Info);
+  log_event(LogLevel::Debug, "test", "filtered out");
+  log_event(LogLevel::Info, "test", "kept",
+            {{"n", 42}, {"ratio", 0.5}, {"tag", "a\"b"}, {"ok", true}});
+  set_log_level(LogLevel::Off);
+  log_event(LogLevel::Error, "test", "also filtered");
+
+  const std::string text = read_file(path_);
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<JsonValue> events;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) events.push_back(json_parse(line));
+  }
+  ASSERT_EQ(events.size(), 1u);
+  const auto& e = events[0];
+  EXPECT_EQ(e.at("level").string, "info");
+  EXPECT_EQ(e.at("subsystem").string, "test");
+  EXPECT_EQ(e.at("msg").string, "kept");
+  EXPECT_DOUBLE_EQ(e.at("n").number, 42.0);
+  EXPECT_DOUBLE_EQ(e.at("ratio").number, 0.5);
+  EXPECT_EQ(e.at("tag").string, "a\"b");
+  EXPECT_TRUE(e.at("ok").boolean);
+  EXPECT_TRUE(e.has("ts_ms"));
+  EXPECT_TRUE(e.has("thread"));
+}
+
+TEST_F(LogToFile, RankTagStampedOnLines) {
+  set_log_level(LogLevel::Info);
+  const int before = rank_tag();
+  set_rank_tag(7);
+  log_event(LogLevel::Info, "test", "tagged");
+  set_rank_tag(before);
+
+  const auto e = json_parse(read_file(path_).substr(
+      0, read_file(path_).find('\n')));
+  EXPECT_DOUBLE_EQ(e.at("rank").number, 7.0);
+}
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_THROW(parse_log_level("verbose"), util::Error);
+  EXPECT_STREQ(to_string(LogLevel::Warn), "warn");
+}
+
+TEST(Log, EnabledRespectsThreshold) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Warn);
+  EXPECT_FALSE(log_enabled(LogLevel::Info));
+  EXPECT_TRUE(log_enabled(LogLevel::Warn));
+  EXPECT_TRUE(log_enabled(LogLevel::Error));
+  set_log_level(before);
+}
+
+// --- Chrome trace export ---
+
+TEST(TraceExport, OpRecordsBecomeValidChromeTrace) {
+  std::vector<sim::OpRecord> recs(3);
+  recs[0] = {"a2a pencil 0", "rank0.mpi", sim::OpCategory::Mpi, 0.0, 1.5};
+  recs[1] = {"fft \"quoted\"", "rank0.compute", sim::OpCategory::Compute,
+             0.5, 2.0};
+  recs[2] = {"h2d", "rank0.transfer", sim::OpCategory::H2D, 2.0, 2.25};
+  const std::string text = to_chrome_trace(recs);
+
+  const auto v = json_parse(text);
+  ASSERT_TRUE(v.is_array());
+  ASSERT_FALSE(v.array.empty());
+  // Every event carries the complete-event schema the viewers expect.
+  for (const auto& e : v.array) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_TRUE(e.has("name"));
+    EXPECT_TRUE(e.has("ph"));
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("dur"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+  }
+  std::size_t complete = 0;
+  bool saw_quoted = false;
+  for (const auto& e : v.array) {
+    if (e.at("ph").string != "X") continue;
+    ++complete;
+    if (e.at("name").string == "fft \"quoted\"") {
+      saw_quoted = true;
+      EXPECT_DOUBLE_EQ(e.at("ts").number, 0.5e6);
+      EXPECT_DOUBLE_EQ(e.at("dur").number, 1.5e6);
+    }
+  }
+  EXPECT_EQ(complete, recs.size());
+  EXPECT_TRUE(saw_quoted);
+}
+
+TEST(TraceExport, OneTrackPerLane) {
+  std::vector<sim::OpRecord> recs(3);
+  recs[0] = {"a", "lane.x", sim::OpCategory::Mpi, 0.0, 1.0};
+  recs[1] = {"b", "lane.y", sim::OpCategory::Compute, 0.0, 1.0};
+  recs[2] = {"c", "lane.x", sim::OpCategory::Mpi, 1.0, 2.0};
+  const auto v = json_parse(to_chrome_trace(recs));
+  double tid_x = -1.0, tid_y = -1.0;
+  for (const auto& e : v.array) {
+    if (e.at("ph").string != "X") continue;
+    if (e.at("name").string == "a") tid_x = e.at("tid").number;
+    if (e.at("name").string == "b") tid_y = e.at("tid").number;
+    if (e.at("name").string == "c") {
+      EXPECT_DOUBLE_EQ(e.at("tid").number, tid_x);
+    }
+  }
+  EXPECT_NE(tid_x, tid_y);
+}
+
+TEST(TraceExport, SimulatedStepExportsRoundTrip) {
+  // The fig10 path end-to-end: a real co-simulated step's records parse as
+  // a Chrome trace with events on every stream.
+  pipeline::DnsStepModel model;
+  pipeline::PipelineConfig cfg;
+  cfg.n = 3072;
+  cfg.nodes = 16;
+  cfg.pencils = 6;
+  cfg.mpi = pipeline::MpiConfig::B;
+  const auto r = model.simulate_gpu_step(cfg);
+  ASSERT_FALSE(r.records.empty());
+  const auto v = json_parse(to_chrome_trace(r.records));
+  std::size_t complete = 0;
+  for (const auto& e : v.array) {
+    if (e.at("ph").string == "X") ++complete;
+  }
+  EXPECT_EQ(complete, r.records.size());
+}
+
+TEST(TraceExport, ColorsAreStableChromeNames) {
+  EXPECT_STREQ(chrome_color(sim::OpCategory::Mpi), "terrible");
+  EXPECT_NE(chrome_color(sim::OpCategory::Compute), nullptr);
+  EXPECT_NE(chrome_color(sim::OpCategory::H2D),
+            chrome_color(sim::OpCategory::Compute));
+}
+
+// --- bench reports ---
+
+TEST(BenchReport, JsonSchemaAndDedup) {
+  BenchReport report("unit_test");
+  report.meta("description", "schema check");
+  report.metric("alpha", 1.0);
+  report.metric("alpha", 2.0);  // last write wins
+  report.metric("beta.sub", -0.25);
+
+  const auto v = json_parse(report.to_json());
+  EXPECT_EQ(v.at("name").string, "unit_test");
+  EXPECT_DOUBLE_EQ(v.at("schema_version").number, 1.0);
+  EXPECT_TRUE(v.at("git_sha").is_string());
+  EXPECT_FALSE(v.at("git_sha").string.empty());
+  EXPECT_EQ(v.at("metadata").at("description").string, "schema check");
+  EXPECT_DOUBLE_EQ(v.at("metrics").at("alpha").number, 2.0);
+  EXPECT_DOUBLE_EQ(v.at("metrics").at("beta.sub").number, -0.25);
+}
+
+TEST(BenchReport, WritesToBenchDir) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("PSDNS_BENCH_DIR", dir.c_str(), 1), 0);
+  BenchReport report("dir_test");
+  report.metric("x", 1.0);
+  const std::string path = report.write();
+  unsetenv("PSDNS_BENCH_DIR");
+
+  EXPECT_EQ(path,
+            (std::filesystem::path(dir) / "BENCH_dir_test.json").string());
+  const auto v = json_parse(read_file(path));
+  EXPECT_DOUBLE_EQ(v.at("metrics").at("x").number, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, GitShaResolvesInThisCheckout) {
+  // The tests run from the build tree inside the repo: the upward .git
+  // search should find the real HEAD (40 hex chars), and the env override
+  // must win over it.
+  const std::string sha = current_git_sha();
+  EXPECT_FALSE(sha.empty());
+  ASSERT_EQ(setenv("PSDNS_GIT_SHA", "deadbeef", 1), 0);
+  EXPECT_EQ(current_git_sha(), "deadbeef");
+  unsetenv("PSDNS_GIT_SHA");
+}
+
+}  // namespace
+}  // namespace psdns::obs

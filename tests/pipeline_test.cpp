@@ -320,6 +320,53 @@ TEST(Timeline, EmptyTraceHandled) {
   EXPECT_EQ(render_timeline({}), "(empty timeline)\n");
 }
 
+TEST(Timeline, LanePerStreamPaintsOneRowPerLane) {
+  // Two lanes, synthetic ops: each lane gets its own labeled row whose '#'
+  // extent matches the op placement.
+  std::vector<sim::OpRecord> recs(2);
+  recs[0] = {"a", "laneA", sim::OpCategory::Compute, 0.0, 5.0};
+  recs[1] = {"b", "laneB", sim::OpCategory::Mpi, 5.0, 10.0};
+  const std::string t = render_timeline(
+      recs, 10.0, {.columns = 10, .show_lane_per_stream = true});
+  EXPECT_NE(t.find("laneA |#####"), std::string::npos);
+  EXPECT_NE(t.find("laneB |"), std::string::npos);
+  // laneB's row is idle in the first half.
+  const auto pos = t.find("laneB |");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(t.substr(pos + 7, 4), "....");
+}
+
+TEST(Timeline, ClipsOpsBeyondTEnd) {
+  // With t_end before the second op even starts, the later op must not
+  // smear into the last column of the render.
+  std::vector<sim::OpRecord> recs(2);
+  recs[0] = {"a", "l", sim::OpCategory::Mpi, 0.0, 2.0};
+  recs[1] = {"b", "l", sim::OpCategory::Mpi, 8.0, 10.0};
+  const std::string full = render_timeline(recs, 10.0, {.columns = 10});
+  const std::string clipped = render_timeline(recs, 4.0, {.columns = 10});
+  // Full window: MPI row shows both ops (last column painted).
+  const auto row_of = [](const std::string& s) {
+    const auto p = s.find("MPI");
+    const auto bar = s.find('|', p);
+    return s.substr(bar + 1, 10);
+  };
+  EXPECT_EQ(row_of(full).back(), '#');
+  // Clipped window: only the first op, scaled to the shorter axis; the
+  // trailing columns stay idle. (Columns are inclusive of the op's end.)
+  EXPECT_EQ(row_of(clipped), "######....");
+}
+
+TEST(Timeline, ClipsOpsStraddlingTEnd) {
+  // An op that starts inside the window but finishes after t_end paints up
+  // to the last column without reading past it.
+  std::vector<sim::OpRecord> recs(1);
+  recs[0] = {"a", "l", sim::OpCategory::Mpi, 3.0, 100.0};
+  const std::string t = render_timeline(recs, 4.0, {.columns = 8});
+  const auto p = t.find("MPI");
+  const auto bar = t.find('|', p);
+  EXPECT_EQ(t.substr(bar + 1, 8), "......##");
+}
+
 // --- functional Fig.-4 executor ---
 
 class AsyncFftP : public ::testing::TestWithParam<std::pair<int, int>> {};

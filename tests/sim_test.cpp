@@ -326,5 +326,52 @@ TEST(Trace, BusyTimeMergesOverlaps) {
   EXPECT_DOUBLE_EQ(busy_time(recs, OpCategory::H2D), 0.0);
 }
 
+TEST(Trace, BusyTimeEmptyRecords) {
+  EXPECT_DOUBLE_EQ(busy_time({}, OpCategory::Mpi), 0.0);
+}
+
+TEST(Trace, BusyTimeZeroLengthOpsContributeNothing) {
+  std::vector<OpRecord> recs(3);
+  recs[0] = {"a", "l", OpCategory::Mpi, 1.0, 1.0};
+  recs[1] = {"b", "l", OpCategory::Mpi, 2.0, 2.0};
+  // An inverted interval (finish < start) is also length zero for busy time.
+  recs[2] = {"c", "l", OpCategory::Mpi, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(busy_time(recs, OpCategory::Mpi), 0.0);
+}
+
+TEST(Trace, BusyTimeBackToBackIntervalsMergeWithoutDoubleCount) {
+  // [0,1] and [1,2] share only the endpoint: busy time is 2, not 2 + 0.
+  std::vector<OpRecord> recs(2);
+  recs[0] = {"a", "l", OpCategory::Mpi, 0.0, 1.0};
+  recs[1] = {"b", "l", OpCategory::Mpi, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(busy_time(recs, OpCategory::Mpi), 2.0);
+}
+
+TEST(Trace, BusyTimeNegativeStartTimes) {
+  // Spans before t=0 must not be swallowed by a sentinel "start" value.
+  std::vector<OpRecord> recs(2);
+  recs[0] = {"a", "l", OpCategory::Mpi, -3.0, -1.0};
+  recs[1] = {"b", "l", OpCategory::Mpi, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(busy_time(recs, OpCategory::Mpi), 3.0);
+}
+
+TEST(Trace, BusyTimeDuplicateAndNestedSpans) {
+  std::vector<OpRecord> recs(3);
+  recs[0] = {"a", "l", OpCategory::Mpi, 0.0, 4.0};
+  recs[1] = {"b", "l", OpCategory::Mpi, 0.0, 4.0};
+  recs[2] = {"c", "l", OpCategory::Mpi, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(busy_time(recs, OpCategory::Mpi), 4.0);
+}
+
+TEST(Trace, BusyTimeZeroLengthOpsMixedWithRealOnes) {
+  // A zero-length op at t=10 must not seed a merge interval that bridges
+  // to later real work.
+  std::vector<OpRecord> recs(3);
+  recs[0] = {"a", "l", OpCategory::Mpi, 10.0, 10.0};
+  recs[1] = {"b", "l", OpCategory::Mpi, 0.0, 1.0};
+  recs[2] = {"c", "l", OpCategory::Mpi, 20.0, 21.0};
+  EXPECT_DOUBLE_EQ(busy_time(recs, OpCategory::Mpi), 2.0);
+}
+
 }  // namespace
 }  // namespace psdns::sim
