@@ -1,10 +1,33 @@
 #include "fft/fft3d.hpp"
 
+#include <algorithm>
+
 #include "fft/plan.hpp"
 #include "fft/real.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace psdns::fft {
+
+namespace {
+
+// c2r needs a spectrum-sized working copy (the input is const); hoisted out
+// of the call into per-thread scratch so the solver's hot loop never
+// allocates.
+std::vector<Complex>& c2r_work(std::size_t n) {
+  thread_local std::vector<Complex> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+}  // namespace
+
+// All three transforms below batch every line family through
+// PlanC2C::transform_batch / PlanR2C::*_batch: y lines of one z-plane are
+// adjacent in memory (dist 1, stride nx), z lines of the whole volume are
+// one arithmetic progression (dist 1, stride nx*ny), and the unit-stride x
+// lines batch with dist nx. Each stage carries a scoped timer so span
+// capture shows the x/y/z spans of every 3-D transform.
 
 void fft3d_c2c(Direction dir, const Shape3& shape, Complex* data) {
   const auto [nx, ny, nz] = shape;
@@ -13,28 +36,24 @@ void fft3d_c2c(Direction dir, const Shape3& shape, Complex* data) {
   const auto py = get_plan(ny);
   const auto pz = get_plan(nz);
 
-  // x lines: contiguous.
-  for (std::size_t k = 0; k < nz; ++k) {
-    for (std::size_t j = 0; j < ny; ++j) {
-      Complex* line = data + nx * (j + ny * k);
-      px->transform(dir, line, line);
+  {
+    obs::ScopedTimer timer("fft3d.c2c.x");
+    px->transform_batch(dir, data, data,
+                        BatchLayout{.count = ny * nz, .stride = 1, .dist = nx});
+  }
+  {
+    obs::ScopedTimer timer("fft3d.c2c.y");
+    for (std::size_t k = 0; k < nz; ++k) {
+      Complex* base = data + nx * ny * k;
+      py->transform_batch(dir, base, base,
+                          BatchLayout{.count = nx, .stride = nx, .dist = 1});
     }
   }
-  // y lines: stride nx.
-  for (std::size_t k = 0; k < nz; ++k) {
-    for (std::size_t i = 0; i < nx; ++i) {
-      Complex* line = data + i + nx * ny * k;
-      py->transform_strided(dir, line, static_cast<std::ptrdiff_t>(nx), line,
-                            static_cast<std::ptrdiff_t>(nx));
-    }
-  }
-  // z lines: stride nx*ny.
-  for (std::size_t j = 0; j < ny; ++j) {
-    for (std::size_t i = 0; i < nx; ++i) {
-      Complex* line = data + i + nx * j;
-      pz->transform_strided(dir, line, static_cast<std::ptrdiff_t>(nx * ny),
-                            line, static_cast<std::ptrdiff_t>(nx * ny));
-    }
+  {
+    obs::ScopedTimer timer("fft3d.c2c.z");
+    pz->transform_batch(
+        dir, data, data,
+        BatchLayout{.count = nx * ny, .stride = nx * ny, .dist = 1});
   }
 }
 
@@ -45,28 +64,23 @@ void fft3d_r2c(const Shape3& shape, const Real* in, Complex* out) {
   const auto py = get_plan(ny);
   const auto pz = get_plan(nz);
 
-  // Real-to-complex in x.
-  for (std::size_t k = 0; k < nz; ++k) {
-    for (std::size_t j = 0; j < ny; ++j) {
-      prx->forward(in + nx * (j + ny * k), out + nxh * (j + ny * k));
+  {
+    obs::ScopedTimer timer("fft3d.r2c.x");
+    prx->forward_batch(in, nx, out, nxh, ny * nz);
+  }
+  {
+    obs::ScopedTimer timer("fft3d.r2c.y");
+    for (std::size_t k = 0; k < nz; ++k) {
+      Complex* base = out + nxh * ny * k;
+      py->transform_batch(Direction::Forward, base, base,
+                          BatchLayout{.count = nxh, .stride = nxh, .dist = 1});
     }
   }
-  // Complex in y, then z, on the reduced grid.
-  for (std::size_t k = 0; k < nz; ++k) {
-    for (std::size_t i = 0; i < nxh; ++i) {
-      Complex* line = out + i + nxh * ny * k;
-      py->transform_strided(Direction::Forward, line,
-                            static_cast<std::ptrdiff_t>(nxh), line,
-                            static_cast<std::ptrdiff_t>(nxh));
-    }
-  }
-  for (std::size_t j = 0; j < ny; ++j) {
-    for (std::size_t i = 0; i < nxh; ++i) {
-      Complex* line = out + i + nxh * j;
-      pz->transform_strided(Direction::Forward, line,
-                            static_cast<std::ptrdiff_t>(nxh * ny), line,
-                            static_cast<std::ptrdiff_t>(nxh * ny));
-    }
+  {
+    obs::ScopedTimer timer("fft3d.r2c.z");
+    pz->transform_batch(
+        Direction::Forward, out, out,
+        BatchLayout{.count = nxh * ny, .stride = nxh * ny, .dist = 1});
   }
 }
 
@@ -77,29 +91,27 @@ void fft3d_c2r(const Shape3& shape, const Complex* in, Real* out) {
   const auto py = get_plan(ny);
   const auto pz = get_plan(nz);
 
-  std::vector<Complex> work(in, in + nxh * ny * nz);
+  auto& work = c2r_work(nxh * ny * nz);
+  std::copy(in, in + static_cast<std::ptrdiff_t>(nxh * ny * nz), work.begin());
 
   // Inverse order: z, then y, then complex-to-real in x.
-  for (std::size_t j = 0; j < ny; ++j) {
-    for (std::size_t i = 0; i < nxh; ++i) {
-      Complex* line = work.data() + i + nxh * j;
-      pz->transform_strided(Direction::Inverse, line,
-                            static_cast<std::ptrdiff_t>(nxh * ny), line,
-                            static_cast<std::ptrdiff_t>(nxh * ny));
+  {
+    obs::ScopedTimer timer("fft3d.c2r.z");
+    pz->transform_batch(
+        Direction::Inverse, work.data(), work.data(),
+        BatchLayout{.count = nxh * ny, .stride = nxh * ny, .dist = 1});
+  }
+  {
+    obs::ScopedTimer timer("fft3d.c2r.y");
+    for (std::size_t k = 0; k < nz; ++k) {
+      Complex* base = work.data() + nxh * ny * k;
+      py->transform_batch(Direction::Inverse, base, base,
+                          BatchLayout{.count = nxh, .stride = nxh, .dist = 1});
     }
   }
-  for (std::size_t k = 0; k < nz; ++k) {
-    for (std::size_t i = 0; i < nxh; ++i) {
-      Complex* line = work.data() + i + nxh * ny * k;
-      py->transform_strided(Direction::Inverse, line,
-                            static_cast<std::ptrdiff_t>(nxh), line,
-                            static_cast<std::ptrdiff_t>(nxh));
-    }
-  }
-  for (std::size_t k = 0; k < nz; ++k) {
-    for (std::size_t j = 0; j < ny; ++j) {
-      prx->inverse(work.data() + nxh * (j + ny * k), out + nx * (j + ny * k));
-    }
+  {
+    obs::ScopedTimer timer("fft3d.c2r.x");
+    prx->inverse_batch(work.data(), nxh, out, nx, ny * nz);
   }
 }
 

@@ -33,6 +33,25 @@ MixedRadixEngine::MixedRadixEngine(std::size_t n)
     const double phase = base * static_cast<double>(j);
     twiddle_[j] = Complex{std::cos(phase), std::sin(phase)};
   }
+  for (const std::size_t r : factors_) {
+    if (r == 2 || r == 4 || radix_row(r, 0) != nullptr) continue;
+    const std::size_t r_stride = n_ / r;
+    std::vector<Complex> mat(r * r);
+    for (std::size_t k2 = 0; k2 < r; ++k2) {
+      for (std::size_t q = 0; q < r; ++q) {
+        mat[k2 * r + q] = twiddle_[((q * k2) % r) * r_stride];
+      }
+    }
+    radix_dft_.emplace_back(r, std::move(mat));
+  }
+}
+
+const Complex* MixedRadixEngine::radix_row(std::size_t r,
+                                           std::size_t k2) const {
+  for (const auto& [radix, mat] : radix_dft_) {
+    if (radix == r) return mat.data() + k2 * r;
+  }
+  return nullptr;
 }
 
 void MixedRadixEngine::execute(Direction dir, const Complex* in,
@@ -60,7 +79,6 @@ void MixedRadixEngine::recurse(bool inverse, std::size_t n,
   // The read set {q*m + k1} and write set {k1 + m*k2} coincide for fixed k1,
   // so the combine is in-place with an r-element temporary.
   const std::size_t tw_stride = n_ / n;  // w_n^j == twiddle_[j * tw_stride]
-  const std::size_t r_stride = n_ / r;   // w_r^j == twiddle_[j * r_stride]
 
   if (r == 2) {
     for (std::size_t k1 = 0; k1 < m; ++k1) {
@@ -104,9 +122,11 @@ void MixedRadixEngine::recurse(bool inverse, std::size_t n,
       t[q] = y[q * m + k1] * tw(inverse, q * k1 * tw_stride);
     }
     for (std::size_t k2 = 0; k2 < r; ++k2) {
+      const Complex* row = radix_row(r, k2);
       Complex acc = t[0];
       for (std::size_t q = 1; q < r; ++q) {
-        acc += t[q] * tw(inverse, ((q * k2) % r) * r_stride);
+        const Complex w = row[q];
+        acc += t[q] * (inverse ? Complex{w.real(), -w.imag()} : w);
       }
       y[k1 + m * k2] = acc;
     }

@@ -10,6 +10,7 @@
 // buffer, so no auxiliary workspace is required.
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "fft/types.hpp"
@@ -37,9 +38,14 @@ class MixedRadixEngine {
     return inverse ? Complex{w.real(), -w.imag()} : w;
   }
 
+  const Complex* radix_row(std::size_t r, std::size_t k2) const;
+
   std::size_t n_;
   std::vector<std::size_t> factors_;
   std::vector<Complex> twiddle_;  // twiddle_[j] = exp(-2*pi*i*j/n)
+  // Per distinct generic radix r (not 2/4): the r x r DFT matrix
+  // w_r^{q*k2}, so the combine loop does no modular index arithmetic.
+  std::vector<std::pair<std::size_t, std::vector<Complex>>> radix_dft_;
 };
 
 }  // namespace psdns::fft

@@ -1,5 +1,6 @@
 #include "fft/plan.hpp"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -8,6 +9,7 @@
 #include "fft/bluestein.hpp"
 #include "fft/factor.hpp"
 #include "fft/mixed_radix.hpp"
+#include "fft/stockham.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "util/check.hpp"
@@ -15,8 +17,9 @@
 namespace psdns::fft {
 
 struct PlanC2C::Impl {
-  std::optional<MixedRadixEngine> smooth;
-  std::optional<BluesteinEngine> bluestein;
+  std::optional<MixedRadixEngine> smooth;     // strided single-line path
+  std::optional<StockhamEngine> stockham;     // batched/contiguous path
+  std::optional<BluesteinEngine> bluestein;   // non-smooth lengths
 
   void execute(Direction dir, const Complex* in, std::ptrdiff_t stride,
                Complex* out) const {
@@ -39,15 +42,38 @@ std::vector<Complex>& scratch(std::size_t n) {
   return buf;
 }
 
+// Ping-pong staging buffers of the blocked batch path (distinct from
+// scratch() so transform_batch may call into plans that use scratch()).
+std::vector<Complex>& batch_scratch(std::size_t n) {
+  thread_local std::vector<Complex> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
 }  // namespace
+
+std::size_t batch_block_lines(std::size_t n) {
+  // 256 KiB per staging buffer (two are live at once), at least 8 lines so
+  // the inner batch loop fills a vector register, at most 64 so the gather
+  // touches a bounded set of cache lines per column.
+  constexpr std::size_t kBlockBytes = std::size_t{1} << 18;
+  const std::size_t lines =
+      kBlockBytes / (sizeof(Complex) * std::max<std::size_t>(n, 1));
+  return std::clamp<std::size_t>(lines, 8, 64);
+}
 
 PlanC2C::PlanC2C(std::size_t n) : n_(n), impl_(std::make_unique<Impl>()) {
   PSDNS_REQUIRE(n >= 1, "transform length must be positive");
   if (is_smooth(n)) {
     impl_->smooth.emplace(n);
+    impl_->stockham.emplace(n);
   } else {
     impl_->bluestein.emplace(n);
   }
+}
+
+const StockhamEngine* PlanC2C::stockham() const {
+  return impl_->stockham ? &*impl_->stockham : nullptr;
 }
 
 PlanC2C::~PlanC2C() = default;
@@ -55,6 +81,18 @@ PlanC2C::PlanC2C(PlanC2C&&) noexcept = default;
 PlanC2C& PlanC2C::operator=(PlanC2C&&) noexcept = default;
 
 void PlanC2C::transform(Direction dir, const Complex* in, Complex* out) const {
+  if (impl_->stockham) {
+    // Single-line (batch = 1) run of the iterative engine: `out` doubles as
+    // the result buffer, the thread-local scratch as the ping-pong partner.
+    auto& tmp = scratch(n_);
+    if (impl_->stockham->prefers_work_input()) {
+      std::copy(in, in + n_, tmp.data());
+    } else if (in != out) {
+      std::copy(in, in + n_, out);
+    }
+    impl_->stockham->execute_batch(dir, out, tmp.data(), 1);
+    return;
+  }
   if (in == out) {
     auto& tmp = scratch(n_);
     impl_->execute(dir, in, 1, tmp.data());
@@ -78,12 +116,54 @@ void PlanC2C::transform_batch(Direction dir, const Complex* in, Complex* out,
                               const BatchLayout& layout) const {
   PSDNS_REQUIRE(layout.count >= 1, "batch count must be positive");
   const std::size_t dist = layout.dist == 0 ? n_ * layout.stride : layout.dist;
-  for (std::size_t b = 0; b < layout.count; ++b) {
-    transform_strided(dir, in + b * dist,
-                      static_cast<std::ptrdiff_t>(layout.stride),
-                      out + b * dist,
-                      static_cast<std::ptrdiff_t>(layout.stride));
+
+  if (!impl_->stockham) {
+    // Non-smooth fallback: per-line Bluestein, correctness-equivalent to the
+    // pre-batched code path.
+    for (std::size_t b = 0; b < layout.count; ++b) {
+      transform_strided(dir, in + b * dist,
+                        static_cast<std::ptrdiff_t>(layout.stride),
+                        out + b * dist,
+                        static_cast<std::ptrdiff_t>(layout.stride));
+    }
+    return;
   }
+
+  const StockhamEngine& eng = *impl_->stockham;
+  const std::size_t bmax = batch_block_lines(n_);
+  auto& buf = batch_scratch(2 * bmax * n_);
+  Complex* stage0 = buf.data();
+  Complex* stage1 = buf.data() + bmax * n_;
+
+  std::size_t blocks = 0;
+  for (std::size_t b0 = 0; b0 < layout.count; b0 += bmax, ++blocks) {
+    const std::size_t nb = std::min(bmax, layout.count - b0);
+    // Blocked gather: column j of the staging buffer holds element j of all
+    // nb lines, so the write side is always unit-stride and, for the common
+    // dist == 1 plane layouts, the read side streams whole cache lines.
+    Complex* gbuf = eng.prefers_work_input() ? stage1 : stage0;
+    const Complex* src = in + b0 * dist;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const Complex* col = src + j * layout.stride;
+      Complex* dst = gbuf + j * nb;
+      for (std::size_t b = 0; b < nb; ++b) dst[b] = col[b * dist];
+    }
+    eng.execute_batch(dir, stage0, stage1, nb);
+    Complex* obase = out + b0 * dist;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const Complex* srcj = stage0 + j * nb;
+      Complex* col = obase + j * layout.stride;
+      for (std::size_t b = 0; b < nb; ++b) col[b * dist] = srcj[b];
+    }
+  }
+
+  auto& reg = obs::registry();
+  reg.counter_add("fft.stockham.batches", static_cast<std::int64_t>(blocks));
+  reg.counter_add("fft.stockham.lines",
+                  static_cast<std::int64_t>(layout.count));
+  reg.counter_add("fft.stockham.gathered_bytes",
+                  static_cast<std::int64_t>(2 * layout.count * n_ *
+                                            sizeof(Complex)));
 }
 
 void PlanC2C::normalize(Complex* data, std::size_t count) const {

@@ -11,12 +11,20 @@
 
 namespace psdns::fft {
 
+class StockhamEngine;
+
 /// Batched layout: element k of batch b lives at data[b*dist + k*stride].
 struct BatchLayout {
   std::size_t count = 1;   // number of transforms
   std::size_t stride = 1;  // distance between successive elements of one line
   std::size_t dist = 0;    // distance between first elements of lines
 };
+
+/// Cache-block width of the batched path: how many lines of length n are
+/// gathered into contiguous scratch and transformed together. Sized so the
+/// two ping-pong staging buffers stay cache-resident for common line
+/// lengths, with a floor that keeps the batch-innermost loops vectorizable.
+std::size_t batch_block_lines(std::size_t n);
 
 class PlanC2C {
  public:
@@ -38,9 +46,19 @@ class PlanC2C {
                          std::ptrdiff_t in_stride, Complex* out,
                          std::ptrdiff_t out_stride) const;
 
-  /// Batched transform with identical input and output layout.
+  /// Batched transform with identical input and output layout. For smooth
+  /// lengths this is the fast path: blocks of batch_block_lines(n) strided
+  /// lines are gathered into contiguous scratch (batch-innermost), run
+  /// through the iterative Stockham engine in one streaming pass per stage,
+  /// and scattered back. Non-smooth lengths fall back to a per-line loop
+  /// over the Bluestein engine. in == out (fully in-place) is allowed.
   void transform_batch(Direction dir, const Complex* in, Complex* out,
                        const BatchLayout& layout) const;
+
+  /// The batched smooth-length engine, or nullptr when this length routes
+  /// through Bluestein. Lets the real-transform plans batch their
+  /// half-length transforms without re-gathering.
+  const StockhamEngine* stockham() const;
 
   /// Scales `count` elements by 1/n (normalizing a Forward+Inverse pair).
   void normalize(Complex* data, std::size_t count) const;

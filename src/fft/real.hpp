@@ -29,6 +29,18 @@ class PlanR2C {
   /// Out-of-place; `in` must hold spectrum_size() coefficients.
   void inverse(const Complex* in, Real* out) const;
 
+  /// Batched forward over `count` lines: line b reads n reals starting at
+  /// in[b*in_dist] and writes spectrum_size() coefficients starting at
+  /// out[b*out_dist]. Even smooth lengths run blocks of lines through the
+  /// batched Stockham half-length engine (pack, transform, unravel all
+  /// vectorize across the batch); other lengths fall back per line.
+  void forward_batch(const Real* in, std::size_t in_dist, Complex* out,
+                     std::size_t out_dist, std::size_t count) const;
+
+  /// Batched inverse, same layout contract as forward_batch.
+  void inverse_batch(const Complex* in, std::size_t in_dist, Real* out,
+                     std::size_t out_dist, std::size_t count) const;
+
  private:
   std::size_t n_;
   std::shared_ptr<const PlanC2C> half_;  // length n/2 plan (even n)

@@ -1,0 +1,224 @@
+#include "fft/stockham.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/factor.hpp"
+#include "util/check.hpp"
+
+namespace psdns::fft {
+
+namespace {
+
+// Twiddles are stored in the forward (exp(-i)) convention; the inverse
+// transform conjugates them outside the batch loops.
+inline Complex pick(bool inverse, Complex w) {
+  return inverse ? Complex{w.real(), -w.imag()} : w;
+}
+
+// y[q] = x[q] * w, spelled out in real arithmetic so the compiler emits
+// straight-line vector code (std::complex operator* carries NaN-recovery
+// branches that block vectorization).
+inline Complex cmul(Complex x, double wr, double wi) {
+  const double xr = x.real(), xi = x.imag();
+  return Complex{xr * wr - xi * wi, xr * wi + xi * wr};
+}
+
+}  // namespace
+
+StockhamEngine::StockhamEngine(std::size_t n) : n_(n) {
+  PSDNS_REQUIRE(n >= 1, "transform length must be positive");
+  PSDNS_REQUIRE(is_smooth(n),
+                "length has a large prime factor; use Bluestein instead");
+
+  // Same radix schedule as MixedRadixEngine: pairs of 2s merge into radix-4
+  // stages (half the twiddle multiplies), remaining factors as-is.
+  std::vector<std::size_t> factors = prime_factors(n);
+  std::vector<std::size_t> merged;
+  std::size_t twos = 0;
+  for (const std::size_t f : factors) {
+    if (f == 2) {
+      ++twos;
+    } else {
+      merged.push_back(f);
+    }
+  }
+  for (; twos >= 2; twos -= 2) merged.insert(merged.begin(), 4);
+  if (twos == 1) merged.insert(merged.begin(), 2);
+
+  // Decimation in frequency: stage radixes consume n from the top. Stage
+  // twiddles w_nsub^{p*j} are stored as (radix-1) columns per p (the j = 0
+  // column is always 1).
+  std::size_t nsub = n;
+  std::size_t off = 0;
+  for (const std::size_t r : merged) {
+    Stage st;
+    st.radix = r;
+    st.m = nsub / r;
+    st.tw = off;
+    const double base = -2.0 * std::numbers::pi / static_cast<double>(nsub);
+    for (std::size_t p = 0; p < st.m; ++p) {
+      for (std::size_t j = 1; j < r; ++j) {
+        const double phase = base * static_cast<double>(p * j);
+        twiddle_.push_back(Complex{std::cos(phase), std::sin(phase)});
+      }
+    }
+    off += st.m * (r - 1);
+    if (r != 2 && r != 3 && r != 4) {
+      // Dedupe the r x r DFT matrix across stages with the same radix.
+      for (std::size_t i = 0; i < stages_.size(); ++i) {
+        if (stages_[i].radix == r && stages_[i].mat != kNoMat) {
+          st.mat = stages_[i].mat;
+          break;
+        }
+      }
+      if (st.mat == kNoMat) {
+        std::vector<Complex> mat(r * r);
+        const double rb = -2.0 * std::numbers::pi / static_cast<double>(r);
+        for (std::size_t j = 0; j < r; ++j) {
+          for (std::size_t q = 0; q < r; ++q) {
+            const double phase = rb * static_cast<double>((j * q) % r);
+            mat[j * r + q] = Complex{std::cos(phase), std::sin(phase)};
+          }
+        }
+        st.mat = radix_mats_.size();
+        radix_mats_.push_back(std::move(mat));
+      }
+    }
+    stages_.push_back(st);
+    nsub = st.m;
+  }
+}
+
+void StockhamEngine::execute_batch(Direction dir, Complex* data, Complex* work,
+                                   std::size_t batch) const {
+  PSDNS_REQUIRE(batch >= 1, "batch must be positive");
+  if (stages_.empty()) return;  // n == 1: input in data is already the result
+  const bool inverse = dir == Direction::Inverse;
+  Complex* src = prefers_work_input() ? work : data;
+  Complex* dst = prefers_work_input() ? data : work;
+  std::size_t s = batch;
+  for (const Stage& st : stages_) {
+    run_stage(st, inverse, s, src, dst);
+    s *= st.radix;
+    std::swap(src, dst);
+  }
+  // The final stage wrote the buffer that is now `src`; by the parity choice
+  // above that is always `data`.
+}
+
+void StockhamEngine::run_stage(const Stage& st, bool inverse, std::size_t s,
+                               const Complex* x, Complex* y) const {
+  const std::size_t m = st.m;
+  const Complex* tw = twiddle_.data() + st.tw;
+
+  if (st.radix == 2) {
+    for (std::size_t p = 0; p < m; ++p) {
+      const Complex w = pick(inverse, tw[p]);
+      const double wr = w.real(), wi = w.imag();
+      const Complex* xa = x + s * p;
+      const Complex* xb = x + s * (p + m);
+      Complex* ya = y + s * (2 * p);
+      Complex* yb = ya + s;
+      for (std::size_t q = 0; q < s; ++q) {
+        const double ar = xa[q].real(), ai = xa[q].imag();
+        const double br = xb[q].real(), bi = xb[q].imag();
+        ya[q] = Complex{ar + br, ai + bi};
+        yb[q] = Complex{(ar - br) * wr - (ai - bi) * wi,
+                        (ar - br) * wi + (ai - bi) * wr};
+      }
+    }
+    return;
+  }
+
+  if (st.radix == 4) {
+    for (std::size_t p = 0; p < m; ++p) {
+      const Complex w1 = pick(inverse, tw[3 * p]);
+      const Complex w2 = pick(inverse, tw[3 * p + 1]);
+      const Complex w3 = pick(inverse, tw[3 * p + 2]);
+      const Complex* xa = x + s * p;
+      const Complex* xb = x + s * (p + m);
+      const Complex* xc = x + s * (p + 2 * m);
+      const Complex* xd = x + s * (p + 3 * m);
+      Complex* y0 = y + s * (4 * p);
+      Complex* y1 = y0 + s;
+      Complex* y2 = y1 + s;
+      Complex* y3 = y2 + s;
+      // Forward: w_4 = -i, so X1/X3 = (a-c) -+ i(b-d); inverse flips the i.
+      const double sg = inverse ? -1.0 : 1.0;
+      for (std::size_t q = 0; q < s; ++q) {
+        const double ar = xa[q].real(), ai = xa[q].imag();
+        const double br = xb[q].real(), bi = xb[q].imag();
+        const double cr = xc[q].real(), ci = xc[q].imag();
+        const double dr = xd[q].real(), di = xd[q].imag();
+        const double pr = ar + cr, pi = ai + ci;   // a + c
+        const double mr = ar - cr, mi = ai - ci;   // a - c
+        const double qr = br + dr, qi = bi + di;   // b + d
+        const double ur = bi - di, ui = dr - br;   // -i*(b - d)
+        y0[q] = Complex{pr + qr, pi + qi};
+        y1[q] = cmul(Complex{mr + sg * ur, mi + sg * ui}, w1.real(),
+                     w1.imag());
+        y2[q] = cmul(Complex{pr - qr, pi - qi}, w2.real(), w2.imag());
+        y3[q] = cmul(Complex{mr - sg * ur, mi - sg * ui}, w3.real(),
+                     w3.imag());
+      }
+    }
+    return;
+  }
+
+  if (st.radix == 3) {
+    // X1/X2 = (a - (b+c)/2) -+ i*(sqrt(3)/2)*(b-c) in the forward direction.
+    const double h = inverse ? -0.8660254037844386 : 0.8660254037844386;
+    for (std::size_t p = 0; p < m; ++p) {
+      const Complex w1 = pick(inverse, tw[2 * p]);
+      const Complex w2 = pick(inverse, tw[2 * p + 1]);
+      const Complex* xa = x + s * p;
+      const Complex* xb = x + s * (p + m);
+      const Complex* xc = x + s * (p + 2 * m);
+      Complex* y0 = y + s * (3 * p);
+      Complex* y1 = y0 + s;
+      Complex* y2 = y1 + s;
+      for (std::size_t q = 0; q < s; ++q) {
+        const double ar = xa[q].real(), ai = xa[q].imag();
+        const double br = xb[q].real(), bi = xb[q].imag();
+        const double cr = xc[q].real(), ci = xc[q].imag();
+        const double tr = br + cr, ti = bi + ci;
+        const double ur = br - cr, ui = bi - ci;
+        y0[q] = Complex{ar + tr, ai + ti};
+        const double er = ar - 0.5 * tr, ei = ai - 0.5 * ti;
+        // -i*h*(u) = (h*ui, -h*ur) for forward h > 0.
+        y1[q] = cmul(Complex{er + h * ui, ei - h * ur}, w1.real(), w1.imag());
+        y2[q] = cmul(Complex{er - h * ui, ei + h * ur}, w2.real(), w2.imag());
+      }
+    }
+    return;
+  }
+
+  // Generic radix: per output j, fold the stage twiddle into the radix-r DFT
+  // row once, then stream the batch.
+  const std::size_t r = st.radix;
+  const Complex* mat = radix_mats_[st.mat].data();
+  for (std::size_t p = 0; p < m; ++p) {
+    const Complex* twrow = tw + p * (r - 1);
+    for (std::size_t j = 0; j < r; ++j) {
+      Complex coef[kMaxDirectPrime];
+      const Complex wj =
+          j == 0 ? Complex{1.0, 0.0} : pick(inverse, twrow[j - 1]);
+      for (std::size_t q2 = 0; q2 < r; ++q2) {
+        coef[q2] = pick(inverse, mat[j * r + q2]) * wj;
+      }
+      Complex* yj = y + s * (r * p + j);
+      for (std::size_t q = 0; q < s; ++q) {
+        double accr = 0.0, acci = 0.0;
+        for (std::size_t q2 = 0; q2 < r; ++q2) {
+          const Complex v = x[q + s * (p + m * q2)];
+          accr += v.real() * coef[q2].real() - v.imag() * coef[q2].imag();
+          acci += v.real() * coef[q2].imag() + v.imag() * coef[q2].real();
+        }
+        yj[q] = Complex{accr, acci};
+      }
+    }
+  }
+}
+
+}  // namespace psdns::fft

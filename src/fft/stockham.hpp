@@ -1,0 +1,61 @@
+#pragma once
+// Iterative Stockham autosort FFT over a contiguous batch of lines.
+//
+// The engine transforms B lines at once, stored batch-innermost: element j of
+// line b lives at data[b + B*j]. Each decimation-in-frequency stage streams
+// the whole buffer exactly once with a unit-stride inner loop over the batch
+// index, so the compiler vectorizes across lines; the autosort property means
+// no bit-reversal pass and natural-order output. All stage twiddles and the
+// small DFT matrices for generic radices are precomputed at plan time, so the
+// inner loops contain no trigonometry and no modular index arithmetic. This
+// is the CPU analogue of a batched cuFFT plan over pencil lines — the access
+// pattern the paper's GPU port is built around.
+
+#include <cstddef>
+#include <vector>
+
+#include "fft/types.hpp"
+
+namespace psdns::fft {
+
+class StockhamEngine {
+ public:
+  /// Requires is_smooth(n).
+  explicit StockhamEngine(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  std::size_t stage_count() const { return stages_.size(); }
+
+  /// True when execute_batch expects its input in `work` (odd stage count);
+  /// otherwise the input must be in `data`. The result is always in `data`,
+  /// so a caller that gathers into the right buffer pays no parity copy.
+  bool prefers_work_input() const { return stages_.size() % 2 == 1; }
+
+  /// Transforms `batch` lines of length size(), stored batch-innermost in
+  /// the input buffer (see prefers_work_input()). `data` and `work` must
+  /// each hold size()*batch elements and must not alias; both are clobbered
+  /// and the result lands in `data` in natural order. Inverse is
+  /// unnormalized, matching MixedRadixEngine.
+  void execute_batch(Direction dir, Complex* data, Complex* work,
+                     std::size_t batch) const;
+
+ private:
+  static constexpr std::size_t kNoMat = static_cast<std::size_t>(-1);
+
+  struct Stage {
+    std::size_t radix = 0;
+    std::size_t m = 0;    // sub-transform length after this stage
+    std::size_t tw = 0;   // offset into twiddle_: m*(radix-1) entries
+    std::size_t mat = kNoMat;  // index into radix_mats_ (generic radices)
+  };
+
+  void run_stage(const Stage& st, bool inverse, std::size_t s,
+                 const Complex* x, Complex* y) const;
+
+  std::size_t n_;
+  std::vector<Stage> stages_;
+  std::vector<Complex> twiddle_;  // per-stage tables, forward convention
+  std::vector<std::vector<Complex>> radix_mats_;  // w_r^{j*q} DFT matrices
+};
+
+}  // namespace psdns::fft

@@ -33,11 +33,10 @@ void AsyncFft3d::stage_fft_y(fft::Direction dir, std::size_t x0,
   for (Complex* slab : slabs) {
     gpu::memcpy2d(device_.data(), w, slab + x0, nxh_, w, my_rows);
     for (std::size_t kk = 0; kk < transpose_.grid().mz(); ++kk) {
-      for (std::size_t ii = 0; ii < w; ++ii) {
-        Complex* line = device_.data() + ii + w * n_ * kk;
-        plan_yz_->transform_strided(dir, line, static_cast<std::ptrdiff_t>(w),
-                                    line, static_cast<std::ptrdiff_t>(w));
-      }
+      Complex* base = device_.data() + w * n_ * kk;
+      plan_yz_->transform_batch(
+          dir, base, base,
+          fft::BatchLayout{.count = w, .stride = w, .dist = 1});
     }
     gpu::memcpy2d(slab + x0, nxh_, device_.data(), w, w, my_rows);
   }
@@ -106,24 +105,18 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
     // z transforms inside the freshly arrived x-chunk.
     for (std::size_t v = 0; v < nv; ++v) {
       for (std::size_t jj = 0; jj < g.my(); ++jj) {
-        for (std::size_t i = grp.x0; i < grp.x1; ++i) {
-          Complex* line = yslab[v] + i + nxh_ * n_ * jj;
-          plan_yz_->transform_strided(fft::Direction::Inverse, line,
-                                      static_cast<std::ptrdiff_t>(nxh_), line,
-                                      static_cast<std::ptrdiff_t>(nxh_));
-        }
+        Complex* base = yslab[v] + grp.x0 + nxh_ * n_ * jj;
+        plan_yz_->transform_batch(
+            fft::Direction::Inverse, base, base,
+            fft::BatchLayout{.count = grp.x1 - grp.x0, .stride = nxh_,
+                             .dist = 1});
       }
     }
   }
 
   // Final complex-to-real x transforms (full x lines now local).
   for (std::size_t v = 0; v < nv; ++v) {
-    for (std::size_t jj = 0; jj < g.my(); ++jj) {
-      for (std::size_t k = 0; k < n_; ++k) {
-        plan_x_->inverse(yslab[v] + nxh_ * (k + n_ * jj),
-                         phys[v] + n_ * (k + n_ * jj));
-      }
-    }
+    plan_x_->inverse_batch(yslab[v], nxh_, phys[v], n_, n_ * g.my());
   }
 }
 
@@ -141,12 +134,7 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
     auto& s = scratch_[nv + v];
     if (s.size() < nxh_ * n_ * g.my()) s.resize(nxh_ * n_ * g.my());
     yslab[v] = s.data();
-    for (std::size_t jj = 0; jj < g.my(); ++jj) {
-      for (std::size_t k = 0; k < n_; ++k) {
-        plan_x_->forward(phys[v] + n_ * (k + n_ * jj),
-                         yslab[v] + nxh_ * (k + n_ * jj));
-      }
-    }
+    plan_x_->forward_batch(phys[v], n_, yslab[v], nxh_, n_ * g.my());
   }
 
   const int ngroups = static_cast<int>(groups_.size());
@@ -157,12 +145,11 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
 
     for (std::size_t v = 0; v < nv; ++v) {
       for (std::size_t jj = 0; jj < g.my(); ++jj) {
-        for (std::size_t i = grp.x0; i < grp.x1; ++i) {
-          Complex* line = yslab[v] + i + nxh_ * n_ * jj;
-          plan_yz_->transform_strided(fft::Direction::Forward, line,
-                                      static_cast<std::ptrdiff_t>(nxh_), line,
-                                      static_cast<std::ptrdiff_t>(nxh_));
-        }
+        Complex* base = yslab[v] + grp.x0 + nxh_ * n_ * jj;
+        plan_yz_->transform_batch(
+            fft::Direction::Forward, base, base,
+            fft::BatchLayout{.count = grp.x1 - grp.x0, .stride = nxh_,
+                             .dist = 1});
       }
     }
 

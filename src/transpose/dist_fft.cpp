@@ -1,8 +1,13 @@
 #include "transpose/dist_fft.hpp"
 
+#include <algorithm>
+
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace psdns::transpose {
+
+using fft::BatchLayout;
 
 // ---------------------------------------------------------------- SlabFft3d
 
@@ -22,26 +27,25 @@ void SlabFft3d::forward(std::span<const Real* const> phys,
   const std::size_t h = nxh();
   if (work_.size() < nv) work_.resize(nv);
 
-  std::vector<Complex*> yslabs(nv);
+  if (yslab_ptrs_.size() < nv) yslab_ptrs_.resize(nv);
   for (std::size_t v = 0; v < nv; ++v) {
     auto& w = work_[v];
     if (w.size() < h * n_ * my()) w.resize(h * n_ * my());
-    yslabs[v] = w.data();
+    yslab_ptrs_[v] = w.data();
 
-    // x: real-to-complex on unit-stride lines.
-    for (std::size_t jj = 0; jj < my(); ++jj) {
-      for (std::size_t k = 0; k < n_; ++k) {
-        plan_x_->forward(phys[v] + n_ * (k + n_ * jj),
-                         w.data() + h * (k + n_ * jj));
-      }
+    // x: real-to-complex, all my()*n_ unit-stride lines as one batch.
+    {
+      obs::ScopedTimer timer("slab_fft.forward.x");
+      plan_x_->forward_batch(phys[v], n_, w.data(), h, n_ * my());
     }
-    // z: strided lines (stride nxh) inside the Y-slab.
-    for (std::size_t jj = 0; jj < my(); ++jj) {
-      for (std::size_t i = 0; i < h; ++i) {
-        Complex* line = w.data() + i + h * n_ * jj;
-        plan_yz_->transform_strided(fft::Direction::Forward, line,
-                                    static_cast<std::ptrdiff_t>(h), line,
-                                    static_cast<std::ptrdiff_t>(h));
+    // z: strided lines (stride nxh) inside the Y-slab, one batch per plane.
+    {
+      obs::ScopedTimer timer("slab_fft.forward.z");
+      for (std::size_t jj = 0; jj < my(); ++jj) {
+        Complex* base = w.data() + h * n_ * jj;
+        plan_yz_->transform_batch(fft::Direction::Forward, base, base,
+                                  BatchLayout{.count = h, .stride = h,
+                                              .dist = 1});
       }
     }
   }
@@ -49,18 +53,17 @@ void SlabFft3d::forward(std::span<const Real* const> phys,
   // Global transpose to Z-slabs, batched as np pencils / q per all-to-all.
   transpose_.y_to_z(
       std::span<const Complex* const>(
-          const_cast<const Complex* const*>(yslabs.data()), nv),
+          const_cast<const Complex* const*>(yslab_ptrs_.data()), nv),
       spec, np, q);
 
   // y: strided lines (stride nxh) inside the Z-slab.
+  obs::ScopedTimer timer("slab_fft.forward.y");
   for (std::size_t v = 0; v < nv; ++v) {
     for (std::size_t kk = 0; kk < mz(); ++kk) {
-      for (std::size_t i = 0; i < h; ++i) {
-        Complex* line = spec[v] + i + h * n_ * kk;
-        plan_yz_->transform_strided(fft::Direction::Forward, line,
-                                    static_cast<std::ptrdiff_t>(h), line,
-                                    static_cast<std::ptrdiff_t>(h));
-      }
+      Complex* base = spec[v] + h * n_ * kk;
+      plan_yz_->transform_batch(fft::Direction::Forward, base, base,
+                                BatchLayout{.count = h, .stride = h,
+                                            .dist = 1});
     }
   }
 }
@@ -73,47 +76,48 @@ void SlabFft3d::inverse(std::span<const Complex* const> spec,
   if (work_.size() < 2 * nv) work_.resize(2 * nv);
 
   // y-inverse into scratch Z-slabs (the input stays const).
-  std::vector<Complex*> zslabs(nv), yslabs(nv);
-  for (std::size_t v = 0; v < nv; ++v) {
-    auto& wz = work_[v];
-    if (wz.size() < h * n_ * mz()) wz.resize(h * n_ * mz());
-    zslabs[v] = wz.data();
-    std::copy(spec[v], spec[v] + spectral_elems(), wz.data());
-    for (std::size_t kk = 0; kk < mz(); ++kk) {
-      for (std::size_t i = 0; i < h; ++i) {
-        Complex* line = wz.data() + i + h * n_ * kk;
-        plan_yz_->transform_strided(fft::Direction::Inverse, line,
-                                    static_cast<std::ptrdiff_t>(h), line,
-                                    static_cast<std::ptrdiff_t>(h));
+  if (zslab_ptrs_.size() < nv) zslab_ptrs_.resize(nv);
+  if (yslab_ptrs_.size() < nv) yslab_ptrs_.resize(nv);
+  {
+    obs::ScopedTimer timer("slab_fft.inverse.y");
+    for (std::size_t v = 0; v < nv; ++v) {
+      auto& wz = work_[v];
+      if (wz.size() < h * n_ * mz()) wz.resize(h * n_ * mz());
+      zslab_ptrs_[v] = wz.data();
+      std::copy(spec[v], spec[v] + spectral_elems(), wz.data());
+      for (std::size_t kk = 0; kk < mz(); ++kk) {
+        Complex* base = wz.data() + h * n_ * kk;
+        plan_yz_->transform_batch(fft::Direction::Inverse, base, base,
+                                  BatchLayout{.count = h, .stride = h,
+                                              .dist = 1});
       }
+      auto& wy = work_[nv + v];
+      if (wy.size() < h * n_ * my()) wy.resize(h * n_ * my());
+      yslab_ptrs_[v] = wy.data();
     }
-    auto& wy = work_[nv + v];
-    if (wy.size() < h * n_ * my()) wy.resize(h * n_ * my());
-    yslabs[v] = wy.data();
   }
 
   transpose_.z_to_y(
       std::span<const Complex* const>(
-          const_cast<const Complex* const*>(zslabs.data()), nv),
-      yslabs, np, q);
+          const_cast<const Complex* const*>(zslab_ptrs_.data()), nv),
+      std::span<Complex* const>(yslab_ptrs_.data(), nv), np, q);
 
   for (std::size_t v = 0; v < nv; ++v) {
-    Complex* w = yslabs[v];
+    Complex* w = yslab_ptrs_[v];
     // z-inverse.
-    for (std::size_t jj = 0; jj < my(); ++jj) {
-      for (std::size_t i = 0; i < h; ++i) {
-        Complex* line = w + i + h * n_ * jj;
-        plan_yz_->transform_strided(fft::Direction::Inverse, line,
-                                    static_cast<std::ptrdiff_t>(h), line,
-                                    static_cast<std::ptrdiff_t>(h));
+    {
+      obs::ScopedTimer timer("slab_fft.inverse.z");
+      for (std::size_t jj = 0; jj < my(); ++jj) {
+        Complex* base = w + h * n_ * jj;
+        plan_yz_->transform_batch(fft::Direction::Inverse, base, base,
+                                  BatchLayout{.count = h, .stride = h,
+                                              .dist = 1});
       }
     }
-    // x: complex-to-real.
-    for (std::size_t jj = 0; jj < my(); ++jj) {
-      for (std::size_t k = 0; k < n_; ++k) {
-        plan_x_->inverse(w + h * (k + n_ * jj),
-                         phys[v] + n_ * (k + n_ * jj));
-      }
+    // x: complex-to-real, batched over all lines of the Y-slab.
+    {
+      obs::ScopedTimer timer("slab_fft.inverse.x");
+      plan_x_->inverse_batch(w, h, phys[v], n_, n_ * my());
     }
   }
 }
@@ -160,30 +164,30 @@ void PencilFft3d::forward(std::span<const Real> phys,
   if (px_.size() < h * yl * zl) px_.resize(h * yl * zl);
   if (py_.size() < n_ * w * zl) py_.resize(n_ * w * zl);
 
-  // x: real-to-complex on unit-stride lines of the X-pencil.
-  for (std::size_t kk = 0; kk < zl; ++kk) {
-    for (std::size_t jj = 0; jj < yl; ++jj) {
-      plan_x_->forward(phys.data() + n_ * (jj + yl * kk),
-                       px_.data() + h * (jj + yl * kk));
-    }
+  // x: real-to-complex, all yl*zl unit-stride lines of the X-pencil at once.
+  {
+    obs::ScopedTimer timer("pencil_fft.forward.x");
+    plan_x_->forward_batch(phys.data(), n_, px_.data(), h, yl * zl);
   }
 
-  // Row transpose, then y on contiguous lines of the Y-pencil.
+  // Row transpose, then y on the contiguous lines of the Y-pencil (one
+  // arithmetic progression: dist n_, stride 1).
   transpose_.x_to_y(px_, py_);
-  for (std::size_t kk = 0; kk < zl; ++kk) {
-    for (std::size_t ii = 0; ii < w; ++ii) {
-      Complex* line = py_.data() + n_ * (ii + w * kk);
-      plan_yz_->transform(fft::Direction::Forward, line, line);
-    }
+  {
+    obs::ScopedTimer timer("pencil_fft.forward.y");
+    plan_yz_->transform_batch(fft::Direction::Forward, py_.data(), py_.data(),
+                              BatchLayout{.count = w * zl, .stride = 1,
+                                          .dist = n_});
   }
 
   // Column transpose, then z on contiguous lines of the Z-pencil.
   transpose_.y_to_z(py_, spec);
-  for (std::size_t jj = 0; jj < g.yl2(); ++jj) {
-    for (std::size_t ii = 0; ii < w; ++ii) {
-      Complex* line = spec.data() + n_ * (ii + w * jj);
-      plan_yz_->transform(fft::Direction::Forward, line, line);
-    }
+  {
+    obs::ScopedTimer timer("pencil_fft.forward.z");
+    plan_yz_->transform_batch(fft::Direction::Forward, spec.data(),
+                              spec.data(),
+                              BatchLayout{.count = w * g.yl2(), .stride = 1,
+                                          .dist = n_});
   }
 }
 
@@ -197,30 +201,29 @@ void PencilFft3d::inverse(std::span<const Complex> spec,
 
   if (px_.size() < h * yl * zl) px_.resize(h * yl * zl);
   if (py_.size() < n_ * w * zl) py_.resize(n_ * w * zl);
+  if (pz_.size() < spectral_elems()) pz_.resize(spectral_elems());
 
-  // z-inverse on a scratch copy of the Z-pencil.
-  std::vector<Complex> pz(spec.begin(), spec.begin() + spectral_elems());
-  for (std::size_t jj = 0; jj < g.yl2(); ++jj) {
-    for (std::size_t ii = 0; ii < w; ++ii) {
-      Complex* line = pz.data() + n_ * (ii + w * jj);
-      plan_yz_->transform(fft::Direction::Inverse, line, line);
-    }
+  // z-inverse on a reusable scratch copy of the Z-pencil.
+  std::copy(spec.begin(), spec.begin() + spectral_elems(), pz_.begin());
+  {
+    obs::ScopedTimer timer("pencil_fft.inverse.z");
+    plan_yz_->transform_batch(fft::Direction::Inverse, pz_.data(), pz_.data(),
+                              BatchLayout{.count = w * g.yl2(), .stride = 1,
+                                          .dist = n_});
   }
 
-  transpose_.z_to_y(pz, py_);
-  for (std::size_t kk = 0; kk < zl; ++kk) {
-    for (std::size_t ii = 0; ii < w; ++ii) {
-      Complex* line = py_.data() + n_ * (ii + w * kk);
-      plan_yz_->transform(fft::Direction::Inverse, line, line);
-    }
+  transpose_.z_to_y(pz_, py_);
+  {
+    obs::ScopedTimer timer("pencil_fft.inverse.y");
+    plan_yz_->transform_batch(fft::Direction::Inverse, py_.data(), py_.data(),
+                              BatchLayout{.count = w * zl, .stride = 1,
+                                          .dist = n_});
   }
 
   transpose_.y_to_x(py_, px_);
-  for (std::size_t kk = 0; kk < zl; ++kk) {
-    for (std::size_t jj = 0; jj < yl; ++jj) {
-      plan_x_->inverse(px_.data() + h * (jj + yl * kk),
-                       phys.data() + n_ * (jj + yl * kk));
-    }
+  {
+    obs::ScopedTimer timer("pencil_fft.inverse.x");
+    plan_x_->inverse_batch(px_.data(), h, phys.data(), n_, yl * zl);
   }
 }
 

@@ -60,6 +60,8 @@ class SlabFft3d {
   std::shared_ptr<const fft::PlanR2C> plan_x_;
   std::shared_ptr<const fft::PlanC2C> plan_yz_;
   std::vector<std::vector<Complex>> work_;  // per-variable Y-slab scratch
+  // Reused per-call pointer arrays (forward/inverse are hot-loop calls).
+  std::vector<Complex*> yslab_ptrs_, zslab_ptrs_;
 };
 
 /// Pencil-decomposed transform (the CPU baseline's layout).
@@ -93,6 +95,7 @@ class PencilFft3d {
   std::shared_ptr<const fft::PlanR2C> plan_x_;
   std::shared_ptr<const fft::PlanC2C> plan_yz_;
   std::vector<Complex> px_, py_;  // intermediate layouts
+  std::vector<Complex> pz_;       // inverse() Z-pencil scratch
 };
 
 }  // namespace psdns::transpose
