@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "resilience/fault.hpp"
 #include "util/check.hpp"
 
 namespace psdns::comm {
@@ -85,6 +86,16 @@ class Communicator {
   /// destined for rank r; recv receives one block from every rank.
   template <class T>
   void alltoall(const T* send, T* recv, std::size_t count) {
+    // Fault drill hook. Counted per thread, so every SPMD rank fires at the
+    // same call index and a thrown fault unwinds all ranks *before* anyone
+    // publishes or enters the barrier - no deadlock. A bit_flip plan entry
+    // corrupts one bit of the received payload instead (silent fault).
+    const auto fault = resilience::poll(resilience::site::comm_alltoall);
+    if (fault == resilience::FaultKind::Throw ||
+        fault == resilience::FaultKind::ShortWrite) {
+      throw resilience::InjectedFault(resilience::site::comm_alltoall,
+                                      *fault);
+    }
     obs::registry().counter_add("comm.alltoall.calls");
     obs::registry().counter_add(
         "comm.alltoall.bytes",
@@ -98,6 +109,9 @@ class Communicator {
                 recv + static_cast<std::size_t>(r) * count);
     }
     barrier();  // all reads done before anyone reuses their send buffer
+    if (fault == resilience::FaultKind::BitFlip && count > 0) {
+      reinterpret_cast<unsigned char*>(recv)[0] ^= 0x01u;
+    }
   }
 
   /// MPI_IALLTOALL. The returned Request's wait() performs the exchange.
@@ -119,6 +133,9 @@ class Communicator {
       const std::size_t* counts;
       const std::size_t* displs;
     };
+    // Same drill hook as alltoall: the v-variant is the same collective to
+    // the fault plan (both count against the comm.alltoall site).
+    resilience::maybe_throw(resilience::site::comm_alltoall);
     std::size_t send_elems = 0;
     for (int r = 0; r < size(); ++r) send_elems += send_counts[r];
     obs::registry().counter_add("comm.alltoall.calls");

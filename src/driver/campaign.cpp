@@ -53,6 +53,11 @@ CampaignConfig CampaignConfig::from(const util::Config& file) {
   cfg.checkpoint_path = file.get("checkpoint_path", "");
   cfg.series_path = file.get("series_path", "");
   cfg.spectrum_path = file.get("spectrum_path", "");
+  cfg.checkpoint_keep =
+      static_cast<int>(file.get_int("checkpoint_keep", 2));
+  cfg.io_retries = static_cast<int>(file.get_int("io_retries", 3));
+  PSDNS_REQUIRE(cfg.checkpoint_keep >= 1, "checkpoint_keep must be >= 1");
+  PSDNS_REQUIRE(cfg.io_retries >= 1, "io_retries must be >= 1");
 
   const auto unused = file.unused_keys();
   if (!unused.empty()) {
@@ -63,12 +68,40 @@ CampaignConfig CampaignConfig::from(const util::Config& file) {
   return cfg;
 }
 
+namespace {
+
+io::CheckpointOptions checkpoint_options(const CampaignConfig& cfg) {
+  io::CheckpointOptions opts;
+  opts.keep = cfg.checkpoint_keep;
+  opts.retry.max_attempts = cfg.io_retries;
+  return opts;
+}
+
+/// Collective rollback: rank 0 compacts the checkpoint chain to the newest
+/// verifiable file; every rank learns the resume step (-1 = no checkpoint
+/// survives, restart from the initial condition) and the discard count.
+void rollback_to_valid(comm::Communicator& comm, const std::string& path,
+                       std::int64_t& resume_step, int& discarded) {
+  std::int64_t vals[2] = {-1, 0};
+  if (comm.rank() == 0 && !path.empty()) {
+    const auto recovery = io::recover_checkpoint_chain(path);
+    vals[0] = recovery.info ? recovery.info->step : -1;
+    vals[1] = recovery.discarded;
+  }
+  comm.broadcast(vals, 2, 0);
+  resume_step = vals[0];
+  discarded = static_cast<int>(vals[1]);
+}
+
+}  // namespace
+
 CampaignResult run_campaign(comm::Communicator& comm,
                             const CampaignConfig& cfg,
                             const CampaignObserver& observer) {
   PSDNS_REQUIRE(cfg.max_steps >= 0, "negative step budget");
   PSDNS_REQUIRE(cfg.cfl > 0.0 && cfg.max_dt > 0.0, "bad stepping limits");
   obs::init_logging_from_env();
+  const io::CheckpointOptions ckpt_opts = checkpoint_options(cfg);
 
   dns::SlabSolver solver(comm, cfg.solver);
 
@@ -89,7 +122,11 @@ CampaignResult run_campaign(comm::Communicator& comm,
 
   std::unique_ptr<io::SeriesWriter> series;
   if (comm.rank() == 0 && !cfg.series_path.empty()) {
-    series = std::make_unique<io::SeriesWriter>(cfg.series_path);
+    // A restarted segment appends: the interrupted run's rows are part of
+    // the campaign record, not scratch to be truncated.
+    series = std::make_unique<io::SeriesWriter>(
+        cfg.series_path, result.restarted ? io::SeriesWriter::Mode::Append
+                                          : io::SeriesWriter::Mode::Truncate);
   }
 
   const std::int64_t first_step = solver.step_count();
@@ -138,12 +175,12 @@ CampaignResult run_campaign(comm::Communicator& comm,
     }
     if (cfg.checkpoint_every > 0 && !cfg.checkpoint_path.empty() &&
         solver.step_count() % cfg.checkpoint_every == 0) {
-      io::save_checkpoint(cfg.checkpoint_path, solver);
+      io::save_checkpoint(cfg.checkpoint_path, solver, ckpt_opts);
     }
   }
 
   if (!cfg.checkpoint_path.empty()) {
-    io::save_checkpoint(cfg.checkpoint_path, solver);
+    io::save_checkpoint(cfg.checkpoint_path, solver, ckpt_opts);
   }
   auto spectrum = solver.spectrum();
   if (comm.rank() == 0 && !cfg.spectrum_path.empty()) {
@@ -153,6 +190,65 @@ CampaignResult run_campaign(comm::Communicator& comm,
   result.final_time = solver.time();
   result.final_diagnostics = solver.diagnostics();
   return result;
+}
+
+CampaignResult run_campaign_supervised(comm::Communicator& comm,
+                                       const CampaignConfig& cfg,
+                                       const SupervisorConfig& sup,
+                                       const CampaignObserver& observer) {
+  PSDNS_REQUIRE(sup.max_recoveries >= 0, "negative recovery budget");
+  obs::init_logging_from_env();
+
+  // Establish the baseline: compact the chain so cfg.checkpoint_path is
+  // the newest VALID checkpoint (a previous allocation may have died
+  // mid-write), and fix the absolute target step for this allocation.
+  std::int64_t resume_step = -1;
+  int discarded = 0;
+  rollback_to_valid(comm, cfg.checkpoint_path, resume_step, discarded);
+
+  CampaignResult total;
+  total.checkpoints_discarded = discarded;
+  total.restarted = resume_step >= 0;
+  const std::int64_t target_step =
+      std::max<std::int64_t>(resume_step, 0) + cfg.max_steps;
+
+  int recoveries = 0;
+  for (;;) {
+    CampaignConfig segment = cfg;
+    segment.max_steps = target_step - std::max<std::int64_t>(resume_step, 0);
+    try {
+      const auto r = run_campaign(comm, segment, observer);
+      total.steps_run += r.steps_run;
+      total.final_time = r.final_time;
+      total.final_diagnostics = r.final_diagnostics;
+      total.recoveries = recoveries;
+      return total;
+    } catch (const std::exception& e) {
+      // Injected faults strike every rank at the same per-thread call index
+      // and checkpoint IO errors are agreed collectively, so every rank is
+      // in this handler; the barrier re-synchronizes the group before the
+      // collective rollback.
+      comm.barrier();
+      if (recoveries >= sup.max_recoveries) throw;
+      ++recoveries;
+      if (comm.rank() == 0) {
+        obs::registry().counter_add("resilience.recoveries");
+        obs::log_event(obs::LogLevel::Warn, "driver",
+                       "segment failed, rolling back",
+                       {{"error", e.what()},
+                        {"recovery", recoveries},
+                        {"max_recoveries", sup.max_recoveries}});
+      }
+      rollback_to_valid(comm, cfg.checkpoint_path, resume_step, discarded);
+      total.checkpoints_discarded += discarded;
+      if (comm.rank() == 0) {
+        obs::log_event(obs::LogLevel::Info, "driver", "resuming campaign",
+                       {{"resume_step", resume_step},
+                        {"target_step", target_step},
+                        {"discarded", discarded}});
+      }
+    }
+  }
 }
 
 }  // namespace psdns::driver

@@ -4,6 +4,14 @@
 // step or simulated-time budget. This is the glue every long-running DNS
 // campaign wraps around the solver - declared here so examples and tests
 // exercise the same code path production would.
+//
+// Two entry points:
+//   run_campaign            - one segment; any failure propagates.
+//   run_campaign_supervised - the self-recovering wrapper: a failed segment
+//     is caught on every rank, the checkpoint chain is rolled back to the
+//     newest file that passes verification, and the segment is replayed
+//     from there. Because stepping and restart are deterministic, the
+//     recovered run reaches the same final state as a fault-free one.
 
 #include <cstdint>
 #include <functional>
@@ -35,10 +43,13 @@ struct CampaignConfig {
   std::string checkpoint_path;  // also the restart source if it exists
   std::string series_path;
   std::string spectrum_path;    // written once at the end
+  // Resilience knobs.
+  int checkpoint_keep = 2;      // rotation depth (io::CheckpointOptions)
+  int io_retries = 3;           // write-transaction retry budget
 
   /// Parses the "key = value" schema (n, viscosity, scheme, forcing.*,
-  /// scalar.*, steps, cfl, ... - see driver/campaign.cpp). Throws on
-  /// unknown keys.
+  /// scalar.*, steps, cfl, checkpoint_keep, io_retries, ... - see
+  /// driver/campaign.cpp). Throws on unknown keys.
   static CampaignConfig from(const util::Config& file);
 };
 
@@ -47,10 +58,13 @@ using CampaignObserver =
     std::function<void(std::int64_t, double, const dns::Diagnostics&)>;
 
 struct CampaignResult {
-  std::int64_t steps_run = 0;
+  std::int64_t steps_run = 0;  // steps executed in completed segments
   double final_time = 0.0;
   dns::Diagnostics final_diagnostics;
   bool restarted = false;  // resumed from an existing checkpoint
+  // Supervisor bookkeeping (0 for plain run_campaign).
+  int recoveries = 0;              // failed segments rolled back and replayed
+  int checkpoints_discarded = 0;   // corrupt checkpoints dropped on rollback
 };
 
 /// Runs one campaign segment on the calling rank group. Collective.
@@ -60,5 +74,28 @@ struct CampaignResult {
 CampaignResult run_campaign(comm::Communicator& comm,
                             const CampaignConfig& cfg,
                             const CampaignObserver& observer = nullptr);
+
+struct SupervisorConfig {
+  /// Failed segments tolerated before the last error is rethrown.
+  int max_recoveries = 5;
+};
+
+/// Self-recovering campaign: like run_campaign, but a failing segment
+/// (thrown fault, corrupt checkpoint, IO error) is caught collectively,
+/// the checkpoint chain is rolled back to the newest verifiable file
+/// (falling back to the initial condition when none survives), and the
+/// remaining steps are replayed. The step budget is absolute: the
+/// supervised campaign finishes at start_step + cfg.max_steps regardless
+/// of how many recoveries happened. Recovery counts are surfaced in the
+/// result and in the `resilience.recoveries` / `ckpt.discarded` counters.
+///
+/// Relies on faults striking every rank at the same logical point (see
+/// resilience/fault.hpp) or being agreed collectively (checkpoint IO), so
+/// all ranks unwind together and the group can synchronize for rollback.
+CampaignResult run_campaign_supervised(comm::Communicator& comm,
+                                       const CampaignConfig& cfg,
+                                       const SupervisorConfig& sup = {},
+                                       const CampaignObserver& observer =
+                                           nullptr);
 
 }  // namespace psdns::driver

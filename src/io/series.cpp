@@ -1,15 +1,27 @@
 #include "io/series.hpp"
 
+#include "obs/log.hpp"
 #include "util/check.hpp"
 
 namespace psdns::io {
 
-SeriesWriter::SeriesWriter(const std::string& path)
-    : file_(std::fopen(path.c_str(), "w")) {
-  PSDNS_REQUIRE(file_ != nullptr, "cannot open series file: " + path);
-  std::fprintf(file_,
-               "step,time,energy,dissipation,u_max,taylor_scale,"
-               "reynolds_lambda,kolmogorov_eta,dt,wall_ms\n");
+SeriesWriter::SeriesWriter(const std::string& path, Mode mode)
+    : file_(std::fopen(path.c_str(), mode == Mode::Append ? "a" : "w")),
+      path_(path) {
+  if (file_ == nullptr) {
+    obs::log_event(obs::LogLevel::Error, "io", "cannot open series file",
+                   {{"path", path}});
+    util::raise("cannot open series file: " + path);
+  }
+  // In append mode an interrupted run's rows are preserved; only a fresh
+  // (empty) file gets the header.
+  const bool need_header = mode == Mode::Truncate || std::ftell(file_) == 0;
+  if (need_header) {
+    std::fprintf(file_,
+                 "step,time,energy,dissipation,u_max,taylor_scale,"
+                 "reynolds_lambda,kolmogorov_eta,dt,wall_ms\n");
+    std::fflush(file_);
+  }
 }
 
 SeriesWriter::~SeriesWriter() {
@@ -19,12 +31,16 @@ SeriesWriter::~SeriesWriter() {
 void SeriesWriter::append(std::int64_t step, double time,
                           const dns::Diagnostics& d, double dt,
                           double wall_ms) {
-  std::fprintf(file_,
-               "%lld,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
-               static_cast<long long>(step), time, d.energy, d.dissipation,
-               d.u_max, d.taylor_scale, d.reynolds_lambda, d.kolmogorov_eta,
-               dt, wall_ms);
-  std::fflush(file_);
+  const int written = std::fprintf(
+      file_, "%lld,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+      static_cast<long long>(step), time, d.energy, d.dissipation, d.u_max,
+      d.taylor_scale, d.reynolds_lambda, d.kolmogorov_eta, dt, wall_ms);
+  // Flush every row: a killed run keeps its series up to the last step.
+  if (written < 0 || std::fflush(file_) != 0 || std::ferror(file_) != 0) {
+    obs::log_event(obs::LogLevel::Error, "io", "series append failed",
+                   {{"path", path_}, {"step", step}});
+    util::raise("series append failed: " + path_);
+  }
 }
 
 void write_spectrum_csv(const std::string& path,
@@ -35,7 +51,9 @@ void write_spectrum_csv(const std::string& path,
   for (std::size_t k = 0; k < spectrum.size(); ++k) {
     std::fprintf(f, "%zu,%.17g\n", k, spectrum[k]);
   }
+  const bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
   std::fclose(f);
+  PSDNS_REQUIRE(ok, "spectrum write failed: " + path);
 }
 
 std::vector<double> read_spectrum_csv(const std::string& path) {

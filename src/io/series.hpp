@@ -1,7 +1,9 @@
 #pragma once
 // Plain-text outputs for post-processing: a CSV time series of flow
 // statistics (the quantity-of-interest log every production DNS keeps) and
-// spectrum snapshots.
+// spectrum snapshots. Rows are flushed as they are appended, so a killed
+// run keeps everything it logged; IO failures throw (naming the file)
+// instead of silently dropping data.
 
 #include <cstdio>
 #include <memory>
@@ -16,9 +18,18 @@ namespace psdns::io {
 /// taylor_scale,reynolds_lambda,kolmogorov_eta,dt,wall_ms. Call from
 /// rank 0 only. dt/wall_ms are the per-step driver stats; callers without
 /// stepping context may leave them 0.
+///
+/// The constructor throws util::Error (naming the path) when the file
+/// cannot be opened; append() throws when the underlying stream errors.
+/// Every row is flushed immediately.
 class SeriesWriter {
  public:
-  explicit SeriesWriter(const std::string& path);
+  enum class Mode {
+    Truncate,  // fresh file, header written
+    Append,    // continue an interrupted run; header only if file is empty
+  };
+
+  explicit SeriesWriter(const std::string& path, Mode mode = Mode::Truncate);
   ~SeriesWriter();
   SeriesWriter(const SeriesWriter&) = delete;
   SeriesWriter& operator=(const SeriesWriter&) = delete;
@@ -28,9 +39,11 @@ class SeriesWriter {
 
  private:
   std::FILE* file_;
+  std::string path_;
 };
 
-/// Writes "k,E(k)" rows. Call from rank 0 only.
+/// Writes "k,E(k)" rows. Call from rank 0 only. Throws util::Error naming
+/// the path on open or write failure.
 void write_spectrum_csv(const std::string& path,
                         const std::vector<double>& spectrum);
 

@@ -1,0 +1,33 @@
+#include "resilience/crc32c.hpp"
+
+namespace psdns::resilience {
+
+namespace {
+
+struct Crc32cTable {
+  std::uint32_t entry[256];
+  Crc32cTable() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      entry[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t bytes,
+                     std::uint32_t prior) {
+  static const Crc32cTable table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~prior;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    crc = table.entry[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace psdns::resilience

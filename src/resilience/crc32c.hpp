@@ -1,0 +1,18 @@
+#pragma once
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum used for checkpoint section integrity. Chosen over CRC32 for its
+// better error-detection properties on long burst patterns and because it is
+// what production storage stacks (ext4 metadata, iSCSI, RocksDB) standardise
+// on, so file dumps can be cross-checked with external tools.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psdns::resilience {
+
+/// One-shot or incremental CRC32C. Chain sections by feeding the previous
+/// result back in: crc = crc32c(p2, n2, crc32c(p1, n1)).
+std::uint32_t crc32c(const void* data, std::size_t bytes,
+                     std::uint32_t prior = 0);
+
+}  // namespace psdns::resilience

@@ -1,0 +1,26 @@
+#include "resilience/retry.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace psdns::resilience {
+
+double backoff_delay_s(const RetryPolicy& policy, int attempt) {
+  PSDNS_REQUIRE(attempt >= 1, "attempt is 1-based");
+  const double base =
+      policy.base_delay_s * std::pow(policy.backoff, attempt - 1);
+  // Stream id = attempt: the k-th retry of a given policy always draws the
+  // same jitter, independent of anything retried before it.
+  util::Rng rng(policy.seed, static_cast<std::uint64_t>(attempt));
+  return base * (1.0 + policy.jitter * rng.uniform());
+}
+
+void sleep_s(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace psdns::resilience

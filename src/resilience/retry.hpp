@@ -1,0 +1,57 @@
+#pragma once
+// Bounded retry with exponential backoff and deterministic jitter, applied
+// to checkpoint IO (and any other transient-failure-prone operation). The
+// jitter is drawn from a seeded counter-based stream so two runs of the same
+// campaign sleep the same amount - reproducibility extends to the recovery
+// path, which is what lets the fault drill assert bitwise-identical results.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+namespace psdns::resilience {
+
+struct RetryPolicy {
+  int max_attempts = 3;        // total tries, including the first
+  double base_delay_s = 1e-3;  // delay before the first retry
+  double backoff = 2.0;        // delay multiplier per further retry
+  double jitter = 0.5;         // adds [0, jitter) * delay, deterministically
+  std::uint64_t seed = 0xC0FFEEULL;
+};
+
+/// Delay before retry `attempt` (1-based: the sleep after the attempt-th
+/// failure). Deterministic in (policy, attempt).
+double backoff_delay_s(const RetryPolicy& policy, int attempt);
+
+/// Sleeps the calling thread (split out for testability of the pure delay).
+void sleep_s(double seconds);
+
+/// Runs `fn`, retrying on any std::exception up to policy.max_attempts
+/// total attempts; the last failure is rethrown. Each retry increments the
+/// `resilience.retries` counter and logs a warn event naming `what`.
+template <class Fn>
+auto with_retry(const RetryPolicy& policy, const std::string& what, Fn&& fn)
+    -> decltype(fn()) {
+  PSDNS_REQUIRE(policy.max_attempts >= 1, "retry policy needs >= 1 attempt");
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const std::exception& e) {
+      if (attempt >= policy.max_attempts) throw;
+      obs::registry().counter_add("resilience.retries");
+      const double delay = backoff_delay_s(policy, attempt);
+      obs::log_event(obs::LogLevel::Warn, "resilience", "retrying",
+                     {{"what", what},
+                      {"attempt", attempt},
+                      {"max_attempts", policy.max_attempts},
+                      {"delay_s", delay},
+                      {"error", e.what()}});
+      sleep_s(delay);
+    }
+  }
+}
+
+}  // namespace psdns::resilience

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 
 #include "comm/communicator.hpp"
 #include "driver/campaign.hpp"
+#include "io/checkpoint.hpp"
 #include "io/series.hpp"
+#include "resilience/fault.hpp"
 #include "util/config.hpp"
 
 namespace psdns::driver {
@@ -139,6 +142,7 @@ TEST(Campaign, TimeBudgetStopsEarly) {
 TEST(Campaign, SegmentsResumeAcrossInvocations) {
   const auto ckp = tmp("psdns_campaign_seg.ckp");
   std::remove(ckp.c_str());
+  std::remove((ckp + ".1").c_str());  // keep=2 rotates a predecessor
 
   CampaignConfig cfg;
   cfg.solver.n = 16;
@@ -173,6 +177,7 @@ TEST(Campaign, SegmentsResumeAcrossInvocations) {
   EXPECT_NEAR(seg2.final_diagnostics.energy, ref.final_diagnostics.energy,
               1e-12);
   std::remove(ckp.c_str());
+  std::remove((ckp + ".1").c_str());
 }
 
 TEST(Campaign, WritesSeriesAndSpectrumArtifacts) {
@@ -206,6 +211,152 @@ TEST(Campaign, ScalarsInitializedAndEvolved) {
   comm::run_ranks(2, [&](comm::Communicator& comm) {
     EXPECT_NO_THROW(run_campaign(comm, cfg));
   });
+}
+
+TEST(CampaignConfig, ParsesResilienceKnobs) {
+  const auto file = util::Config::from_string(
+      "checkpoint_keep = 4\nio_retries = 5\n");
+  const auto cfg = CampaignConfig::from(file);
+  EXPECT_EQ(cfg.checkpoint_keep, 4);
+  EXPECT_EQ(cfg.io_retries, 5);
+  EXPECT_THROW(CampaignConfig::from(
+                   util::Config::from_string("checkpoint_keep = 0\n")),
+               util::Error);
+  EXPECT_THROW(
+      CampaignConfig::from(util::Config::from_string("io_retries = 0\n")),
+      util::Error);
+}
+
+// --- run_campaign_supervised ---
+
+void remove_chain(const std::string& ckp) {
+  for (int k = 0; k < 8; ++k) {
+    std::remove(io::rotated_checkpoint_name(ckp, k).c_str());
+  }
+  std::remove((ckp + ".tmp").c_str());
+}
+
+CampaignConfig supervised_config(const std::string& ckp) {
+  CampaignConfig cfg;
+  cfg.solver.n = 16;
+  cfg.solver.viscosity = 0.02;
+  cfg.seed = 7;
+  cfg.max_steps = 4;
+  cfg.max_dt = 0.01;
+  cfg.diagnostics_every = 0;
+  cfg.checkpoint_every = 2;
+  cfg.checkpoint_keep = 2;
+  cfg.checkpoint_path = ckp;
+  return cfg;
+}
+
+TEST(Supervised, MatchesPlainCampaignWithoutFaults) {
+  const auto ckp_a = tmp("psdns_sup_plain_a.ckp");
+  const auto ckp_b = tmp("psdns_sup_plain_b.ckp");
+  remove_chain(ckp_a);
+  remove_chain(ckp_b);
+
+  CampaignResult plain, supervised;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    const auto r = run_campaign(comm, supervised_config(ckp_a));
+    if (comm.rank() == 0) plain = r;
+  });
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    const auto r = run_campaign_supervised(comm, supervised_config(ckp_b));
+    if (comm.rank() == 0) supervised = r;
+  });
+  EXPECT_EQ(supervised.steps_run, plain.steps_run);
+  EXPECT_EQ(supervised.recoveries, 0);
+  EXPECT_EQ(supervised.checkpoints_discarded, 0);
+  EXPECT_DOUBLE_EQ(supervised.final_time, plain.final_time);
+  EXPECT_DOUBLE_EQ(supervised.final_diagnostics.energy,
+                   plain.final_diagnostics.energy);
+  remove_chain(ckp_a);
+  remove_chain(ckp_b);
+}
+
+TEST(Supervised, RecoversFromInjectedCommFault) {
+  const auto faulted_ckp = tmp("psdns_sup_comm_faulted.ckp");
+  const auto clean_ckp = tmp("psdns_sup_comm_clean.ckp");
+  remove_chain(faulted_ckp);
+  remove_chain(clean_ckp);
+
+  CampaignResult faulted;
+  {
+    resilience::ScopedPlan plan("comm.alltoall@5=throw");
+    comm::run_ranks(2, [&](comm::Communicator& comm) {
+      const auto r =
+          run_campaign_supervised(comm, supervised_config(faulted_ckp));
+      if (comm.rank() == 0) faulted = r;
+    });
+  }
+  EXPECT_EQ(faulted.recoveries, 1);
+
+  CampaignResult clean;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    const auto r = run_campaign_supervised(comm, supervised_config(clean_ckp));
+    if (comm.rank() == 0) clean = r;
+  });
+  // Deterministic replay: the recovered run lands on the identical state.
+  EXPECT_DOUBLE_EQ(faulted.final_time, clean.final_time);
+  EXPECT_DOUBLE_EQ(faulted.final_diagnostics.energy,
+                   clean.final_diagnostics.energy);
+  EXPECT_EQ(io::peek_checkpoint(faulted_ckp).step,
+            io::peek_checkpoint(clean_ckp).step);
+  remove_chain(faulted_ckp);
+  remove_chain(clean_ckp);
+}
+
+TEST(Supervised, FallsBackToOlderCheckpointWhenNewestIsCorrupt) {
+  const auto ckp = tmp("psdns_sup_fallback.ckp");
+  remove_chain(ckp);
+
+  // Allocation 1: checkpoints at step 3 (periodic) and step 4 (final).
+  auto cfg = supervised_config(ckp);
+  cfg.checkpoint_every = 3;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    run_campaign_supervised(comm, cfg);
+  });
+  ASSERT_EQ(io::peek_checkpoint(ckp).step, 4);
+  ASSERT_EQ(io::peek_checkpoint(ckp + ".1").step, 3);
+
+  // The newest checkpoint rots on disk; allocation 2 must discard it, fall
+  // back to step 3, and still advance its full 4-step budget (to step 7).
+  {
+    std::FILE* f = std::fopen(ckp.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 200, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, 200, SEEK_SET);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+  CampaignResult result;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    const auto r = run_campaign_supervised(comm, cfg);
+    if (comm.rank() == 0) result = r;
+  });
+  EXPECT_TRUE(result.restarted);
+  EXPECT_EQ(result.checkpoints_discarded, 1);
+  EXPECT_EQ(result.steps_run, 4);
+  EXPECT_EQ(io::peek_checkpoint(ckp).step, 7);
+  remove_chain(ckp);
+}
+
+TEST(Supervised, GivesUpAfterRecoveryBudget) {
+  const auto ckp = tmp("psdns_sup_givesup.ckp");
+  remove_chain(ckp);
+  resilience::ScopedPlan plan(
+      "comm.alltoall@0=throw;comm.alltoall@1=throw;comm.alltoall@2=throw");
+  SupervisorConfig sup;
+  sup.max_recoveries = 2;
+  EXPECT_THROW(comm::run_ranks(2,
+                               [&](comm::Communicator& comm) {
+                                 run_campaign_supervised(
+                                     comm, supervised_config(ckp), sup);
+                               }),
+               resilience::InjectedFault);
+  remove_chain(ckp);
 }
 
 }  // namespace
