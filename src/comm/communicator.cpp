@@ -1,11 +1,21 @@
 #include "comm/communicator.hpp"
 
+#include <atomic>
 #include <thread>
 #include <tuple>
 
 #include "obs/log.hpp"
 
 namespace psdns::comm {
+
+namespace detail {
+
+std::uint64_t next_group_trace_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 Communicator Communicator::split(int color, int key) {
   // Publish (color, key) for every rank.

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <barrier>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "resilience/fault.hpp"
 #include "util/check.hpp"
 
@@ -52,14 +54,19 @@ class Request {
 
 namespace detail {
 
+/// Process-unique id tagging one communicator group's trace flows.
+std::uint64_t next_group_trace_uid();
+
 /// State shared by all ranks of one communicator.
 struct Group {
   explicit Group(int n)
-      : size(n), barrier(n), slots(static_cast<std::size_t>(n)) {}
+      : size(n), barrier(n), slots(static_cast<std::size_t>(n)),
+        trace_uid(next_group_trace_uid()) {}
 
   int size;
   std::barrier<> barrier;
   std::vector<const void*> slots;  // per-rank published pointer
+  std::uint64_t trace_uid;
 
   // split() bookkeeping: first arriving rank of each color creates the
   // subgroup.
@@ -101,6 +108,14 @@ class Communicator {
         "comm.alltoall.bytes",
         static_cast<std::int64_t>(sizeof(T) * count *
                                   static_cast<std::size_t>(size())));
+    // Causal tracing: every rank's span emits its outgoing flow before the
+    // publish barrier and consumes every peer's after the exchange, so the
+    // trace records the full cross-rank happened-before fan of the
+    // collective. The sequence number advances on every rank (SPMD call
+    // order is identical), keeping flow ids aligned across the group.
+    obs::TraceSpan span("comm.alltoall", obs::SpanKind::Comm);
+    const std::uint64_t cseq = collective_seq_++;
+    if (span.id() != 0) obs::flow_emit(collective_flow(cseq, rank_));
     publish(send);
     for (int r = 0; r < size(); ++r) {
       const T* theirs = peek<T>(r);
@@ -109,6 +124,11 @@ class Communicator {
                 recv + static_cast<std::size_t>(r) * count);
     }
     barrier();  // all reads done before anyone reuses their send buffer
+    if (span.id() != 0) {
+      for (int r = 0; r < size(); ++r) {
+        if (r != rank_) obs::flow_consume(collective_flow(cseq, r));
+      }
+    }
     if (fault == resilience::FaultKind::BitFlip && count > 0) {
       reinterpret_cast<unsigned char*>(recv)[0] ^= 0x01u;
     }
@@ -142,6 +162,9 @@ class Communicator {
     obs::registry().counter_add(
         "comm.alltoall.bytes",
         static_cast<std::int64_t>(sizeof(T) * send_elems));
+    obs::TraceSpan span("comm.alltoallv", obs::SpanKind::Comm);
+    const std::uint64_t cseq = collective_seq_++;
+    if (span.id() != 0) obs::flow_emit(collective_flow(cseq, rank_));
     const Spec mine{send, send_counts, send_displs};
     publish(&mine);
     for (int r = 0; r < size(); ++r) {
@@ -154,6 +177,11 @@ class Communicator {
                 recv + recv_displs[r]);
     }
     barrier();
+    if (span.id() != 0) {
+      for (int r = 0; r < size(); ++r) {
+        if (r != rank_) obs::flow_consume(collective_flow(cseq, r));
+      }
+    }
   }
 
   /// MPI_ALLREDUCE(sum). In-place allowed (send == recv).
@@ -241,8 +269,17 @@ class Communicator {
     return static_cast<const P*>(group_->slots[r]);
   }
 
+  /// Trace-flow id of src rank's contribution to this group's `seq`-th
+  /// collective. Top bit set so ids never collide with obs::new_flow().
+  std::uint64_t collective_flow(std::uint64_t seq, int src) const {
+    return (std::uint64_t{1} << 63) |
+           ((group_->trace_uid & 0x7FFFF) << 44) | ((seq & 0xFFFFFFFF) << 12) |
+           (static_cast<std::uint64_t>(src) & 0xFFF);
+  }
+
   std::shared_ptr<detail::Group> group_;
   int rank_;
+  std::uint64_t collective_seq_ = 0;  // per-rank count of traced collectives
 };
 
 /// SPMD launcher: runs `body(comm)` on `nranks` threads, each with its own

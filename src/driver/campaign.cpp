@@ -6,6 +6,7 @@
 #include "io/checkpoint.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -101,6 +102,7 @@ CampaignResult run_campaign(comm::Communicator& comm,
   PSDNS_REQUIRE(cfg.max_steps >= 0, "negative step budget");
   PSDNS_REQUIRE(cfg.cfl > 0.0 && cfg.max_dt > 0.0, "bad stepping limits");
   obs::init_logging_from_env();
+  obs::init_tracing_from_env();
   const io::CheckpointOptions ckpt_opts = checkpoint_options(cfg);
 
   dns::SlabSolver solver(comm, cfg.solver);
@@ -135,7 +137,10 @@ CampaignResult run_campaign(comm::Communicator& comm,
     const double cfl_dt = solver.cfl_dt(cfg.cfl);
     const double dt = std::min(cfl_dt, cfg.max_dt);
     const util::Stopwatch step_watch;
-    solver.step(dt);
+    {
+      obs::TraceSpan step_span("driver.step", obs::SpanKind::Compute);
+      solver.step(dt);
+    }
     const double wall = step_watch.seconds();
     ++result.steps_run;
     if (comm.rank() == 0) {
@@ -189,6 +194,9 @@ CampaignResult run_campaign(comm::Communicator& comm,
 
   result.final_time = solver.time();
   result.final_diagnostics = solver.diagnostics();
+  // One rank writes the collected trace (spans of every rank thread are in
+  // the same process-wide buffer, so rank 0 owns the file).
+  if (comm.rank() == 0) obs::write_trace_if_configured();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "fft/types.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "resilience/crc32c.hpp"
 #include "resilience/fault.hpp"
 #include "util/check.hpp"
@@ -285,6 +286,7 @@ void save_checkpoint(const std::string& path, dns::SlabSolver& solver,
   PSDNS_REQUIRE(opts.keep >= 1 && opts.keep <= kMaxChain,
                 "checkpoint keep out of range");
   auto& comm = solver.communicator();
+  obs::TraceSpan span("io.checkpoint.save", obs::SpanKind::Io);
   const util::Stopwatch watch;
   const std::size_t n = solver.n();
   const std::size_t nxh = n / 2 + 1;
@@ -339,6 +341,7 @@ void save_checkpoint(const std::string& path, dns::SlabSolver& solver,
 CheckpointInfo load_checkpoint(const std::string& path,
                                dns::SlabSolver& solver) {
   auto& comm = solver.communicator();
+  obs::TraceSpan span("io.checkpoint.load", obs::SpanKind::Io);
   const util::Stopwatch watch;
   const std::size_t n = solver.n();
   const std::size_t nxh = n / 2 + 1;

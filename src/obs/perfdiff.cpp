@@ -1,0 +1,132 @@
+#include "obs/perfdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace psdns::obs {
+
+namespace {
+
+const char* kHigherIsBetter[] = {"speedup",    "bandwidth", "flops",
+                                 "efficiency", "throughput", "rate"};
+
+struct Report {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;  // sorted by key
+};
+
+Report parse_report(const std::string& json, const char* which) {
+  const JsonValue doc = json_parse(json);
+  PSDNS_REQUIRE(doc.is_object(), std::string(which) + " report: not an object");
+  PSDNS_REQUIRE(doc.has("schema_version") &&
+                    doc.at("schema_version").number == 1.0,
+                std::string(which) + " report: unsupported schema_version");
+  Report r;
+  r.name = doc.at("name").string;
+  for (const auto& [key, value] : doc.at("metrics").object) {
+    if (value.is_number()) r.metrics.emplace_back(key, value.number);
+  }
+  return r;
+}
+
+}  // namespace
+
+MetricDirection infer_direction(const std::string& key) {
+  for (const char* token : kHigherIsBetter) {
+    if (key.find(token) != std::string::npos) {
+      return MetricDirection::HigherIsBetter;
+    }
+  }
+  return MetricDirection::LowerIsBetter;
+}
+
+PerfDiffResult perf_diff(const std::string& baseline_json,
+                         const std::string& current_json,
+                         const PerfDiffOptions& opts) {
+  PSDNS_REQUIRE(opts.rel_tolerance >= 0.0 && opts.abs_floor >= 0.0,
+                "perfdiff tolerances must be non-negative");
+  const Report base = parse_report(baseline_json, "baseline");
+  const Report cur = parse_report(current_json, "current");
+  PSDNS_REQUIRE(base.name == cur.name,
+                "perfdiff: comparing different benches: '" + base.name +
+                    "' vs '" + cur.name + "'");
+
+  PerfDiffResult result;
+  result.name = base.name;
+  for (const auto& [key, baseline] : base.metrics) {
+    MetricDelta d;
+    d.key = key;
+    d.baseline = baseline;
+    d.direction = infer_direction(key);
+    const auto it =
+        std::find_if(cur.metrics.begin(), cur.metrics.end(),
+                     [&](const auto& kv) { return kv.first == key; });
+    if (it == cur.metrics.end()) {
+      d.missing = true;
+      ++result.missing;
+      result.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.current = it->second;
+    // Signed worsening fraction relative to |baseline|; a zero baseline
+    // only worsens by appearing (guard against division by zero).
+    const double denom = std::abs(baseline);
+    const double delta = d.direction == MetricDirection::LowerIsBetter
+                             ? d.current - d.baseline
+                             : d.baseline - d.current;
+    d.worsening = denom > 0.0 ? delta / denom : (delta > 0.0 ? 1e30 : 0.0);
+    if (d.worsening > opts.rel_tolerance && delta > opts.abs_floor) {
+      d.regression = true;
+      ++result.regressions;
+    } else if (d.worsening < -opts.rel_tolerance && -delta > opts.abs_floor) {
+      d.improvement = true;
+      ++result.improvements;
+    }
+    result.deltas.push_back(std::move(d));
+  }
+  for (const auto& [key, value] : cur.metrics) {
+    (void)value;
+    const auto it =
+        std::find_if(base.metrics.begin(), base.metrics.end(),
+                     [&](const auto& kv) { return kv.first == key; });
+    if (it == base.metrics.end()) ++result.added;
+  }
+  return result;
+}
+
+std::string format_report(const PerfDiffResult& result,
+                          const PerfDiffOptions& opts, bool verbose) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "perfdiff " << result.name << " (tolerance "
+     << opts.rel_tolerance * 100.0 << "%):\n";
+  for (const auto& d : result.deltas) {
+    const bool notable = d.regression || d.improvement || d.missing;
+    if (!notable && !verbose) continue;
+    const char* tag = d.missing       ? "MISSING   "
+                      : d.regression  ? "REGRESSION"
+                      : d.improvement ? "improved  "
+                                      : "ok        ";
+    os << "  " << tag << "  " << d.key << ": " << d.baseline;
+    if (!d.missing) {
+      os << " -> " << d.current << " ("
+         << (d.worsening > 0 ? "+" : "") << d.worsening * 100.0 << "% "
+         << (d.direction == MetricDirection::HigherIsBetter
+                 ? "worse is lower"
+                 : "worse is higher")
+         << ")";
+    }
+    os << "\n";
+  }
+  os << "  " << result.deltas.size() << " metrics: " << result.regressions
+     << " regressed, " << result.improvements << " improved, "
+     << result.missing << " missing, " << result.added << " added -> "
+     << (result.ok(opts) ? "PASS" : "FAIL") << "\n";
+  return os.str();
+}
+
+}  // namespace psdns::obs

@@ -1,0 +1,75 @@
+#pragma once
+// Noise-aware comparison of BENCH_*.json reports (obs/bench_report.hpp
+// schema v1) against committed baselines - the engine behind the
+// psdns_perfdiff tool and CI's perf-regression gate.
+//
+// Every numeric metric shared by baseline and current is classified by
+// direction (keys containing speedup/bandwidth/flops/efficiency/
+// throughput/rate count higher-is-better; everything else, notably the
+// *seconds* timings, lower-is-better) and its signed worsening fraction
+// is computed. A metric regresses when it worsens by more than the
+// relative tolerance AND the absolute floor (two noise guards: the
+// tolerance absorbs run-to-run jitter, the floor keeps microsecond-scale
+// timings from tripping the gate on scheduler noise).
+
+#include <string>
+#include <vector>
+
+namespace psdns::obs {
+
+enum class MetricDirection { LowerIsBetter, HigherIsBetter };
+
+/// Direction by key substring, as documented above.
+MetricDirection infer_direction(const std::string& key);
+
+struct PerfDiffOptions {
+  /// Relative worsening tolerated before a metric counts as a regression
+  /// (and, symmetrically, as an improvement).
+  double rel_tolerance = 0.05;
+  /// Absolute worsening floor: |current - baseline| must also exceed this
+  /// (in the metric's own unit) to regress.
+  double abs_floor = 1e-6;
+  /// Metrics present in the baseline but absent from the current report
+  /// fail the diff (a silently dropped benchmark is a regression too).
+  bool fail_on_missing = true;
+};
+
+struct MetricDelta {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Signed worsening fraction: > 0 means worse than baseline, < 0 means
+  /// better, regardless of direction. 0 when missing.
+  double worsening = 0.0;
+  MetricDirection direction = MetricDirection::LowerIsBetter;
+  bool regression = false;
+  bool improvement = false;
+  bool missing = false;  // in baseline, absent from current
+};
+
+struct PerfDiffResult {
+  std::string name;  // bench name from the baseline report
+  std::vector<MetricDelta> deltas;
+  int regressions = 0;
+  int improvements = 0;
+  int missing = 0;
+  int added = 0;  // in current, absent from baseline (informational)
+
+  bool ok(const PerfDiffOptions& opts = {}) const {
+    return regressions == 0 && (!opts.fail_on_missing || missing == 0);
+  }
+};
+
+/// Parses two schema-v1 BENCH documents and compares their metrics.
+/// Throws util::Error on malformed JSON or mismatched report names.
+PerfDiffResult perf_diff(const std::string& baseline_json,
+                         const std::string& current_json,
+                         const PerfDiffOptions& opts = {});
+
+/// Human-readable report: one line per regression/improvement plus a
+/// summary; verbose lists every compared metric.
+std::string format_report(const PerfDiffResult& result,
+                          const PerfDiffOptions& opts = {},
+                          bool verbose = false);
+
+}  // namespace psdns::obs

@@ -65,6 +65,7 @@ void Registry::observe(const std::string& name, double value) {
     h.min = std::min(h.min, value);
     h.max = std::max(h.max, value);
   }
+  if (h.samples.size() < kExactSampleCap) h.samples.push_back(value);
   ++h.count;
   h.sum += value;
 }
@@ -76,6 +77,26 @@ HistogramSummary Registry::summarize(const Histogram& h) const {
   s.min = h.min;
   s.max = h.max;
   if (h.count == 0) return s;
+
+  if (h.count <= static_cast<std::int64_t>(h.samples.size())) {
+    // Every observation is still in the reservoir: report exact
+    // percentiles by linear interpolation between the closest ranks of
+    // the sorted samples (rank p/100 * (count-1); numpy default / R-7).
+    std::vector<double> sorted = h.samples;
+    std::sort(sorted.begin(), sorted.end());
+    const auto exact = [&](double p) {
+      const double rank =
+          p / 100.0 * static_cast<double>(sorted.size() - 1);
+      const auto lo = static_cast<std::size_t>(rank);
+      const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+      const double frac = rank - static_cast<double>(lo);
+      return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+    };
+    s.p50 = exact(50.0);
+    s.p95 = exact(95.0);
+    s.p99 = exact(99.0);
+    return s;
+  }
 
   const auto percentile = [&](double p) {
     const double target = p / 100.0 * static_cast<double>(h.count);

@@ -16,6 +16,13 @@
 
 namespace psdns::obs {
 
+/// Percentile rule: while a histogram holds no more observations than its
+/// raw-sample reservoir (Registry::kExactSampleCap, the common case for
+/// per-step timings), percentiles are EXACT - linear interpolation between
+/// the closest ranks of the sorted samples at rank p/100 * (count-1), the
+/// same convention as numpy's default / R type 7. Beyond the reservoir the
+/// summary falls back to linear interpolation inside the matching bucket,
+/// clamped to the observed [min, max].
 struct HistogramSummary {
   std::int64_t count = 0;
   double sum = 0.0;
@@ -57,10 +64,14 @@ class Registry {
   /// Log-spaced seconds-oriented bounds, 1 us .. 1000 s, 4 per decade.
   static std::vector<double> default_bounds();
 
+  /// Raw samples retained per histogram for exact small-count percentiles.
+  static constexpr std::size_t kExactSampleCap = 256;
+
  private:
   struct Histogram {
     std::vector<double> bounds;           // ascending upper bucket edges
     std::vector<std::int64_t> buckets;    // bounds.size() + 1 (overflow last)
+    std::vector<double> samples;          // first kExactSampleCap raw values
     std::int64_t count = 0;
     double sum = 0.0;
     double min = 0.0;

@@ -1,0 +1,313 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_export.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace psdns::obs {
+
+namespace {
+
+struct ThreadRing {
+  std::mutex mutex;  // owner-writes, collector-reads; uncontended in the hot path
+  std::vector<SpanRecord> ring;
+  std::size_t capacity = 0;
+  std::size_t next = 0;           // next write slot (mod capacity)
+  std::uint64_t written = 0;      // total spans ever written
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::atomic<bool> enabled{false};
+  util::Stopwatch origin;
+  std::size_t capacity = 1 << 16;
+  std::uint64_t epoch = 0;  // bumped by set_tracing(true); stale rings reset
+  std::string file;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  // Flow bookkeeping. `pending` keeps its entries after a consume so a
+  // broadcast-shaped flow can fan out to several consumers.
+  std::unordered_map<FlowId, SpanId> pending;
+  std::vector<FlowEdge> edges;
+  std::atomic<std::uint64_t> next_span{1};
+  std::atomic<std::uint64_t> next_flow{1};
+};
+
+TraceState& trace_state() {
+  static TraceState state;
+  return state;
+}
+
+struct OpenSpan {
+  SpanId id;
+};
+
+struct ThreadLocalTrace {
+  std::shared_ptr<ThreadRing> ring;
+  std::uint64_t epoch = ~std::uint64_t{0};
+  std::vector<OpenSpan> stack;
+};
+
+ThreadLocalTrace& tl_trace() {
+  thread_local ThreadLocalTrace t;
+  return t;
+}
+
+/// This thread's ring for the current epoch, (re)registering as needed.
+ThreadRing& my_ring() {
+  auto& st = trace_state();
+  auto& tl = tl_trace();
+  const std::uint64_t epoch = st.epoch;
+  if (tl.ring == nullptr || tl.epoch != epoch) {
+    auto ring = std::make_shared<ThreadRing>();
+    {
+      std::lock_guard lock(st.mutex);
+      ring->capacity = st.capacity;
+      ring->ring.resize(ring->capacity);
+      st.rings.push_back(ring);
+    }
+    tl.ring = std::move(ring);
+    tl.epoch = epoch;
+    tl.stack.clear();
+  }
+  return *tl.ring;
+}
+
+std::once_flag env_once;
+
+/// Set by any explicit set_tracing / init_tracing_from_env call; the lazy
+/// first-use env read must not run after (and override) a programmatic
+/// setting.
+std::atomic<bool> env_settled{false};
+
+void ensure_env_init() {
+  std::call_once(env_once, [] {
+    if (!env_settled.load(std::memory_order_acquire)) {
+      init_tracing_from_env();
+    }
+  });
+}
+
+void write_trace_at_exit() {
+  try {
+    write_trace_if_configured();
+  } catch (...) {
+    // Exit paths must not throw; the trace is best-effort by design.
+  }
+}
+
+}  // namespace
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::Compute:
+      return "compute";
+    case SpanKind::Transfer:
+      return "transfer";
+    case SpanKind::Comm:
+      return "comm";
+    case SpanKind::Io:
+      return "io";
+    case SpanKind::Other:
+      return "other";
+  }
+  return "?";
+}
+
+void set_tracing(bool on) {
+  env_settled.store(true, std::memory_order_release);
+  auto& st = trace_state();
+  std::lock_guard lock(st.mutex);
+  if (on) {
+    // Restart: drop every thread's ring (threads re-register lazily via the
+    // epoch check) and the flow bookkeeping, and reset the clock origin.
+    st.rings.clear();
+    st.pending.clear();
+    st.edges.clear();
+    ++st.epoch;
+    st.origin.reset();
+  }
+  st.enabled.store(on, std::memory_order_release);
+}
+
+bool tracing() {
+  ensure_env_init();
+  return trace_state().enabled.load(std::memory_order_relaxed);
+}
+
+void init_tracing_from_env() {
+  env_settled.store(true, std::memory_order_release);
+  auto& st = trace_state();
+  if (const char* v = std::getenv("PSDNS_TRACE")) {
+    const std::string s(v);
+    if (s == "1" || s == "true" || s == "on") {
+      set_tracing(true);
+    } else if (s == "0" || s == "false" || s == "off") {
+      set_tracing(false);
+    } else {
+      util::raise("unknown PSDNS_TRACE value: " + s +
+                  " (expected 1|true|on|0|false|off)");
+    }
+  }
+  if (const char* path = std::getenv("PSDNS_TRACE_FILE")) {
+    static std::once_flag exit_once;
+    set_trace_file(path);
+    // The state singleton above is alive before the handler registers, so
+    // the exit-time write runs before its destruction.
+    std::call_once(exit_once, [] { std::atexit(write_trace_at_exit); });
+  }
+  (void)st;
+}
+
+void set_trace_file(const std::string& path) {
+  auto& st = trace_state();
+  std::lock_guard lock(st.mutex);
+  st.file = path;
+}
+
+std::string trace_file() {
+  auto& st = trace_state();
+  std::lock_guard lock(st.mutex);
+  return st.file;
+}
+
+void set_trace_capacity(std::size_t spans_per_thread) {
+  PSDNS_REQUIRE(spans_per_thread >= 1, "trace capacity must be >= 1");
+  auto& st = trace_state();
+  std::lock_guard lock(st.mutex);
+  st.capacity = spans_per_thread;
+}
+
+SpanTrace collect_trace() {
+  auto& st = trace_state();
+  SpanTrace out;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard lock(st.mutex);
+    rings = st.rings;
+    out.edges = st.edges;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard lock(ring->mutex);
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(ring->written, ring->capacity);
+    out.dropped += static_cast<std::int64_t>(ring->written - kept);
+    // Oldest surviving span first: the ring wraps at `next`.
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      const std::size_t slot =
+          (ring->next + ring->capacity - kept + i) % ring->capacity;
+      out.spans.push_back(ring->ring[slot]);
+    }
+  }
+  std::stable_sort(out.spans.begin(), out.spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_s < b.start_s;
+                   });
+  return out;
+}
+
+void clear_trace() {
+  auto& st = trace_state();
+  std::lock_guard lock(st.mutex);
+  st.rings.clear();
+  st.pending.clear();
+  st.edges.clear();
+  ++st.epoch;
+}
+
+void write_trace_if_configured() {
+  const std::string path = trace_file();
+  if (path.empty()) return;
+  const SpanTrace trace = collect_trace();
+  if (trace.spans.empty()) return;
+  write_text_file(path, to_chrome_trace(trace));
+  log_event(LogLevel::Info, "obs", "trace written",
+            {{"path", path},
+             {"spans", static_cast<std::int64_t>(trace.spans.size())},
+             {"edges", static_cast<std::int64_t>(trace.edges.size())},
+             {"dropped", trace.dropped}});
+}
+
+SpanId current_span() {
+  if (!tracing()) return 0;
+  auto& tl = tl_trace();
+  if (tl.epoch != trace_state().epoch || tl.stack.empty()) return 0;
+  return tl.stack.back().id;
+}
+
+FlowId new_flow() {
+  return trace_state().next_flow.fetch_add(1, std::memory_order_relaxed);
+}
+
+void flow_emit(FlowId flow) {
+  if (!tracing() || flow == 0) return;
+  const SpanId src = current_span();
+  if (src == 0) return;
+  auto& st = trace_state();
+  std::lock_guard lock(st.mutex);
+  st.pending[flow] = src;
+}
+
+void flow_consume(FlowId flow) {
+  if (!tracing() || flow == 0) return;
+  const SpanId dst = current_span();
+  if (dst == 0) return;
+  auto& st = trace_state();
+  std::lock_guard lock(st.mutex);
+  const auto it = st.pending.find(flow);
+  if (it == st.pending.end() || it->second == dst) return;
+  st.edges.push_back(FlowEdge{flow, it->second, dst});
+}
+
+TraceSpan::TraceSpan(std::string name, SpanKind kind) {
+  if (!tracing()) return;
+  auto& st = trace_state();
+  auto& tl = tl_trace();
+  my_ring();  // registers this thread for the current epoch
+  id_ = st.next_span.fetch_add(1, std::memory_order_relaxed);
+  name_ = std::move(name);
+  kind_ = kind;
+  start_s_ = st.origin.seconds();
+  tl.stack.push_back(OpenSpan{id_});
+}
+
+TraceSpan::~TraceSpan() { end(); }
+
+void TraceSpan::end() {
+  if (id_ == 0) return;
+  auto& st = trace_state();
+  auto& tl = tl_trace();
+  SpanRecord rec;
+  rec.id = id_;
+  id_ = 0;
+  // A set_tracing(true) between construction and end invalidates this
+  // span: its origin and stack belong to the previous epoch.
+  if (tl.epoch != st.epoch) return;
+  const double end_s = st.origin.seconds();
+  // Unwind to this span (tolerates spans ended out of declaration order).
+  while (!tl.stack.empty() && tl.stack.back().id != rec.id) tl.stack.pop_back();
+  if (tl.stack.empty()) return;
+  tl.stack.pop_back();
+  rec.parent = tl.stack.empty() ? 0 : tl.stack.back().id;
+  rec.name = std::move(name_);
+  rec.kind = kind_;
+  rec.thread = thread_index();
+  rec.rank = rank_tag();
+  rec.start_s = start_s_;
+  rec.end_s = end_s;
+  auto& ring = my_ring();
+  std::lock_guard lock(ring.mutex);
+  ring.ring[ring.next] = std::move(rec);
+  ring.next = (ring.next + 1) % ring.capacity;
+  ++ring.written;
+}
+
+}  // namespace psdns::obs

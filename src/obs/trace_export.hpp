@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "sim/trace.hpp"
 
 namespace psdns::obs {
@@ -25,6 +26,9 @@ struct ChromeTraceOptions {
 /// Chrome color-name for an op category (the `cname` event field).
 const char* chrome_color(sim::OpCategory category);
 
+/// Chrome color-name for a causal-span kind (same Fig.-4 scheme).
+const char* chrome_color(SpanKind kind);
+
 /// One track per distinct OpRecord::lane, in order of first appearance.
 std::string to_chrome_trace(const std::vector<sim::OpRecord>& records,
                             const ChromeTraceOptions& options = {});
@@ -32,6 +36,15 @@ std::string to_chrome_trace(const std::vector<sim::OpRecord>& records,
 /// One track per capturing thread (spans from obs::captured_spans()).
 std::string spans_to_chrome_trace(const std::vector<Span>& spans,
                                   const ChromeTraceOptions& options = {});
+
+/// Causal span trace -> Chrome trace. Ranks map to processes (pid =
+/// options.pid + rank + 1, untagged spans to options.pid) and threads to
+/// tids, so every SPMD rank renders as its own named track group; each
+/// flow edge becomes a Chrome flow-event pair (ph "s" at the source
+/// span's end, ph "f" with bp "e" at the destination span's start) that
+/// Perfetto/chrome://tracing draw as arrows between the tracks.
+std::string to_chrome_trace(const SpanTrace& trace,
+                            const ChromeTraceOptions& options = {});
 
 /// Writes `text` to `path` (truncating). Throws util::Error on failure.
 void write_text_file(const std::string& path, const std::string& text);

@@ -31,13 +31,20 @@ void AsyncFft3d::stage_fft_y(fft::Direction dir, std::size_t x0,
   if (device_.size() < w * my_rows) device_.resize(w * my_rows);
 
   for (Complex* slab : slabs) {
-    gpu::memcpy2d(device_.data(), w, slab + x0, nxh_, w, my_rows);
-    for (std::size_t kk = 0; kk < transpose_.grid().mz(); ++kk) {
-      Complex* base = device_.data() + w * n_ * kk;
-      plan_yz_->transform_batch(
-          dir, base, base,
-          fft::BatchLayout{.count = w, .stride = w, .dist = 1});
+    {
+      obs::TraceSpan h2d("async.h2d", obs::SpanKind::Transfer);
+      gpu::memcpy2d(device_.data(), w, slab + x0, nxh_, w, my_rows);
     }
+    {
+      obs::TraceSpan fft("async.fft_y", obs::SpanKind::Compute);
+      for (std::size_t kk = 0; kk < transpose_.grid().mz(); ++kk) {
+        Complex* base = device_.data() + w * n_ * kk;
+        plan_yz_->transform_batch(
+            dir, base, base,
+            fft::BatchLayout{.count = w, .stride = w, .dist = 1});
+      }
+    }
+    obs::TraceSpan d2h("async.d2h", obs::SpanKind::Transfer);
     gpu::memcpy2d(slab + x0, nxh_, device_.data(), w, w, my_rows);
   }
 }
@@ -74,6 +81,7 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
 
     // Pack-on-copy (D2H doubles as the pack, Sec. 3.4) and nonblocking
     // all-to-all for the whole group.
+    obs::TraceSpan pack("async.pack", obs::SpanKind::Transfer);
     const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
     const std::size_t total = block * static_cast<std::size_t>(comm_.size());
     if (grp.send.size() < total) grp.send.resize(total);
@@ -83,6 +91,8 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
             const_cast<const Complex* const*>(work.data()), nv),
         grp.x0, grp.x1, grp.send);
     grp.request = comm_.ialltoall(grp.send.data(), grp.recv.data(), block);
+    grp.flow = pack.id() != 0 ? obs::new_flow() : 0;
+    if (grp.flow != 0) obs::flow_emit(grp.flow);
   }
 
   // Region 2/3: single MPI_WAIT per group, zero-copy unpack into Y-slabs,
@@ -94,15 +104,20 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
     yslab[v] = s.data();
   }
   for (auto& grp : groups_) {
-    grp.request.wait();
-    const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
-    transpose_.unpack_y(
-        std::span<const Complex>(grp.recv.data(),
-                                 block * static_cast<std::size_t>(
-                                             comm_.size())),
-        grp.x0, grp.x1, std::span<Complex* const>(yslab.data(), nv));
+    {
+      obs::TraceSpan unpack("async.unpack", obs::SpanKind::Transfer);
+      if (grp.flow != 0) obs::flow_consume(grp.flow);
+      grp.request.wait();
+      const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
+      transpose_.unpack_y(
+          std::span<const Complex>(grp.recv.data(),
+                                   block * static_cast<std::size_t>(
+                                               comm_.size())),
+          grp.x0, grp.x1, std::span<Complex* const>(yslab.data(), nv));
+    }
 
     // z transforms inside the freshly arrived x-chunk.
+    obs::TraceSpan fft_z("async.fft_z", obs::SpanKind::Compute);
     for (std::size_t v = 0; v < nv; ++v) {
       for (std::size_t jj = 0; jj < g.my(); ++jj) {
         Complex* base = yslab[v] + grp.x0 + nxh_ * n_ * jj;
@@ -115,6 +130,7 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
   }
 
   // Final complex-to-real x transforms (full x lines now local).
+  obs::TraceSpan fft_x("async.fft_x", obs::SpanKind::Compute);
   for (std::size_t v = 0; v < nv; ++v) {
     plan_x_->inverse_batch(yslab[v], nxh_, phys[v], n_, n_ * g.my());
   }
@@ -130,11 +146,14 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
   // pack + nonblocking all-to-all per group, then y transforms per pencil.
   if (scratch_.size() < 2 * nv) scratch_.resize(2 * nv);
   std::vector<Complex*> yslab(nv);
-  for (std::size_t v = 0; v < nv; ++v) {
-    auto& s = scratch_[nv + v];
-    if (s.size() < nxh_ * n_ * g.my()) s.resize(nxh_ * n_ * g.my());
-    yslab[v] = s.data();
-    plan_x_->forward_batch(phys[v], n_, yslab[v], nxh_, n_ * g.my());
+  {
+    obs::TraceSpan fft_x("async.fft_x", obs::SpanKind::Compute);
+    for (std::size_t v = 0; v < nv; ++v) {
+      auto& s = scratch_[nv + v];
+      if (s.size() < nxh_ * n_ * g.my()) s.resize(nxh_ * n_ * g.my());
+      yslab[v] = s.data();
+      plan_x_->forward_batch(phys[v], n_, yslab[v], nxh_, n_ * g.my());
+    }
   }
 
   const int ngroups = static_cast<int>(groups_.size());
@@ -143,16 +162,20 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
     grp.x0 = pencil_range(nxh_, np_, gi * q_).x0;
     grp.x1 = pencil_range(nxh_, np_, std::min((gi + 1) * q_, np_) - 1).x1;
 
-    for (std::size_t v = 0; v < nv; ++v) {
-      for (std::size_t jj = 0; jj < g.my(); ++jj) {
-        Complex* base = yslab[v] + grp.x0 + nxh_ * n_ * jj;
-        plan_yz_->transform_batch(
-            fft::Direction::Forward, base, base,
-            fft::BatchLayout{.count = grp.x1 - grp.x0, .stride = nxh_,
-                             .dist = 1});
+    {
+      obs::TraceSpan fft_z("async.fft_z", obs::SpanKind::Compute);
+      for (std::size_t v = 0; v < nv; ++v) {
+        for (std::size_t jj = 0; jj < g.my(); ++jj) {
+          Complex* base = yslab[v] + grp.x0 + nxh_ * n_ * jj;
+          plan_yz_->transform_batch(
+              fft::Direction::Forward, base, base,
+              fft::BatchLayout{.count = grp.x1 - grp.x0, .stride = nxh_,
+                               .dist = 1});
+        }
       }
     }
 
+    obs::TraceSpan pack("async.pack", obs::SpanKind::Transfer);
     const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
     const std::size_t total = block * static_cast<std::size_t>(comm_.size());
     if (grp.send.size() < total) grp.send.resize(total);
@@ -162,18 +185,24 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
             const_cast<const Complex* const*>(yslab.data()), nv),
         grp.x0, grp.x1, grp.send);
     grp.request = comm_.ialltoall(grp.send.data(), grp.recv.data(), block);
+    grp.flow = pack.id() != 0 ? obs::new_flow() : 0;
+    if (grp.flow != 0) obs::flow_emit(grp.flow);
   }
 
   std::vector<Complex*> out(nv);
   for (std::size_t v = 0; v < nv; ++v) out[v] = spec[v];
   for (auto& grp : groups_) {
-    grp.request.wait();
-    const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
-    transpose_.unpack_z(
-        std::span<const Complex>(grp.recv.data(),
-                                 block * static_cast<std::size_t>(
-                                             comm_.size())),
-        grp.x0, grp.x1, std::span<Complex* const>(out.data(), nv));
+    {
+      obs::TraceSpan unpack("async.unpack", obs::SpanKind::Transfer);
+      if (grp.flow != 0) obs::flow_consume(grp.flow);
+      grp.request.wait();
+      const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
+      transpose_.unpack_z(
+          std::span<const Complex>(grp.recv.data(),
+                                   block * static_cast<std::size_t>(
+                                               comm_.size())),
+          grp.x0, grp.x1, std::span<Complex* const>(out.data(), nv));
+    }
 
     for (int ip = static_cast<int>(&grp - groups_.data()) * q_;
          ip < std::min((static_cast<int>(&grp - groups_.data()) + 1) * q_,

@@ -18,6 +18,7 @@
 #include "comm/communicator.hpp"
 #include "fft/plan.hpp"
 #include "fft/real.hpp"
+#include "obs/span.hpp"
 #include "transpose/slab.hpp"
 
 namespace psdns::pipeline {
@@ -51,6 +52,7 @@ class AsyncFft3d {
     std::vector<Complex> send, recv;
     comm::Request request;
     std::size_t x0 = 0, x1 = 0;
+    obs::FlowId flow = 0;  // causal edge from the group's post to its wait
   };
 
   void stage_fft_y(fft::Direction dir, std::size_t x0, std::size_t x1,

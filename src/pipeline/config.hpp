@@ -59,6 +59,8 @@ struct StepResult {
   double mpi_busy = 0.0;                 // wall time with >= 1 A2A active
   double transfer_busy = 0.0;            // wall time with H2D/D2H active
   double compute_busy = 0.0;             // wall time with kernels active
+  double overlap_efficiency = 0.0;       // hidden traffic / total traffic
+                                         // busy time (obs::overlap_stats)
   std::vector<sim::OpRecord> records;    // full trace (Fig. 10 lanes)
 };
 

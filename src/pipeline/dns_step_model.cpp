@@ -5,6 +5,7 @@
 
 #include "gpu/virtual_gpu.hpp"
 #include "model/memory.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "sim/dag.hpp"
@@ -328,6 +329,10 @@ StepResult DnsStepModel::simulate_gpu_step(const PipelineConfig& cfg) const {
   result.transfer_busy =
       sim::busy_time(result.records, sim::OpCategory::H2D) +
       sim::busy_time(result.records, sim::OpCategory::D2H);
+  const obs::OverlapStats overlap = obs::overlap_stats(result.records);
+  result.overlap_efficiency = overlap.overlap_efficiency;
+  const obs::PathAttribution attrib =
+      obs::attribute_wall_time(result.records);
 
   auto& reg = obs::registry();
   reg.counter_add("pipeline.steps_simulated");
@@ -336,12 +341,21 @@ StepResult DnsStepModel::simulate_gpu_step(const PipelineConfig& cfg) const {
   reg.gauge_set("pipeline.last_step.mpi_busy", result.mpi_busy);
   reg.gauge_set("pipeline.last_step.transfer_busy", result.transfer_busy);
   reg.gauge_set("pipeline.last_step.compute_busy", result.compute_busy);
+  reg.gauge_set("pipeline.last_step.overlap_efficiency",
+                result.overlap_efficiency);
+  reg.gauge_set("pipeline.last_step.hidden_traffic", overlap.hidden);
+  reg.gauge_set("pipeline.last_step.exposed_traffic", overlap.exposed);
+  reg.gauge_set("pipeline.last_step.critpath.compute", attrib.compute);
+  reg.gauge_set("pipeline.last_step.critpath.comm", attrib.comm);
+  reg.gauge_set("pipeline.last_step.critpath.transfer", attrib.transfer);
+  reg.gauge_set("pipeline.last_step.critpath.idle", attrib.idle);
   obs::log_event(obs::LogLevel::Debug, "pipeline", "gpu step simulated",
                  {{"n", cfg.n},
                   {"nodes", cfg.nodes},
                   {"mpi", to_string(cfg.mpi)},
                   {"seconds", result.seconds},
-                  {"mpi_busy", result.mpi_busy}});
+                  {"mpi_busy", result.mpi_busy},
+                  {"overlap_efficiency", result.overlap_efficiency}});
   return result;
 }
 

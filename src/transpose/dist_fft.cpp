@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace psdns::transpose {
@@ -36,11 +37,13 @@ void SlabFft3d::forward(std::span<const Real* const> phys,
     // x: real-to-complex, all my()*n_ unit-stride lines as one batch.
     {
       obs::ScopedTimer timer("slab_fft.forward.x");
+      obs::TraceSpan span("slab_fft.forward.x", obs::SpanKind::Compute);
       plan_x_->forward_batch(phys[v], n_, w.data(), h, n_ * my());
     }
     // z: strided lines (stride nxh) inside the Y-slab, one batch per plane.
     {
       obs::ScopedTimer timer("slab_fft.forward.z");
+      obs::TraceSpan span("slab_fft.forward.z", obs::SpanKind::Compute);
       for (std::size_t jj = 0; jj < my(); ++jj) {
         Complex* base = w.data() + h * n_ * jj;
         plan_yz_->transform_batch(fft::Direction::Forward, base, base,
@@ -58,6 +61,7 @@ void SlabFft3d::forward(std::span<const Real* const> phys,
 
   // y: strided lines (stride nxh) inside the Z-slab.
   obs::ScopedTimer timer("slab_fft.forward.y");
+  obs::TraceSpan span("slab_fft.forward.y", obs::SpanKind::Compute);
   for (std::size_t v = 0; v < nv; ++v) {
     for (std::size_t kk = 0; kk < mz(); ++kk) {
       Complex* base = spec[v] + h * n_ * kk;
@@ -80,6 +84,7 @@ void SlabFft3d::inverse(std::span<const Complex* const> spec,
   if (yslab_ptrs_.size() < nv) yslab_ptrs_.resize(nv);
   {
     obs::ScopedTimer timer("slab_fft.inverse.y");
+    obs::TraceSpan span("slab_fft.inverse.y", obs::SpanKind::Compute);
     for (std::size_t v = 0; v < nv; ++v) {
       auto& wz = work_[v];
       if (wz.size() < h * n_ * mz()) wz.resize(h * n_ * mz());
@@ -107,6 +112,7 @@ void SlabFft3d::inverse(std::span<const Complex* const> spec,
     // z-inverse.
     {
       obs::ScopedTimer timer("slab_fft.inverse.z");
+      obs::TraceSpan span("slab_fft.inverse.z", obs::SpanKind::Compute);
       for (std::size_t jj = 0; jj < my(); ++jj) {
         Complex* base = w + h * n_ * jj;
         plan_yz_->transform_batch(fft::Direction::Inverse, base, base,
@@ -117,6 +123,7 @@ void SlabFft3d::inverse(std::span<const Complex* const> spec,
     // x: complex-to-real, batched over all lines of the Y-slab.
     {
       obs::ScopedTimer timer("slab_fft.inverse.x");
+      obs::TraceSpan span("slab_fft.inverse.x", obs::SpanKind::Compute);
       plan_x_->inverse_batch(w, h, phys[v], n_, n_ * my());
     }
   }
@@ -167,6 +174,7 @@ void PencilFft3d::forward(std::span<const Real> phys,
   // x: real-to-complex, all yl*zl unit-stride lines of the X-pencil at once.
   {
     obs::ScopedTimer timer("pencil_fft.forward.x");
+    obs::TraceSpan span("pencil_fft.forward.x", obs::SpanKind::Compute);
     plan_x_->forward_batch(phys.data(), n_, px_.data(), h, yl * zl);
   }
 
@@ -175,6 +183,7 @@ void PencilFft3d::forward(std::span<const Real> phys,
   transpose_.x_to_y(px_, py_);
   {
     obs::ScopedTimer timer("pencil_fft.forward.y");
+    obs::TraceSpan span("pencil_fft.forward.y", obs::SpanKind::Compute);
     plan_yz_->transform_batch(fft::Direction::Forward, py_.data(), py_.data(),
                               BatchLayout{.count = w * zl, .stride = 1,
                                           .dist = n_});
@@ -184,6 +193,7 @@ void PencilFft3d::forward(std::span<const Real> phys,
   transpose_.y_to_z(py_, spec);
   {
     obs::ScopedTimer timer("pencil_fft.forward.z");
+    obs::TraceSpan span("pencil_fft.forward.z", obs::SpanKind::Compute);
     plan_yz_->transform_batch(fft::Direction::Forward, spec.data(),
                               spec.data(),
                               BatchLayout{.count = w * g.yl2(), .stride = 1,
@@ -207,6 +217,7 @@ void PencilFft3d::inverse(std::span<const Complex> spec,
   std::copy(spec.begin(), spec.begin() + spectral_elems(), pz_.begin());
   {
     obs::ScopedTimer timer("pencil_fft.inverse.z");
+    obs::TraceSpan span("pencil_fft.inverse.z", obs::SpanKind::Compute);
     plan_yz_->transform_batch(fft::Direction::Inverse, pz_.data(), pz_.data(),
                               BatchLayout{.count = w * g.yl2(), .stride = 1,
                                           .dist = n_});
@@ -215,6 +226,7 @@ void PencilFft3d::inverse(std::span<const Complex> spec,
   transpose_.z_to_y(pz_, py_);
   {
     obs::ScopedTimer timer("pencil_fft.inverse.y");
+    obs::TraceSpan span("pencil_fft.inverse.y", obs::SpanKind::Compute);
     plan_yz_->transform_batch(fft::Direction::Inverse, py_.data(), py_.data(),
                               BatchLayout{.count = w * zl, .stride = 1,
                                           .dist = n_});
@@ -223,6 +235,7 @@ void PencilFft3d::inverse(std::span<const Complex> spec,
   transpose_.y_to_x(py_, px_);
   {
     obs::ScopedTimer timer("pencil_fft.inverse.x");
+    obs::TraceSpan span("pencil_fft.inverse.x", obs::SpanKind::Compute);
     plan_x_->inverse_batch(px_.data(), h, phys.data(), n_, yl * zl);
   }
 }

@@ -1,6 +1,7 @@
 #include "transpose/slab.hpp"
 
 #include "gpu/copy.hpp"
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace psdns::transpose {
@@ -33,6 +34,7 @@ SlabTranspose::SlabTranspose(comm::Communicator& comm, SlabGrid grid)
 void SlabTranspose::pack_z(std::span<const Complex* const> vars_a,
                            std::size_t x0, std::size_t x1,
                            std::span<Complex> send) const {
+  obs::TraceSpan span("transpose.pack_z", obs::SpanKind::Transfer);
   const std::size_t w = x1 - x0;
   const std::size_t my = grid_.my(), mz = grid_.mz();
   const std::size_t block = block_elems(w, vars_a.size());
@@ -58,6 +60,7 @@ void SlabTranspose::pack_z(std::span<const Complex* const> vars_a,
 void SlabTranspose::unpack_y(std::span<const Complex> recv, std::size_t x0,
                              std::size_t x1,
                              std::span<Complex* const> vars_b) const {
+  obs::TraceSpan span("transpose.unpack_y", obs::SpanKind::Transfer);
   const std::size_t w = x1 - x0;
   const std::size_t my = grid_.my(), mz = grid_.mz();
   const std::size_t block = block_elems(w, vars_b.size());
@@ -81,6 +84,7 @@ void SlabTranspose::unpack_y(std::span<const Complex> recv, std::size_t x0,
 void SlabTranspose::pack_y(std::span<const Complex* const> vars_b,
                            std::size_t x0, std::size_t x1,
                            std::span<Complex> send) const {
+  obs::TraceSpan span("transpose.pack_y", obs::SpanKind::Transfer);
   const std::size_t w = x1 - x0;
   const std::size_t my = grid_.my(), mz = grid_.mz();
   const std::size_t block = block_elems(w, vars_b.size());
@@ -104,6 +108,7 @@ void SlabTranspose::pack_y(std::span<const Complex* const> vars_b,
 void SlabTranspose::unpack_z(std::span<const Complex> recv, std::size_t x0,
                              std::size_t x1,
                              std::span<Complex* const> vars_a) const {
+  obs::TraceSpan span("transpose.unpack_z", obs::SpanKind::Transfer);
   const std::size_t w = x1 - x0;
   const std::size_t my = grid_.my(), mz = grid_.mz();
   const std::size_t block = block_elems(w, vars_a.size());

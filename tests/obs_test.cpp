@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -115,6 +116,79 @@ TEST(Registry, HistogramPercentiles) {
   EXPECT_NEAR(s.p50, 50.0, 1.0);
   EXPECT_NEAR(s.p95, 95.0, 1.0);
   EXPECT_NEAR(s.p99, 99.0, 1.0);
+}
+
+TEST(Registry, SmallSamplePercentilesAreExactR7) {
+  // Below the raw-sample reservoir cap the summary must use the documented
+  // exact rule: sorted samples, rank p/100 * (count-1), linear
+  // interpolation between the adjacent ranks (numpy default / R type 7).
+  Registry reg;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) reg.observe("q", v);
+  const auto s = reg.histogram("q");
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.p50, 25.0);  // rank 1.5 between 20 and 30
+  EXPECT_DOUBLE_EQ(s.p95, 38.5);  // rank 2.85 between 30 and 40
+  EXPECT_DOUBLE_EQ(s.p99, 39.7);  // rank 2.97
+
+  Registry one;
+  one.observe("single", 7.5);
+  const auto s1 = one.histogram("single");
+  EXPECT_DOUBLE_EQ(s1.p50, 7.5);
+  EXPECT_DOUBLE_EQ(s1.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s1.p99, 7.5);
+
+  Registry two;
+  two.observe("pair", 1.0);
+  two.observe("pair", 3.0);
+  EXPECT_DOUBLE_EQ(two.histogram("pair").p50, 2.0);
+}
+
+TEST(Registry, PercentilesFallBackToBucketsPastTheReservoir) {
+  // Past Registry::kExactSampleCap observations the reservoir no longer
+  // holds everything; the summary interpolates inside the matching bucket
+  // and must stay within the observed range.
+  Registry reg;
+  std::vector<double> bounds;
+  for (int i = 10; i <= 1000; i += 10) bounds.push_back(i);
+  reg.declare_histogram("big", bounds);
+  const int n = 1000;  // > kExactSampleCap (256)
+  for (int k = 1; k <= n; ++k) reg.observe("big", static_cast<double>(k));
+  const auto s = reg.histogram("big");
+  EXPECT_EQ(s.count, n);
+  EXPECT_NEAR(s.p50, 500.0, 10.0);
+  EXPECT_NEAR(s.p95, 950.0, 10.0);
+  EXPECT_NEAR(s.p99, 990.0, 10.0);
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Registry, ConcurrentObserversAreSafe) {
+  // Counters, gauges, histograms and timers hammered from many threads:
+  // nothing may be lost and the summary must stay self-consistent. Run
+  // under TSan this is also the data-race check for the registry.
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter_add("ops", 1);
+        reg.gauge_set("last." + std::to_string(t), i);
+        reg.observe("lat", static_cast<double>(i % 100));
+        if (i % 100 == 0) ScopedTimer timer("timed", reg);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("ops"), kThreads * kIters);
+  const auto s = reg.histogram("lat");
+  EXPECT_EQ(s.count, kThreads * kIters);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 99.0);
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_EQ(reg.histogram("timed").count, kThreads * (kIters / 100));
 }
 
 TEST(Registry, HistogramDefaultBoundsAndClamping) {
@@ -357,6 +431,114 @@ TEST(TraceExport, ColorsAreStableChromeNames) {
   EXPECT_NE(chrome_color(sim::OpCategory::Compute), nullptr);
   EXPECT_NE(chrome_color(sim::OpCategory::H2D),
             chrome_color(sim::OpCategory::Compute));
+}
+
+namespace {
+SpanRecord span_rec(SpanId id, const std::string& name, SpanKind kind,
+                    int thread, int rank, double start, double end) {
+  SpanRecord s;
+  s.id = id;
+  s.name = name;
+  s.kind = kind;
+  s.thread = thread;
+  s.rank = rank;
+  s.start_s = start;
+  s.end_s = end;
+  return s;
+}
+}  // namespace
+
+TEST(TraceExport, SpanTraceRoundTripsWithFlowEvents) {
+  // A two-rank trace with one causal edge: every emitted document must
+  // parse back through obs::json_parse, complete events must map rank ->
+  // pid (options.pid + rank + 1) and thread -> tid, and the edge must
+  // become a Chrome flow pair: ph "s" leaving the source span's end, ph
+  // "f" (with bp "e") landing on the destination span's start, same id.
+  SpanTrace trace;
+  trace.spans.push_back(
+      span_rec(1, "pack", SpanKind::Transfer, 3, 0, 0.0, 1.0));
+  trace.spans.push_back(span_rec(2, "a2a", SpanKind::Comm, 5, 1, 1.0, 2.5));
+  trace.edges.push_back({42, 1, 2});
+
+  ChromeTraceOptions opt;
+  opt.pid = 100;
+  const auto v = json_parse(to_chrome_trace(trace, opt));
+  ASSERT_TRUE(v.is_array());
+
+  const JsonValue* pack = nullptr;
+  const JsonValue* a2a = nullptr;
+  const JsonValue* flow_s = nullptr;
+  const JsonValue* flow_f = nullptr;
+  for (const auto& e : v.array) {
+    ASSERT_TRUE(e.is_object());
+    const std::string& ph = e.at("ph").string;
+    if (ph == "X" && e.at("name").string == "pack") pack = &e;
+    if (ph == "X" && e.at("name").string == "a2a") a2a = &e;
+    if (ph == "s") flow_s = &e;
+    if (ph == "f") flow_f = &e;
+  }
+  ASSERT_NE(pack, nullptr);
+  ASSERT_NE(a2a, nullptr);
+  EXPECT_DOUBLE_EQ(pack->at("pid").number, 101.0);  // rank 0 -> pid+1
+  EXPECT_DOUBLE_EQ(pack->at("tid").number, 3.0);
+  EXPECT_DOUBLE_EQ(a2a->at("pid").number, 102.0);  // rank 1 -> pid+2
+  EXPECT_DOUBLE_EQ(a2a->at("tid").number, 5.0);
+  EXPECT_EQ(pack->at("cat").string, std::string(to_string(SpanKind::Transfer)));
+
+  ASSERT_NE(flow_s, nullptr);
+  ASSERT_NE(flow_f, nullptr);
+  EXPECT_EQ(flow_s->at("cat").string, "flow");
+  EXPECT_DOUBLE_EQ(flow_s->at("id").number, flow_f->at("id").number);
+  // Arrow leaves the source at its end, lands on the destination at its
+  // start (binding point "e" = enclosing slice).
+  EXPECT_DOUBLE_EQ(flow_s->at("ts").number, 1.0e6);
+  EXPECT_DOUBLE_EQ(flow_s->at("pid").number, 101.0);
+  EXPECT_DOUBLE_EQ(flow_s->at("tid").number, 3.0);
+  EXPECT_DOUBLE_EQ(flow_f->at("ts").number, 1.0e6);
+  EXPECT_DOUBLE_EQ(flow_f->at("pid").number, 102.0);
+  EXPECT_DOUBLE_EQ(flow_f->at("tid").number, 5.0);
+  EXPECT_EQ(flow_f->at("bp").string, "e");
+  EXPECT_FALSE(flow_s->has("bp"));
+}
+
+TEST(TraceExport, UntaggedSpansShareTheBasePid) {
+  // rank = -1 (untagged, e.g. a single-process tool) stays on options.pid;
+  // process metadata still names every used pid.
+  SpanTrace trace;
+  trace.spans.push_back(
+      span_rec(1, "solo", SpanKind::Compute, 0, -1, 0.0, 1.0));
+  trace.spans.push_back(span_rec(2, "r0", SpanKind::Compute, 0, 0, 0.0, 1.0));
+  ChromeTraceOptions opt;
+  opt.pid = 7;
+  const auto v = json_parse(to_chrome_trace(trace, opt));
+  std::set<double> meta_pids;
+  for (const auto& e : v.array) {
+    if (e.at("ph").string == "M" && e.at("name").string == "process_name") {
+      meta_pids.insert(e.at("pid").number);
+    }
+    if (e.at("ph").string == "X" && e.at("name").string == "solo") {
+      EXPECT_DOUBLE_EQ(e.at("pid").number, 7.0);
+    }
+    if (e.at("ph").string == "X" && e.at("name").string == "r0") {
+      EXPECT_DOUBLE_EQ(e.at("pid").number, 8.0);
+    }
+  }
+  EXPECT_EQ(meta_pids, (std::set<double>{7.0, 8.0}));
+}
+
+TEST(TraceExport, DanglingEdgesAreDroppedFromTheExport) {
+  // Edges whose spans were lost to ring wrap must not emit half a flow
+  // pair; the export silently skips them.
+  SpanTrace trace;
+  trace.spans.push_back(
+      span_rec(1, "kept", SpanKind::Compute, 0, 0, 0.0, 1.0));
+  trace.edges.push_back({9, 1, 999});  // dst was dropped
+  trace.edges.push_back({10, 998, 1});  // src was dropped
+  const auto v = json_parse(to_chrome_trace(trace));
+  for (const auto& e : v.array) {
+    EXPECT_NE(e.at("ph").string, "s");
+    EXPECT_NE(e.at("ph").string, "f");
+  }
 }
 
 // --- bench reports ---

@@ -1,0 +1,118 @@
+// CI perf-regression gate: compares current BENCH_*.json reports against
+// committed baselines with noise-aware thresholds.
+//
+//   psdns_perfdiff --baseline=BENCH_x.json --current=BENCH_x.json
+//   psdns_perfdiff --baseline=baselines/ --current=build/bench/ [--verbose]
+//
+// Directory mode pairs files by name: every BENCH_*.json in the baseline
+// directory must have a counterpart in the current directory. Exits 0 when
+// no metric regresses, 1 on regression (or missing metric/report), 2 on
+// usage/parse errors. --warn-only reports but always exits 0, for noisy
+// wall-clock benches where the gate should annotate rather than block.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/perfdiff.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) psdns::util::raise("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> bench_files(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (e.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        e.path().extension() == ".json") {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: psdns_perfdiff --baseline=<file|dir> --current=<file|dir>\n"
+      "       [--threshold=0.05] [--abs-floor=1e-6] [--warn-only]\n"
+      "       [--allow-missing] [--verbose]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psdns;
+  const util::Cli cli(argc, argv);
+  const std::string baseline = cli.get("baseline", "");
+  const std::string current = cli.get("current", "");
+  if (baseline.empty() || current.empty()) return usage();
+
+  obs::PerfDiffOptions opts;
+  opts.rel_tolerance = cli.get_double("threshold", opts.rel_tolerance);
+  opts.abs_floor = cli.get_double("abs-floor", opts.abs_floor);
+  opts.fail_on_missing = !cli.get_bool("allow-missing", false);
+  const bool warn_only = cli.get_bool("warn-only", false);
+  const bool verbose = cli.get_bool("verbose", false);
+
+  // Pair up (baseline, current) file paths.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  try {
+    if (fs::is_directory(baseline)) {
+      PSDNS_REQUIRE(fs::is_directory(current),
+                    "--baseline is a directory but --current is not");
+      for (const auto& name : bench_files(baseline)) {
+        pairs.emplace_back(baseline + "/" + name, current + "/" + name);
+      }
+      PSDNS_REQUIRE(!pairs.empty(),
+                    "no BENCH_*.json files in " + baseline);
+    } else {
+      pairs.emplace_back(baseline, current);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psdns_perfdiff: %s\n", e.what());
+    return 2;
+  }
+
+  bool any_regression = false;
+  for (const auto& [bpath, cpath] : pairs) {
+    if (!fs::exists(cpath)) {
+      std::printf("%s: MISSING current report %s\n", bpath.c_str(),
+                  cpath.c_str());
+      any_regression = true;
+      continue;
+    }
+    try {
+      const auto result = obs::perf_diff(slurp(bpath), slurp(cpath), opts);
+      std::printf("%s", obs::format_report(result, opts, verbose).c_str());
+      if (!result.ok(opts)) any_regression = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psdns_perfdiff: %s vs %s: %s\n", bpath.c_str(),
+                   cpath.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  if (any_regression && warn_only) {
+    std::printf("perfdiff: regressions found (warn-only, not failing)\n");
+    return 0;
+  }
+  return any_regression ? 1 : 0;
+}
