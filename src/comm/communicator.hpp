@@ -33,23 +33,36 @@ class Communicator;
 
 /// Handle for a pending nonblocking collective. The exchange is performed
 /// inside wait(); all ranks must call wait() in matching collective order.
+/// Deliberately a plain function pointer plus arguments rather than a
+/// std::function: the capture (communicator + two buffers + count) would
+/// exceed the small-object buffer and heap-allocate on every ialltoall in
+/// the async pipeline's steady state.
 class Request {
  public:
-  Request() = default;
-  explicit Request(std::function<void()> complete)
-      : complete_(std::move(complete)) {}
+  using RunFn = void (*)(Communicator&, const void*, void*, std::size_t);
 
-  bool valid() const { return static_cast<bool>(complete_); }
+  Request() = default;
+
+  bool valid() const { return run_ != nullptr; }
 
   void wait() {
     PSDNS_REQUIRE(valid(), "wait() on an empty or consumed Request");
-    auto fn = std::move(complete_);
-    complete_ = nullptr;
-    fn();
+    RunFn fn = run_;
+    run_ = nullptr;
+    fn(*comm_, send_, recv_, count_);
   }
 
  private:
-  std::function<void()> complete_;
+  friend class Communicator;
+  Request(Communicator* comm, RunFn run, const void* send, void* recv,
+          std::size_t count)
+      : comm_(comm), run_(run), send_(send), recv_(recv), count_(count) {}
+
+  Communicator* comm_ = nullptr;
+  RunFn run_ = nullptr;
+  const void* send_ = nullptr;
+  void* recv_ = nullptr;
+  std::size_t count_ = 0;
 };
 
 namespace detail {
@@ -137,7 +150,12 @@ class Communicator {
   /// MPI_IALLTOALL. The returned Request's wait() performs the exchange.
   template <class T>
   Request ialltoall(const T* send, T* recv, std::size_t count) {
-    return Request([this, send, recv, count] { alltoall(send, recv, count); });
+    return Request(
+        this,
+        [](Communicator& c, const void* s, void* r, std::size_t n) {
+          c.alltoall(static_cast<const T*>(s), static_cast<T*>(r), n);
+        },
+        send, recv, count);
   }
 
   /// MPI_ALLTOALLV with per-destination counts and displacements (in
@@ -184,17 +202,23 @@ class Communicator {
     }
   }
 
-  /// MPI_ALLREDUCE(sum). In-place allowed (send == recv).
+  /// MPI_ALLREDUCE(sum). In-place allowed (send == recv). The accumulator
+  /// is per-thread scratch that grows to the largest count ever reduced,
+  /// so steady-state calls (solver diagnostics every step) do not allocate.
   template <class T>
   void allreduce_sum(const T* send, T* recv, std::size_t count) {
     publish(send);
-    std::vector<T> acc(count, T{});
+    thread_local std::vector<T> acc;
+    if (acc.size() < count) acc.resize(count);
+    std::fill(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(count),
+              T{});
     for (int r = 0; r < size(); ++r) {
       const T* theirs = peek<T>(r);
       for (std::size_t i = 0; i < count; ++i) acc[i] += theirs[i];
     }
     barrier();  // reads complete before anyone overwrites recv==send
-    std::copy(acc.begin(), acc.end(), recv);
+    std::copy(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(count),
+              recv);
     barrier();
   }
 

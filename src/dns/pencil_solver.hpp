@@ -2,18 +2,13 @@
 // The synchronous pencil-decomposed CPU baseline: the same Navier-Stokes
 // physics as SlabSolver, on the 2-D domain decomposition used by the
 // production CPU code of Yeung et al. (2015) that the paper benchmarks
-// against (Table 3 "Sync CPU"). RK2, 2/3-rule truncation. Sharing
-// spectral_ops with the slab solver lets the test suite assert that both
-// decompositions advance the flow identically.
+// against (Table 3 "Sync CPU"). Since both solvers are adapters over
+// dns::SpectralNSCore, the baseline gets the full feature set - RK2/RK4,
+// forcing, passive scalars, phase-shift dealiasing, diagnostics - and the
+// test suite can assert that both decompositions advance the flow
+// identically from the same decomposition-invariant initial conditions.
 
-#include <array>
-#include <cstdint>
-#include <functional>
-#include <vector>
-
-#include "comm/communicator.hpp"
-#include "dns/modes.hpp"
-#include "dns/spectral_ops.hpp"
+#include "dns/spectral_core.hpp"
 #include "transpose/dist_fft.hpp"
 
 namespace psdns::dns {
@@ -23,49 +18,65 @@ struct PencilSolverConfig {
   double viscosity = 0.01;
   int pr = 1;  // process-grid rows (on-node communicator in production)
   int pc = 1;  // process-grid columns
+  TimeScheme scheme = TimeScheme::RK2;
+  bool phase_shift_dealias = false;
+  ForcingConfig forcing;
+  std::vector<ScalarConfig> scalars;
 };
 
-class PencilSolver {
+namespace detail {
+/// Holder base so the FFT backend is constructed before the SpectralNSCore
+/// base that takes a reference to it.
+struct PencilFftMember {
+  PencilFftMember(comm::Communicator& comm, std::size_t n, int pr, int pc)
+      : pencil_fft_(comm, n, pr, pc) {}
+  transpose::PencilFft3d pencil_fft_;
+};
+}  // namespace detail
+
+class PencilSolver : private detail::PencilFftMember, public SpectralNSCore {
  public:
-  PencilSolver(comm::Communicator& comm, PencilSolverConfig config);
+  PencilSolver(comm::Communicator& comm, PencilSolverConfig config)
+      : detail::PencilFftMember(comm, config.n, config.pr, config.pc),
+        SpectralNSCore(comm, pencil_fft_, to_solver_config(config)),
+        pencil_config_(std::move(config)) {}
 
-  const PencilSolverConfig& config() const { return config_; }
-  std::size_t n() const { return config_.n; }
-  double time() const { return time_; }
-  const ModeView& modes() const { return view_; }
+  /// Hides the base config(): pencil callers care about pr/pc.
+  const PencilSolverConfig& config() const { return pencil_config_; }
 
-  Complex* uhat(int c) { return vel_[static_cast<std::size_t>(c)].data(); }
+  transpose::PencilFft3d& pencil_fft() { return pencil_fft_; }
+  const transpose::PencilFft3d& pencil_fft() const { return pencil_fft_; }
 
-  /// Same validation initial condition as SlabSolver::init_taylor_green.
-  void init_taylor_green();
+  // --- legacy baseline API (thin wrappers over the shared physics) ---
 
-  /// Fills from a physical-space function u_c(x, y, z).
-  void init_from_function(
-      const std::function<std::array<double, 3>(double, double, double)>& f);
-
-  /// One RK2 step with exact viscous integration.
-  void step(double dt);
-
-  double kinetic_energy();
-  double dissipation_rate();
-  double max_div();
-  std::vector<double> spectrum();
+  double kinetic_energy() {
+    return dns::kinetic_energy(modes(), communicator(), uhat(0), uhat(1),
+                               uhat(2));
+  }
+  double dissipation_rate() {
+    return dns::dissipation(modes(), communicator(), uhat(0), uhat(1),
+                            uhat(2), pencil_config_.viscosity);
+  }
+  double max_div() {
+    return dns::max_divergence(modes(), communicator(), uhat(0), uhat(1),
+                               uhat(2));
+  }
 
  private:
-  using Field = std::vector<Complex>;
-  using Field3 = std::array<Field, 3>;
+  static SolverConfig to_solver_config(const PencilSolverConfig& pc) {
+    SolverConfig sc;
+    sc.n = pc.n;
+    sc.viscosity = pc.viscosity;
+    sc.scheme = pc.scheme;
+    sc.phase_shift_dealias = pc.phase_shift_dealias;
+    sc.pencils = 1;
+    sc.pencils_per_a2a = 1;
+    sc.forcing = pc.forcing;
+    sc.scalars = pc.scalars;
+    return sc;
+  }
 
-  void compute_rhs(const Field3& vel, Field3& rhs);
-  Field3 make_fields() const;
-
-  comm::Communicator& comm_;
-  PencilSolverConfig config_;
-  transpose::PencilFft3d fft_;
-  ModeView view_;
-  Field3 vel_, rhs_a_, rhs_b_, stage_;
-  std::vector<std::vector<Real>> phys_;
-  std::vector<Field> prod_hat_;
-  double time_ = 0.0;
+  PencilSolverConfig pencil_config_;
 };
 
 }  // namespace psdns::dns

@@ -1,211 +1,40 @@
 #pragma once
 // The slab-decomposed pseudo-spectral Navier-Stokes solver - the "new code"
-// of the paper, in its functional (numerics-exact) form - optionally
-// carrying passive scalars (turbulent-mixing production runs, as in the
-// companion GPU code of Clay et al. 2018 cited by the paper).
-//
-// State: three velocity Fourier coefficients plus m scalar coefficients on
-// Z-slabs, normalized so that u(x) = sum_k uhat(k) exp(i k.x) on the
-// 2*pi-periodic cube. Each RK substage evaluates the nonlinear terms
-// pseudo-spectrally: inverse-transform all 3+m fields (one all-to-all),
-// form the 6 velocity products and 3 flux products per scalar in physical
-// space, forward-transform them (one all-to-all), assemble the projected
-// conservative-form momentum RHS and the flux-divergence scalar RHS, and
-// dealias. Diffusion is integrated exactly per field with the integrating
-// factor (viscosity nu for velocity, nu/Sc for each scalar); time stepping
-// is RK2 or RK4 (Sec. 2). The transpose can be batched into np pencils
-// with Q pencils per all-to-all, mirroring the paper's MPI configurations.
+// of the paper, in its functional (numerics-exact) form. Since the physics
+// moved into the decomposition-agnostic dns::SpectralNSCore, this is a thin
+// adapter: it owns the transpose::SlabFft3d backend (Y-slab physical,
+// Z-slab spectral layout; the paper's x,z,y transform order and np/Q
+// pencil batching of Sec. 3.3-4.1) and derives the full solver API -
+// RK2/RK4 stepping, forcing, passive scalars, diagnostics and spectra -
+// from the core.
 
-#include <array>
-#include <cstdint>
-#include <functional>
-#include <vector>
-
-#include "comm/communicator.hpp"
-#include "dns/modes.hpp"
-#include "dns/spectral_ops.hpp"
+#include "dns/spectral_core.hpp"
 #include "transpose/dist_fft.hpp"
 
 namespace psdns::dns {
 
-enum class TimeScheme { RK2, RK4 };
-
-struct ForcingConfig {
-  bool enabled = false;
-  int klo = 1;          // forced band, inclusive
-  int khi = 2;
-  double power = 0.1;   // energy injection rate
+namespace detail {
+/// Holder base so the FFT backend is constructed before the SpectralNSCore
+/// base that takes a reference to it.
+struct SlabFftMember {
+  SlabFftMember(comm::Communicator& comm, std::size_t n)
+      : slab_fft_(comm, n) {}
+  transpose::SlabFft3d slab_fft_;
 };
+}  // namespace detail
 
-/// One passive scalar. With a uniform mean gradient G along y, the solved
-/// fluctuation theta' obeys d theta'/dt + u.grad theta' = D lap theta' - G v,
-/// the standard configuration for statistically stationary mixing.
-struct ScalarConfig {
-  double schmidt = 1.0;        // Sc = nu / D
-  double mean_gradient = 0.0;  // G (0 = freely decaying scalar)
-};
-
-struct SolverConfig {
-  std::size_t n = 32;
-  double viscosity = 0.01;
-  TimeScheme scheme = TimeScheme::RK2;
-  bool phase_shift_dealias = false;  // Rogallo shifts on top of truncation
-  int pencils = 1;                   // np: pencils per slab (GPU batching)
-  int pencils_per_a2a = 1;           // Q: pencils aggregated per all-to-all
-  ForcingConfig forcing;
-  std::vector<ScalarConfig> scalars;
-};
-
-/// One-step flow statistics (all collective to compute).
-struct Diagnostics {
-  double energy = 0.0;        // 1/2 <u.u>
-  double dissipation = 0.0;   // 2 nu sum k^2 E(k)
-  double u_max = 0.0;         // max pointwise |u_i|
-  double max_divergence = 0.0;
-  double taylor_scale = 0.0;      // lambda = sqrt(15 nu u'^2 / eps)
-  double reynolds_lambda = 0.0;   // u' lambda / nu
-  double kolmogorov_eta = 0.0;    // (nu^3/eps)^(1/4)
-};
-
-/// Scalar-field statistics (collective).
-struct ScalarDiagnostics {
-  double variance = 0.0;       // 1/2 <theta^2>
-  double dissipation = 0.0;    // chi = 2 D sum k^2 E_theta(k)
-  double flux_y = 0.0;         // <v theta> (down-gradient transport)
-};
-
-class SlabSolver {
+class SlabSolver : private detail::SlabFftMember, public SpectralNSCore {
  public:
-  SlabSolver(comm::Communicator& comm, SolverConfig config);
+  SlabSolver(comm::Communicator& comm, SolverConfig config)
+      : detail::SlabFftMember(comm, config.n),
+        SpectralNSCore(comm, slab_fft_, std::move(config)) {}
 
-  const SolverConfig& config() const { return config_; }
-  std::size_t n() const { return config_.n; }
-  double time() const { return time_; }
-  std::int64_t step_count() const { return steps_; }
-  const ModeView& modes() const { return view_; }
-  comm::Communicator& communicator() { return comm_; }
-  int scalar_count() const {
-    return static_cast<int>(config_.scalars.size());
-  }
+  /// The concrete backend (tests and benches poke at slab internals).
+  transpose::SlabFft3d& slab_fft() { return slab_fft_; }
+  const transpose::SlabFft3d& slab_fft() const { return slab_fft_; }
 
-  /// Velocity coefficients (Z-slab layout), component c in {0,1,2}.
-  Complex* uhat(int c) { return state_[static_cast<std::size_t>(c)].data(); }
-  const Complex* uhat(int c) const {
-    return state_[static_cast<std::size_t>(c)].data();
-  }
-
-  /// Scalar coefficients, scalar index s in [0, scalar_count()).
-  Complex* that(int s) {
-    return state_[static_cast<std::size_t>(3 + s)].data();
-  }
-  const Complex* that(int s) const {
-    return state_[static_cast<std::size_t>(3 + s)].data();
-  }
-
-  // --- initial conditions (all collective) ---
-
-  /// 2-D Taylor-Green vortex (u = sin x cos y, v = -cos x sin y, w = 0):
-  /// an exact Navier-Stokes solution decaying as exp(-2 nu t); used for
-  /// validation.
-  void init_taylor_green();
-
-  /// Random solenoidal field with spectrum E(k) ~ (k/k0)^4 exp(-2(k/k0)^2),
-  /// rescaled to total energy `energy`. Deterministic in `seed` and
-  /// independent of the rank count.
-  void init_isotropic(std::uint64_t seed, double k_peak, double energy);
-
-  /// Fills from a physical-space function u_c(x, y, z), then projects and
-  /// dealiases.
-  void init_from_function(
-      const std::function<std::array<double, 3>(double, double, double)>& f);
-
-  /// Scalar initial conditions: from a physical-space function, or a
-  /// random field shaped like the velocity IC with the given variance.
-  void init_scalar_from_function(
-      int s, const std::function<double(double, double, double)>& f);
-  void init_scalar_isotropic(int s, std::uint64_t seed, double k_peak,
-                             double variance);
-
-  /// Overwrites the solver state from externally supplied coefficients
-  /// (checkpoint restart). `fields` holds the 3 velocity components
-  /// followed by scalar_count() scalars, each this rank's Z-slab.
-  void restore(std::span<const Complex* const> fields, double time,
-               std::int64_t steps);
-
-  // --- stepping ---
-
-  /// Advances one step of size dt with the configured scheme.
-  void step(double dt);
-
-  /// Largest stable dt estimate: cfl * dx / u_max (collective).
-  double cfl_dt(double cfl = 0.5);
-
-  /// Collective statistics of the current state.
-  Diagnostics diagnostics();
-  ScalarDiagnostics scalar_diagnostics(int s);
-
-  /// Shell spectra of the current state (collective).
-  std::vector<double> spectrum();
-  std::vector<double> scalar_spectrum(int s);
-
-  /// Nonlinear energy-transfer spectrum T(k): the rate at which the
-  /// (projected, dealiased) nonlinear term moves energy into shell k.
-  /// The truncated system conserves energy, so sum_k T(k) ~ 0; negative at
-  /// the energetic scales, positive at the small scales (the cascade).
-  /// Collective.
-  std::vector<double> transfer_spectrum();
-
-  /// Velocity-derivative skewness <(du/dx)^3> / <(du/dx)^2>^{3/2},
-  /// averaged over the three longitudinal derivatives (collective).
-  double derivative_skewness();
-
-  /// Skewness and flatness of the longitudinal velocity derivatives.
-  /// A gaussian field has skewness 0 and flatness 3; developed turbulence
-  /// shows ~-0.5 and > 4 (small-scale intermittency - the "extreme events"
-  /// the record-size simulations are run to quantify). Collective.
-  struct DerivativeMoments {
-    double skewness = 0.0;
-    double flatness = 0.0;
-  };
-  DerivativeMoments derivative_moments();
-
- private:
-  using Field = std::vector<Complex>;
-  using State = std::vector<Field>;  // [u, v, w, theta_0, ..., theta_{m-1}]
-
-  std::size_t field_count() const { return 3 + config_.scalars.size(); }
-  double diffusivity(std::size_t f) const {
-    return f < 3 ? config_.viscosity
-                 : config_.viscosity / config_.scalars[f - 3].schmidt;
-  }
-
-  /// rhs = nonlinear terms of `state` (+ forcing unless disabled);
-  /// updates u_max.
-  void compute_rhs(const State& state, State& rhs, bool with_forcing = true);
-
-  /// Dealiasing mask: cubic 2/3 truncation, or the larger spherical
-  /// sqrt(2)/3 N radius when phase shifting is active (Rogallo's scheme).
-  void apply_dealias(Complex* field);
-
-  /// Per-field exact diffusion: field *= exp(-kappa_f k^2 dt).
-  void apply_if(std::size_t f, Field& field, double dt);
-
-  State make_state() const;
-
-  comm::Communicator& comm_;
-  SolverConfig config_;
-  transpose::SlabFft3d fft_;
-  ModeView view_;
-  State state_;
-  double time_ = 0.0;
-  std::int64_t steps_ = 0;
-  std::int64_t rhs_evals_ = 0;  // parity selects the Rogallo grid shift
-  double last_umax_ = 0.0;
-
-  // Scratch reused across steps.
-  State rhs_a_, rhs_b_, stage_;
-  std::vector<std::vector<Real>> phys_;   // 3+m fields, then 6+3m products
-  std::vector<Field> prod_hat_;           // transformed products
+  /// Back-compat alias: this used to be a nested struct.
+  using DerivativeMoments = dns::DerivativeMoments;
 };
 
 }  // namespace psdns::dns

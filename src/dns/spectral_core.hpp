@@ -1,0 +1,256 @@
+#pragma once
+// The decomposition-agnostic pseudo-spectral Navier-Stokes core: one
+// implementation of the paper's DNS physics (Sec. 2) written against the
+// transpose::DistFft3d backend interface, shared by the slab solver (the
+// "new code") and the pencil baseline (the synchronous CPU code of Yeung
+// et al. 2015 the paper benchmarks against).
+//
+// State: three velocity Fourier coefficients plus m scalar coefficients in
+// the backend's spectral layout, normalized so that u(x) = sum_k uhat(k)
+// exp(i k.x) on the 2*pi-periodic cube. Each RK substage evaluates the
+// nonlinear terms pseudo-spectrally: inverse-transform all 3+m fields,
+// form the 6 symmetric velocity products and 3 flux products per scalar in
+// physical space, forward-transform them, assemble the projected
+// conservative-form momentum RHS and the flux-divergence scalar RHS, and
+// dealias (2/3 truncation, or Rogallo phase shifting with the larger
+// spherical radius). Diffusion is integrated exactly per field with the
+// integrating factor (nu for velocity, nu/Sc per scalar); time stepping is
+// RK2 or RK4.
+//
+// All substage scratch (RK stages, product spectra, physical-space blocks,
+// optional shifted copies) is checked out of util::WorkspaceArena once at
+// construction, and initial conditions are keyed on *global* grid indices
+// through the backend's PhysView - so a warmed-up step() performs zero
+// heap allocations and both decompositions produce the same physics from
+// the same seed.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "dns/modes.hpp"
+#include "dns/spectral_ops.hpp"
+#include "transpose/dist_fft.hpp"
+#include "util/arena.hpp"
+
+namespace psdns::dns {
+
+enum class TimeScheme { RK2, RK4 };
+
+struct ForcingConfig {
+  bool enabled = false;
+  int klo = 1;          // forced band, inclusive
+  int khi = 2;
+  double power = 0.1;   // energy injection rate
+};
+
+/// One passive scalar. With a uniform mean gradient G along y, the solved
+/// fluctuation theta' obeys d theta'/dt + u.grad theta' = D lap theta' - G v,
+/// the standard configuration for statistically stationary mixing.
+struct ScalarConfig {
+  double schmidt = 1.0;        // Sc = nu / D
+  double mean_gradient = 0.0;  // G (0 = freely decaying scalar)
+};
+
+struct SolverConfig {
+  std::size_t n = 32;
+  double viscosity = 0.01;
+  TimeScheme scheme = TimeScheme::RK2;
+  bool phase_shift_dealias = false;  // Rogallo shifts on top of truncation
+  int pencils = 1;                   // np: pencils per slab (GPU batching)
+  int pencils_per_a2a = 1;           // Q: pencils aggregated per all-to-all
+  ForcingConfig forcing;
+  std::vector<ScalarConfig> scalars;
+};
+
+/// One-step flow statistics (all collective to compute).
+struct Diagnostics {
+  double energy = 0.0;        // 1/2 <u.u>
+  double dissipation = 0.0;   // 2 nu sum k^2 E(k)
+  double u_max = 0.0;         // max pointwise |u_i|
+  double max_divergence = 0.0;
+  double taylor_scale = 0.0;      // lambda = sqrt(15 nu u'^2 / eps)
+  double reynolds_lambda = 0.0;   // u' lambda / nu
+  double kolmogorov_eta = 0.0;    // (nu^3/eps)^(1/4)
+};
+
+/// Scalar-field statistics (collective).
+struct ScalarDiagnostics {
+  double variance = 0.0;       // 1/2 <theta^2>
+  double dissipation = 0.0;    // chi = 2 D sum k^2 E_theta(k)
+  double flux_y = 0.0;         // <v theta> (down-gradient transport)
+};
+
+/// Skewness and flatness of the longitudinal velocity derivatives.
+/// A gaussian field has skewness 0 and flatness 3; developed turbulence
+/// shows ~-0.5 and > 4 (small-scale intermittency - the "extreme events"
+/// the record-size simulations are run to quantify).
+struct DerivativeMoments {
+  double skewness = 0.0;
+  double flatness = 0.0;
+};
+
+class SpectralNSCore {
+ public:
+  /// The backend must outlive the core. The core configures the backend's
+  /// transpose batching from config (pencils / pencils_per_a2a).
+  SpectralNSCore(comm::Communicator& comm, transpose::DistFft3d& fft,
+                 SolverConfig config);
+
+  const SolverConfig& config() const { return config_; }
+  std::size_t n() const { return config_.n; }
+  double time() const { return time_; }
+  std::int64_t step_count() const { return steps_; }
+  const ModeView& modes() const { return view_; }
+  const PhysView& points() const { return pview_; }
+  comm::Communicator& communicator() { return comm_; }
+  transpose::DistFft3d& fft() { return fft_; }
+  int scalar_count() const {
+    return static_cast<int>(config_.scalars.size());
+  }
+
+  /// Velocity coefficients (backend spectral layout), component c in
+  /// {0,1,2}.
+  Complex* uhat(int c) { return state_[static_cast<std::size_t>(c)].data(); }
+  const Complex* uhat(int c) const {
+    return state_[static_cast<std::size_t>(c)].data();
+  }
+
+  /// Scalar coefficients, scalar index s in [0, scalar_count()).
+  Complex* that(int s) {
+    return state_[static_cast<std::size_t>(3 + s)].data();
+  }
+  const Complex* that(int s) const {
+    return state_[static_cast<std::size_t>(3 + s)].data();
+  }
+
+  // --- initial conditions (all collective, decomposition-invariant) ---
+
+  /// 2-D Taylor-Green vortex (u = sin x cos y, v = -cos x sin y, w = 0):
+  /// an exact Navier-Stokes solution decaying as exp(-2 nu t); used for
+  /// validation.
+  void init_taylor_green();
+
+  /// Random solenoidal field with spectrum E(k) ~ (k/k0)^4 exp(-2(k/k0)^2),
+  /// rescaled to total energy `energy`. Deterministic in `seed` and
+  /// independent of the rank count and decomposition.
+  void init_isotropic(std::uint64_t seed, double k_peak, double energy);
+
+  /// Fills from a physical-space function u_c(x, y, z), then projects and
+  /// dealiases.
+  void init_from_function(
+      const std::function<std::array<double, 3>(double, double, double)>& f);
+
+  /// Scalar initial conditions: from a physical-space function, or a
+  /// random field shaped like the velocity IC with the given variance.
+  void init_scalar_from_function(
+      int s, const std::function<double(double, double, double)>& f);
+  void init_scalar_isotropic(int s, std::uint64_t seed, double k_peak,
+                             double variance);
+
+  /// Overwrites the solver state from externally supplied coefficients
+  /// (checkpoint restart). `fields` holds the 3 velocity components
+  /// followed by scalar_count() scalars, each this rank's local spectral
+  /// block.
+  void restore(std::span<const Complex* const> fields, double time,
+               std::int64_t steps);
+
+  // --- stepping ---
+
+  /// Advances one step of size dt with the configured scheme.
+  void step(double dt);
+
+  /// Largest stable dt estimate: cfl * dx / u_max (collective).
+  double cfl_dt(double cfl = 0.5);
+
+  /// Collective statistics of the current state.
+  Diagnostics diagnostics();
+  ScalarDiagnostics scalar_diagnostics(int s);
+
+  /// Shell spectra of the current state (collective).
+  std::vector<double> spectrum();
+  std::vector<double> scalar_spectrum(int s);
+
+  /// Nonlinear energy-transfer spectrum T(k): the rate at which the
+  /// (projected, dealiased) nonlinear term moves energy into shell k.
+  /// The truncated system conserves energy, so sum_k T(k) ~ 0; negative at
+  /// the energetic scales, positive at the small scales (the cascade).
+  /// Collective.
+  std::vector<double> transfer_spectrum();
+
+  /// Velocity-derivative skewness <(du/dx)^3> / <(du/dx)^2>^{3/2},
+  /// averaged over the three longitudinal derivatives (collective).
+  double derivative_skewness();
+
+  DerivativeMoments derivative_moments();
+
+ private:
+  using Field = std::vector<Complex>;
+
+  std::size_t field_count() const { return 3 + config_.scalars.size(); }
+  double diffusivity(std::size_t f) const {
+    return f < 3 ? config_.viscosity
+                 : config_.viscosity / config_.scalars[f - 3].schmidt;
+  }
+
+  /// rhs[f] = nonlinear terms of the fields in[f] (+ forcing unless
+  /// disabled); updates u_max. Pointer-based so RK stages address
+  /// contiguous arena blocks without per-call containers.
+  void compute_rhs(const Complex* const* in, Complex* const* rhs,
+                   bool with_forcing = true);
+
+  /// Dealiasing mask: cubic 2/3 truncation, or the larger spherical
+  /// sqrt(2)/3 N radius when phase shifting is active (Rogallo's scheme).
+  void apply_dealias(Complex* field);
+
+  /// Per-field exact diffusion: field *= exp(-kappa_f k^2 dt).
+  void apply_if(std::size_t f, Complex* field, double dt);
+
+  /// Normalize, project and dealias the velocity state after a physical-
+  /// space fill; resets the clock.
+  void finalize_velocity_ic();
+
+  Complex* block(util::WorkspaceArena::Handle<Complex>& h,
+                 std::size_t f) const {
+    return h.data() + f * spec_;
+  }
+  Real* phys_block(std::size_t f) const {
+    return phys_.data() + f * phys_elems_;
+  }
+
+  comm::Communicator& comm_;
+  SolverConfig config_;
+  transpose::DistFft3d& fft_;
+  ModeView view_;
+  PhysView pview_;
+  std::size_t spec_ = 0;        // local spectral elements per field
+  std::size_t phys_elems_ = 0;  // local physical elements per field
+  std::size_t nprod_ = 0;       // 6 velocity products + 3 per scalar
+
+  std::vector<Field> state_;  // [u, v, w, theta_0, ..., theta_{m-1}]
+  double time_ = 0.0;
+  std::int64_t steps_ = 0;
+  std::int64_t rhs_evals_ = 0;  // parity selects the Rogallo grid shift
+  double last_umax_ = 0.0;
+
+  // Steady-state scratch: contiguous arena blocks checked out once in the
+  // constructor (nf fields each; k_ holds the four RK4 stages), so a
+  // warmed-up step() never touches the heap.
+  util::WorkspaceArena::Handle<Complex> rhs_a_, rhs_b_, stage_;
+  util::WorkspaceArena::Handle<Complex> k_;        // RK4 only
+  util::WorkspaceArena::Handle<Complex> shifted_;  // phase shifting only
+  util::WorkspaceArena::Handle<Complex> prod_hat_;
+  util::WorkspaceArena::Handle<Real> phys_;  // 3+m fields, then products
+
+  // Reused pointer tables for the batched transforms and RK stages.
+  std::vector<const Complex*> state_ptrs_, stage_ptrs_, spec_in_;
+  std::vector<Complex*> rhs_a_ptrs_, rhs_b_ptrs_, k_ptrs_;
+  std::vector<Real*> phys_out_;
+  std::vector<const Real*> prod_in_;
+  std::vector<Complex*> prod_spec_;
+};
+
+}  // namespace psdns::dns

@@ -12,6 +12,7 @@
 #include "fft/stockham.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 
 namespace psdns::fft {
@@ -33,20 +34,21 @@ struct PlanC2C::Impl {
 
 namespace {
 
-// Per-thread scratch shared by all plans; grows monotonically. Keeps
+// Per-thread scratch shared by all plans, checked out of the workspace
+// arena (so FFT scratch shows up in the arena's peak accounting). Keeps
 // transform() allocation-free in steady state while plans stay const and
 // shareable between the functional communicator's rank threads.
-std::vector<Complex>& scratch(std::size_t n) {
-  thread_local std::vector<Complex> buf;
-  if (buf.size() < n) buf.resize(n);
+util::WorkspaceArena::Handle<Complex>& scratch(std::size_t n) {
+  thread_local util::WorkspaceArena::Handle<Complex> buf;
+  buf.ensure(n);
   return buf;
 }
 
 // Ping-pong staging buffers of the blocked batch path (distinct from
 // scratch() so transform_batch may call into plans that use scratch()).
-std::vector<Complex>& batch_scratch(std::size_t n) {
-  thread_local std::vector<Complex> buf;
-  if (buf.size() < n) buf.resize(n);
+util::WorkspaceArena::Handle<Complex>& batch_scratch(std::size_t n) {
+  thread_local util::WorkspaceArena::Handle<Complex> buf;
+  buf.ensure(n);
   return buf;
 }
 
@@ -96,7 +98,7 @@ void PlanC2C::transform(Direction dir, const Complex* in, Complex* out) const {
   if (in == out) {
     auto& tmp = scratch(n_);
     impl_->execute(dir, in, 1, tmp.data());
-    std::copy(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(n_), out);
+    std::copy(tmp.data(), tmp.data() + n_, out);
   } else {
     impl_->execute(dir, in, 1, out);
   }

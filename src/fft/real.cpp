@@ -10,25 +10,30 @@
 #include "fft/stockham.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 
 namespace psdns::fft {
 
 namespace {
 
-// Per-thread scratch shared by all real plans: the r2c/c2r paths run once
-// per grid line in the DNS, so per-call allocation would dominate.
-std::vector<Complex>& scratch(std::size_t slot, std::size_t n) {
-  thread_local std::vector<Complex> buf[2];
-  if (buf[slot].size() < n) buf[slot].resize(n);
+// Per-thread scratch shared by all real plans, checked out of the
+// workspace arena so it participates in the arena's peak accounting: the
+// r2c/c2r paths run once per grid line in the DNS, so per-call allocation
+// would dominate.
+util::WorkspaceArena::Handle<Complex>& scratch(std::size_t slot,
+                                               std::size_t n) {
+  thread_local util::WorkspaceArena::Handle<Complex> buf[2];
+  buf[slot].ensure(n);
   return buf[slot];
 }
 
 // Ping-pong staging for the batched paths (separate from scratch(): the
 // per-line fallbacks this file keeps use scratch() internally).
-std::vector<Complex>& batch_scratch(std::size_t slot, std::size_t n) {
-  thread_local std::vector<Complex> buf[2];
-  if (buf[slot].size() < n) buf[slot].resize(n);
+util::WorkspaceArena::Handle<Complex>& batch_scratch(std::size_t slot,
+                                                     std::size_t n) {
+  thread_local util::WorkspaceArena::Handle<Complex> buf[2];
+  buf[slot].ensure(n);
   return buf[slot];
 }
 

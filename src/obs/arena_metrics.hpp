@@ -1,0 +1,32 @@
+#pragma once
+// Publishes util::WorkspaceArena statistics into the metrics registry.
+// Lives in obs (not util) so the arena itself stays dependency-free at
+// the bottom of the layering; callers snapshot whenever they want fresh
+// gauges (benches do it once after the timed region, solvers after
+// setup). Gauge names are the ones psdns_perfdiff gates on:
+// alloc.arena.peak_bytes / resident_bytes / hits / misses are
+// lower-is-better by the default direction inference, hit_rate matches
+// the "rate" suffix and is higher-is-better.
+
+#include "obs/registry.hpp"
+#include "util/arena.hpp"
+
+namespace psdns::obs {
+
+inline void publish_arena_metrics(
+    const util::WorkspaceArena& arena = util::WorkspaceArena::global(),
+    Registry& reg = registry()) {
+  const util::WorkspaceArena::Stats st = arena.stats();
+  reg.gauge_set("alloc.arena.peak_bytes",
+                static_cast<double>(st.peak_bytes));
+  reg.gauge_set("alloc.arena.resident_bytes",
+                static_cast<double>(st.resident_bytes));
+  reg.gauge_set("alloc.arena.hits", static_cast<double>(st.hits));
+  reg.gauge_set("alloc.arena.misses", static_cast<double>(st.misses));
+  const double requests = static_cast<double>(st.hits + st.misses);
+  reg.gauge_set("alloc.arena.hit_rate",
+                requests > 0.0 ? static_cast<double>(st.hits) / requests
+                               : 0.0);
+}
+
+}  // namespace psdns::obs

@@ -9,50 +9,60 @@
 
 namespace psdns::obs {
 
-void Registry::counter_add(const std::string& name, std::int64_t delta) {
+void Registry::counter_add(std::string_view name, std::int64_t delta) {
   std::lock_guard lock(mutex_);
-  counters_[name] += delta;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  it->second += delta;
 }
 
-std::int64_t Registry::counter(const std::string& name) const {
+std::int64_t Registry::counter(std::string_view name) const {
   std::lock_guard lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
-void Registry::gauge_set(const std::string& name, double value) {
+void Registry::gauge_set(std::string_view name, double value) {
   std::lock_guard lock(mutex_);
-  gauges_[name] = value;
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0.0).first;
+  }
+  it->second = value;
 }
 
-double Registry::gauge(const std::string& name) const {
+double Registry::gauge(std::string_view name) const {
   std::lock_guard lock(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
-void Registry::declare_histogram(const std::string& name,
+void Registry::declare_histogram(std::string_view name,
                                  std::vector<double> bounds) {
   PSDNS_REQUIRE(!bounds.empty(), "histogram needs at least one bound");
   PSDNS_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
                 "histogram bounds must ascend");
   std::lock_guard lock(mutex_);
   PSDNS_REQUIRE(histograms_.find(name) == histograms_.end(),
-                "histogram already declared: " + name);
+                "histogram already declared: " + std::string(name));
   Histogram h;
   h.buckets.assign(bounds.size() + 1, 0);
   h.bounds = std::move(bounds);
-  histograms_[name] = std::move(h);
+  h.samples.reserve(kExactSampleCap);
+  histograms_.emplace(std::string(name), std::move(h));
 }
 
-void Registry::observe(const std::string& name, double value) {
+void Registry::observe(std::string_view name, double value) {
   std::lock_guard lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     Histogram h;
     h.bounds = default_bounds();
     h.buckets.assign(h.bounds.size() + 1, 0);
-    it = histograms_.emplace(name, std::move(h)).first;
+    h.samples.reserve(kExactSampleCap);
+    it = histograms_.emplace(std::string(name), std::move(h)).first;
   }
   Histogram& h = it->second;
   const auto bucket = static_cast<std::size_t>(
@@ -126,7 +136,7 @@ HistogramSummary Registry::summarize(const Histogram& h) const {
   return s;
 }
 
-HistogramSummary Registry::histogram(const std::string& name) const {
+HistogramSummary Registry::histogram(std::string_view name) const {
   std::lock_guard lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? HistogramSummary{} : summarize(it->second);
@@ -135,8 +145,8 @@ HistogramSummary Registry::histogram(const std::string& name) const {
 MetricsSnapshot Registry::snapshot() const {
   std::lock_guard lock(mutex_);
   MetricsSnapshot snap;
-  snap.counters = counters_;
-  snap.gauges = gauges_;
+  snap.counters.insert(counters_.begin(), counters_.end());
+  snap.gauges.insert(gauges_.begin(), gauges_.end());
   for (const auto& [name, h] : histograms_) {
     snap.histograms[name] = summarize(h);
   }
@@ -249,8 +259,8 @@ void clear_spans() {
   st.spans.clear();
 }
 
-ScopedTimer::ScopedTimer(std::string name, Registry& reg)
-    : name_(std::move(name)), reg_(reg) {}
+ScopedTimer::ScopedTimer(std::string_view name, Registry& reg)
+    : name_(name), reg_(reg) {}
 
 ScopedTimer::~ScopedTimer() { stop(); }
 
@@ -262,7 +272,7 @@ double ScopedTimer::stop() {
   auto& st = span_state();
   std::lock_guard lock(st.mutex);
   if (st.enabled) {
-    st.spans.push_back(Span{name_, thread_index(),
+    st.spans.push_back(Span{std::string(name_), thread_index(),
                             st.origin.seconds() - seconds, seconds});
   }
   return seconds;

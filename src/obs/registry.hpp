@@ -10,6 +10,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/stopwatch.hpp"
@@ -41,19 +42,22 @@ struct MetricsSnapshot {
 
 class Registry {
  public:
-  void counter_add(const std::string& name, std::int64_t delta = 1);
+  // Names are taken as string_view and the maps use transparent comparators,
+  // so instrumentation sites that pass literals never materialize a
+  // std::string (and so never allocate) once the metric exists.
+  void counter_add(std::string_view name, std::int64_t delta = 1);
   /// 0 when the counter has never been touched.
-  std::int64_t counter(const std::string& name) const;
+  std::int64_t counter(std::string_view name) const;
 
-  void gauge_set(const std::string& name, double value);
-  double gauge(const std::string& name) const;
+  void gauge_set(std::string_view name, double value);
+  double gauge(std::string_view name) const;
 
   /// Declares a histogram with explicit ascending bucket upper bounds.
   /// Re-declaring an existing histogram is an error; observing into an
   /// undeclared one creates it with default_bounds().
-  void declare_histogram(const std::string& name, std::vector<double> bounds);
-  void observe(const std::string& name, double value);
-  HistogramSummary histogram(const std::string& name) const;
+  void declare_histogram(std::string_view name, std::vector<double> bounds);
+  void observe(std::string_view name, double value);
+  HistogramSummary histogram(std::string_view name) const;
 
   MetricsSnapshot snapshot() const;
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
@@ -81,9 +85,11 @@ class Registry {
   HistogramSummary summarize(const Histogram& h) const;
 
   mutable std::mutex mutex_;
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  // std::less<> enables heterogeneous (string_view) lookup without building
+  // a temporary std::string per hot-path call.
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 /// The process-wide registry all library instrumentation reports into.
@@ -110,9 +116,12 @@ void clear_spans();
 
 /// Records elapsed wall time into registry histogram `name` on destruction
 /// (or stop()), and appends a Span when span capture is enabled.
+/// The name is held by reference (no copy, no allocation): it must outlive
+/// the timer, which every instrumentation site satisfies by passing a
+/// string literal.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(std::string name, Registry& reg = registry());
+  explicit ScopedTimer(std::string_view name, Registry& reg = registry());
   ~ScopedTimer();
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -122,7 +131,7 @@ class ScopedTimer {
   double stop();
 
  private:
-  std::string name_;
+  std::string_view name_;
   Registry& reg_;
   util::Stopwatch watch_;
   bool stopped_ = false;

@@ -267,13 +267,13 @@ void flow_consume(FlowId flow) {
   st.edges.push_back(FlowEdge{flow, it->second, dst});
 }
 
-TraceSpan::TraceSpan(std::string name, SpanKind kind) {
+TraceSpan::TraceSpan(std::string_view name, SpanKind kind) {
   if (!tracing()) return;
   auto& st = trace_state();
   auto& tl = tl_trace();
   my_ring();  // registers this thread for the current epoch
   id_ = st.next_span.fetch_add(1, std::memory_order_relaxed);
-  name_ = std::move(name);
+  name_ = std::string(name);
   kind_ = kind;
   start_s_ = st.origin.seconds();
   tl.stack.push_back(OpenSpan{id_});

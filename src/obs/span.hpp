@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace psdns::obs {
@@ -110,10 +111,11 @@ void flow_emit(FlowId flow);
 /// wrapped, or its site may not be instrumented).
 void flow_consume(FlowId flow);
 
-/// RAII span. Cheap when tracing is off (no allocation, no lock).
+/// RAII span. Cheap when tracing is off (no allocation, no lock): the
+/// name is only copied into owned storage after the tracing gate passes.
 class TraceSpan {
  public:
-  explicit TraceSpan(std::string name, SpanKind kind = SpanKind::Other);
+  explicit TraceSpan(std::string_view name, SpanKind kind = SpanKind::Other);
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;

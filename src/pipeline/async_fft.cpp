@@ -28,7 +28,7 @@ void AsyncFft3d::stage_fft_y(fft::Direction dir, std::size_t x0,
   // and copy it back ("D2H"). Buffer layout: [ii + w*(j + ny*kk)].
   const std::size_t w = x1 - x0;
   const std::size_t my_rows = n_ * transpose_.grid().mz();  // j + ny*kk rows
-  if (device_.size() < w * my_rows) device_.resize(w * my_rows);
+  device_.ensure(w * my_rows);
 
   for (Complex* slab : slabs) {
     {
@@ -59,10 +59,11 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
   // out packed; post the nonblocking all-to-all as soon as a group's
   // pencils are packed.
   if (scratch_.size() < 2 * nv) scratch_.resize(2 * nv);
-  std::vector<Complex*> work(nv);
+  if (work_ptrs_.size() < nv) work_ptrs_.resize(nv);
+  Complex** work = work_ptrs_.data();
   for (std::size_t v = 0; v < nv; ++v) {
     auto& s = scratch_[v];
-    if (s.size() < spectral_elems()) s.resize(spectral_elems());
+    s.ensure(spectral_elems());
     std::copy(spec[v], spec[v] + spectral_elems(), s.data());
     work[v] = s.data();
   }
@@ -76,7 +77,7 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
     for (int ip = gi * q_; ip < std::min((gi + 1) * q_, np_); ++ip) {
       const auto r = pencil_range(nxh_, np_, ip);
       stage_fft_y(fft::Direction::Inverse, r.x0, r.x1,
-                  std::span<Complex* const>(work.data(), nv));
+                  std::span<Complex* const>(work, nv));
     }
 
     // Pack-on-copy (D2H doubles as the pack, Sec. 3.4) and nonblocking
@@ -84,12 +85,12 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
     obs::TraceSpan pack("async.pack", obs::SpanKind::Transfer);
     const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
     const std::size_t total = block * static_cast<std::size_t>(comm_.size());
-    if (grp.send.size() < total) grp.send.resize(total);
-    if (grp.recv.size() < total) grp.recv.resize(total);
+    grp.send.ensure(total);
+    grp.recv.ensure(total);
     transpose_.pack_z(
         std::span<const Complex* const>(
-            const_cast<const Complex* const*>(work.data()), nv),
-        grp.x0, grp.x1, grp.send);
+            const_cast<const Complex* const*>(work), nv),
+        grp.x0, grp.x1, std::span<Complex>(grp.send.data(), total));
     grp.request = comm_.ialltoall(grp.send.data(), grp.recv.data(), block);
     grp.flow = pack.id() != 0 ? obs::new_flow() : 0;
     if (grp.flow != 0) obs::flow_emit(grp.flow);
@@ -97,10 +98,11 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
 
   // Region 2/3: single MPI_WAIT per group, zero-copy unpack into Y-slabs,
   // then the z and complex-to-real x transforms pencil by pencil.
-  std::vector<Complex*> yslab(nv);
+  if (yslab_ptrs_.size() < nv) yslab_ptrs_.resize(nv);
+  Complex** yslab = yslab_ptrs_.data();
   for (std::size_t v = 0; v < nv; ++v) {
     auto& s = scratch_[nv + v];
-    if (s.size() < nxh_ * n_ * g.my()) s.resize(nxh_ * n_ * g.my());
+    s.ensure(nxh_ * n_ * g.my());
     yslab[v] = s.data();
   }
   for (auto& grp : groups_) {
@@ -113,7 +115,7 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
           std::span<const Complex>(grp.recv.data(),
                                    block * static_cast<std::size_t>(
                                                comm_.size())),
-          grp.x0, grp.x1, std::span<Complex* const>(yslab.data(), nv));
+          grp.x0, grp.x1, std::span<Complex* const>(yslab, nv));
     }
 
     // z transforms inside the freshly arrived x-chunk.
@@ -145,12 +147,13 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
   // Reverse of Fig. 4: real-to-complex x, then z transforms per pencil,
   // pack + nonblocking all-to-all per group, then y transforms per pencil.
   if (scratch_.size() < 2 * nv) scratch_.resize(2 * nv);
-  std::vector<Complex*> yslab(nv);
+  if (yslab_ptrs_.size() < nv) yslab_ptrs_.resize(nv);
+  Complex** yslab = yslab_ptrs_.data();
   {
     obs::TraceSpan fft_x("async.fft_x", obs::SpanKind::Compute);
     for (std::size_t v = 0; v < nv; ++v) {
       auto& s = scratch_[nv + v];
-      if (s.size() < nxh_ * n_ * g.my()) s.resize(nxh_ * n_ * g.my());
+      s.ensure(nxh_ * n_ * g.my());
       yslab[v] = s.data();
       plan_x_->forward_batch(phys[v], n_, yslab[v], nxh_, n_ * g.my());
     }
@@ -178,18 +181,19 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
     obs::TraceSpan pack("async.pack", obs::SpanKind::Transfer);
     const std::size_t block = transpose_.block_elems(grp.x1 - grp.x0, nv);
     const std::size_t total = block * static_cast<std::size_t>(comm_.size());
-    if (grp.send.size() < total) grp.send.resize(total);
-    if (grp.recv.size() < total) grp.recv.resize(total);
+    grp.send.ensure(total);
+    grp.recv.ensure(total);
     transpose_.pack_y(
         std::span<const Complex* const>(
-            const_cast<const Complex* const*>(yslab.data()), nv),
-        grp.x0, grp.x1, grp.send);
+            const_cast<const Complex* const*>(yslab), nv),
+        grp.x0, grp.x1, std::span<Complex>(grp.send.data(), total));
     grp.request = comm_.ialltoall(grp.send.data(), grp.recv.data(), block);
     grp.flow = pack.id() != 0 ? obs::new_flow() : 0;
     if (grp.flow != 0) obs::flow_emit(grp.flow);
   }
 
-  std::vector<Complex*> out(nv);
+  if (out_ptrs_.size() < nv) out_ptrs_.resize(nv);
+  Complex** out = out_ptrs_.data();
   for (std::size_t v = 0; v < nv; ++v) out[v] = spec[v];
   for (auto& grp : groups_) {
     {
@@ -201,7 +205,7 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
           std::span<const Complex>(grp.recv.data(),
                                    block * static_cast<std::size_t>(
                                                comm_.size())),
-          grp.x0, grp.x1, std::span<Complex* const>(out.data(), nv));
+          grp.x0, grp.x1, std::span<Complex* const>(out, nv));
     }
 
     for (int ip = static_cast<int>(&grp - groups_.data()) * q_;
@@ -210,7 +214,7 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
          ++ip) {
       const auto r = pencil_range(nxh_, np_, ip);
       stage_fft_y(fft::Direction::Forward, r.x0, r.x1,
-                  std::span<Complex* const>(out.data(), nv));
+                  std::span<Complex* const>(out, nv));
     }
   }
 }

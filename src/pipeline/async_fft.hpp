@@ -20,6 +20,7 @@
 #include "fft/real.hpp"
 #include "obs/span.hpp"
 #include "transpose/slab.hpp"
+#include "util/arena.hpp"
 
 namespace psdns::pipeline {
 
@@ -49,7 +50,7 @@ class AsyncFft3d {
 
  private:
   struct GroupBuffers {
-    std::vector<Complex> send, recv;
+    util::WorkspaceArena::Handle<Complex> send, recv;
     comm::Request request;
     std::size_t x0 = 0, x1 = 0;
     obs::FlowId flow = 0;  // causal edge from the group's post to its wait
@@ -64,9 +65,12 @@ class AsyncFft3d {
   transpose::SlabTranspose transpose_;
   std::shared_ptr<const fft::PlanR2C> plan_x_;
   std::shared_ptr<const fft::PlanC2C> plan_yz_;
-  std::vector<Complex> device_;                 // the pencil staging buffer
-  std::vector<std::vector<Complex>> scratch_;   // per-variable slab scratch
+  // Staging checked out of the workspace arena; the per-call pointer
+  // tables are members so a warmed-up transform never touches the heap.
+  util::WorkspaceArena::Handle<Complex> device_;  // the pencil staging buffer
+  std::vector<util::WorkspaceArena::Handle<Complex>> scratch_;  // per-variable
   std::vector<GroupBuffers> groups_;
+  std::vector<Complex*> work_ptrs_, yslab_ptrs_, out_ptrs_;
 };
 
 }  // namespace psdns::pipeline

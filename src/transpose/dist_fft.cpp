@@ -10,6 +10,26 @@ namespace psdns::transpose {
 
 using fft::BatchLayout;
 
+// ---------------------------------------------------------------- DistFft3d
+
+void DistFft3d::forward(std::span<const Real> phys, std::span<Complex> spec) {
+  PSDNS_REQUIRE(phys.size() >= physical_elems(), "phys too small");
+  PSDNS_REQUIRE(spec.size() >= spectral_elems(), "spec too small");
+  const Real* p = phys.data();
+  Complex* s = spec.data();
+  forward(std::span<const Real* const>(&p, 1),
+          std::span<Complex* const>(&s, 1));
+}
+
+void DistFft3d::inverse(std::span<const Complex> spec, std::span<Real> phys) {
+  PSDNS_REQUIRE(phys.size() >= physical_elems(), "phys too small");
+  PSDNS_REQUIRE(spec.size() >= spectral_elems(), "spec too small");
+  const Complex* s = spec.data();
+  Real* p = phys.data();
+  inverse(std::span<const Complex* const>(&s, 1),
+          std::span<Real* const>(&p, 1));
+}
+
 // ---------------------------------------------------------------- SlabFft3d
 
 SlabFft3d::SlabFft3d(comm::Communicator& comm, std::size_t n)
@@ -22,6 +42,16 @@ SlabFft3d::SlabFft3d(comm::Communicator& comm, std::size_t n)
 }
 
 void SlabFft3d::forward(std::span<const Real* const> phys,
+                        std::span<Complex* const> spec) {
+  forward(phys, spec, np_, q_);
+}
+
+void SlabFft3d::inverse(std::span<const Complex* const> spec,
+                        std::span<Real* const> phys) {
+  inverse(spec, phys, np_, q_);
+}
+
+void SlabFft3d::forward(std::span<const Real* const> phys,
                         std::span<Complex* const> spec, int np, int q) {
   PSDNS_REQUIRE(phys.size() == spec.size(), "variable count mismatch");
   const std::size_t nv = phys.size();
@@ -31,7 +61,7 @@ void SlabFft3d::forward(std::span<const Real* const> phys,
   if (yslab_ptrs_.size() < nv) yslab_ptrs_.resize(nv);
   for (std::size_t v = 0; v < nv; ++v) {
     auto& w = work_[v];
-    if (w.size() < h * n_ * my()) w.resize(h * n_ * my());
+    w.ensure(h * n_ * my());
     yslab_ptrs_[v] = w.data();
 
     // x: real-to-complex, all my()*n_ unit-stride lines as one batch.
@@ -87,7 +117,7 @@ void SlabFft3d::inverse(std::span<const Complex* const> spec,
     obs::TraceSpan span("slab_fft.inverse.y", obs::SpanKind::Compute);
     for (std::size_t v = 0; v < nv; ++v) {
       auto& wz = work_[v];
-      if (wz.size() < h * n_ * mz()) wz.resize(h * n_ * mz());
+      wz.ensure(h * n_ * mz());
       zslab_ptrs_[v] = wz.data();
       std::copy(spec[v], spec[v] + spectral_elems(), wz.data());
       for (std::size_t kk = 0; kk < mz(); ++kk) {
@@ -97,7 +127,7 @@ void SlabFft3d::inverse(std::span<const Complex* const> spec,
                                               .dist = 1});
       }
       auto& wy = work_[nv + v];
-      if (wy.size() < h * n_ * my()) wy.resize(h * n_ * my());
+      wy.ensure(h * n_ * my());
       yslab_ptrs_[v] = wy.data();
     }
   }
@@ -160,6 +190,24 @@ PencilFft3d::PencilFft3d(comm::Communicator& comm, std::size_t n, int pr,
   PSDNS_REQUIRE(n >= 2, "grid too small");
 }
 
+void PencilFft3d::forward(std::span<const Real* const> phys,
+                          std::span<Complex* const> spec) {
+  PSDNS_REQUIRE(phys.size() == spec.size(), "variable count mismatch");
+  for (std::size_t v = 0; v < phys.size(); ++v) {
+    forward(std::span<const Real>(phys[v], physical_elems()),
+            std::span<Complex>(spec[v], spectral_elems()));
+  }
+}
+
+void PencilFft3d::inverse(std::span<const Complex* const> spec,
+                          std::span<Real* const> phys) {
+  PSDNS_REQUIRE(phys.size() == spec.size(), "variable count mismatch");
+  for (std::size_t v = 0; v < phys.size(); ++v) {
+    inverse(std::span<const Complex>(spec[v], spectral_elems()),
+            std::span<Real>(phys[v], physical_elems()));
+  }
+}
+
 void PencilFft3d::forward(std::span<const Real> phys,
                           std::span<Complex> spec) {
   const auto& g = grid();
@@ -168,8 +216,8 @@ void PencilFft3d::forward(std::span<const Real> phys,
   PSDNS_REQUIRE(phys.size() >= physical_elems(), "phys too small");
   PSDNS_REQUIRE(spec.size() >= spectral_elems(), "spec too small");
 
-  if (px_.size() < h * yl * zl) px_.resize(h * yl * zl);
-  if (py_.size() < n_ * w * zl) py_.resize(n_ * w * zl);
+  px_.ensure(h * yl * zl);
+  py_.ensure(n_ * w * zl);
 
   // x: real-to-complex, all yl*zl unit-stride lines of the X-pencil at once.
   {
@@ -180,7 +228,8 @@ void PencilFft3d::forward(std::span<const Real> phys,
 
   // Row transpose, then y on the contiguous lines of the Y-pencil (one
   // arithmetic progression: dist n_, stride 1).
-  transpose_.x_to_y(px_, py_);
+  transpose_.x_to_y(std::span<const Complex>(px_.data(), h * yl * zl),
+                    std::span<Complex>(py_.data(), n_ * w * zl));
   {
     obs::ScopedTimer timer("pencil_fft.forward.y");
     obs::TraceSpan span("pencil_fft.forward.y", obs::SpanKind::Compute);
@@ -190,7 +239,7 @@ void PencilFft3d::forward(std::span<const Real> phys,
   }
 
   // Column transpose, then z on contiguous lines of the Z-pencil.
-  transpose_.y_to_z(py_, spec);
+  transpose_.y_to_z(std::span<const Complex>(py_.data(), n_ * w * zl), spec);
   {
     obs::ScopedTimer timer("pencil_fft.forward.z");
     obs::TraceSpan span("pencil_fft.forward.z", obs::SpanKind::Compute);
@@ -209,12 +258,12 @@ void PencilFft3d::inverse(std::span<const Complex> spec,
   PSDNS_REQUIRE(phys.size() >= physical_elems(), "phys too small");
   PSDNS_REQUIRE(spec.size() >= spectral_elems(), "spec too small");
 
-  if (px_.size() < h * yl * zl) px_.resize(h * yl * zl);
-  if (py_.size() < n_ * w * zl) py_.resize(n_ * w * zl);
-  if (pz_.size() < spectral_elems()) pz_.resize(spectral_elems());
+  px_.ensure(h * yl * zl);
+  py_.ensure(n_ * w * zl);
+  pz_.ensure(spectral_elems());
 
   // z-inverse on a reusable scratch copy of the Z-pencil.
-  std::copy(spec.begin(), spec.begin() + spectral_elems(), pz_.begin());
+  std::copy(spec.data(), spec.data() + spectral_elems(), pz_.data());
   {
     obs::ScopedTimer timer("pencil_fft.inverse.z");
     obs::TraceSpan span("pencil_fft.inverse.z", obs::SpanKind::Compute);
@@ -223,7 +272,8 @@ void PencilFft3d::inverse(std::span<const Complex> spec,
                                           .dist = n_});
   }
 
-  transpose_.z_to_y(pz_, py_);
+  transpose_.z_to_y(std::span<const Complex>(pz_.data(), spectral_elems()),
+                    std::span<Complex>(py_.data(), n_ * w * zl));
   {
     obs::ScopedTimer timer("pencil_fft.inverse.y");
     obs::TraceSpan span("pencil_fft.inverse.y", obs::SpanKind::Compute);
@@ -232,7 +282,8 @@ void PencilFft3d::inverse(std::span<const Complex> spec,
                                           .dist = n_});
   }
 
-  transpose_.y_to_x(py_, px_);
+  transpose_.y_to_x(std::span<const Complex>(py_.data(), n_ * w * zl),
+                    std::span<Complex>(px_.data(), h * yl * zl));
   {
     obs::ScopedTimer timer("pencil_fft.inverse.x");
     obs::TraceSpan span("pencil_fft.inverse.x", obs::SpanKind::Compute);

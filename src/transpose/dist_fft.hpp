@@ -3,9 +3,19 @@
 // transposes. These are the "standalone 3D FFT" building blocks the paper's
 // DNS is structured around (Sec. 2: the DNS shares its structure and
 // performance with 3D FFTs). Transform order follows the paper: x, z, y
-// going physical->spectral; y, z, x coming back (Sec. 3.3).
+// going physical->spectral; y, z, x coming back (Sec. 3.3) for the slab
+// backend, x, y, z for the pencil baseline.
 //
-// Both classes are unnormalized: inverse(forward(u)) == N^3 * u.
+// DistFft3d is the decomposition-agnostic face of both backends: a solver
+// written against it (dns::SpectralNSCore) sees only
+//   - batched multi-variable forward/inverse transforms,
+//   - the local physical and spectral extents,
+//   - a ModeView/PhysView describing how local storage maps to global
+//     (kx,ky,kz) / (x,y,z) indices,
+//   - the pencil/aggregation batching knobs of Sec. 4.1 (set_batching),
+// and runs unchanged on either decomposition.
+//
+// Both backends are unnormalized: inverse(forward(u)) == N^3 * u.
 
 #include <cstddef>
 #include <span>
@@ -17,35 +27,94 @@
 #include "fft/types.hpp"
 #include "transpose/pencil.hpp"
 #include "transpose/slab.hpp"
+#include "transpose/views.hpp"
+#include "util/arena.hpp"
 
 namespace psdns::transpose {
 
 using fft::Complex;
 using fft::Real;
 
+/// Decomposition-agnostic distributed 3-D FFT backend.
+class DistFft3d {
+ public:
+  virtual ~DistFft3d() = default;
+
+  virtual std::size_t n() const = 0;
+  /// Local element counts of one variable in each space.
+  virtual std::size_t physical_elems() const = 0;
+  virtual std::size_t spectral_elems() const = 0;
+
+  /// How this backend's local spectral / physical storage maps to global
+  /// wavenumbers / grid indices.
+  virtual ModeView mode_view() const = 0;
+  virtual PhysView phys_view() const = 0;
+
+  /// Pencil batching of the transposes (Sec. 4.1): np pencils, q pencils
+  /// aggregated per all-to-all. Backends without pencil batching accept
+  /// and ignore the knobs.
+  virtual void set_batching(int np, int q) = 0;
+  virtual int pencils() const = 0;
+  virtual int pencils_per_alltoall() const = 0;
+
+  /// Physical -> spectral, one or more variables at once (phys[v] and
+  /// spec[v] are the v-th variable's local blocks).
+  virtual void forward(std::span<const Real* const> phys,
+                       std::span<Complex* const> spec) = 0;
+  virtual void inverse(std::span<const Complex* const> spec,
+                       std::span<Real* const> phys) = 0;
+
+  /// Single-variable convenience (non-virtual, forwards to the batched
+  /// entry points).
+  void forward(std::span<const Real> phys, std::span<Complex> spec);
+  void inverse(std::span<const Complex> spec, std::span<Real> phys);
+};
+
 /// Slab-decomposed transform (the new GPU code's layout).
 ///
 /// Physical layout (Y-slabs): r[x + n*(k + n*jj)], y = rank*my + jj.
 /// Spectral layout (Z-slabs): a[i + nxh*(j + n*kk)], k = rank*mz + kk.
-class SlabFft3d {
+class SlabFft3d final : public DistFft3d {
  public:
   SlabFft3d(comm::Communicator& comm, std::size_t n);
 
-  std::size_t n() const { return n_; }
+  std::size_t n() const override { return n_; }
   std::size_t nxh() const { return n_ / 2 + 1; }
   std::size_t my() const { return grid().my(); }
   std::size_t mz() const { return grid().mz(); }
   const SlabGrid& grid() const { return transpose_.grid(); }
 
-  std::size_t physical_elems() const { return n_ * n_ * my(); }
-  std::size_t spectral_elems() const { return nxh() * n_ * mz(); }
+  std::size_t physical_elems() const override { return n_ * n_ * my(); }
+  std::size_t spectral_elems() const override { return nxh() * n_ * mz(); }
 
-  /// Physical -> spectral, one or more variables at once. np/q control the
-  /// pencil batching of the transpose (np pencils, q per all-to-all).
+  ModeView mode_view() const override {
+    return ModeView::zslab(n_, mz(),
+                           static_cast<std::size_t>(comm_.rank()) * mz());
+  }
+  PhysView phys_view() const override {
+    return PhysView::yslab(n_, my(),
+                           static_cast<std::size_t>(comm_.rank()) * my());
+  }
+
+  void set_batching(int np, int q) override {
+    PSDNS_REQUIRE(np >= 1 && q >= 1, "bad pencil grouping");
+    np_ = np;
+    q_ = q;
+  }
+  int pencils() const override { return np_; }
+  int pencils_per_alltoall() const override { return q_; }
+
+  /// Batched entry points using the configured np/q.
   void forward(std::span<const Real* const> phys,
-               std::span<Complex* const> spec, int np = 1, int q = 1);
+               std::span<Complex* const> spec) override;
   void inverse(std::span<const Complex* const> spec,
-               std::span<Real* const> phys, int np = 1, int q = 1);
+               std::span<Real* const> phys) override;
+
+  /// Explicit-batching variants (np pencils, q per all-to-all).
+  void forward(std::span<const Real* const> phys,
+               std::span<Complex* const> spec, int np, int q);
+  void inverse(std::span<const Complex* const> spec,
+               std::span<Real* const> phys, int np, int q);
 
   /// Single-variable convenience overloads.
   void forward(std::span<const Real> phys, std::span<Complex> spec,
@@ -59,7 +128,9 @@ class SlabFft3d {
   SlabTranspose transpose_;
   std::shared_ptr<const fft::PlanR2C> plan_x_;
   std::shared_ptr<const fft::PlanC2C> plan_yz_;
-  std::vector<std::vector<Complex>> work_;  // per-variable Y-slab scratch
+  int np_ = 1, q_ = 1;
+  // Per-variable Y-slab scratch, checked out of the workspace arena.
+  std::vector<util::WorkspaceArena::Handle<Complex>> work_;
   // Reused per-call pointer arrays (forward/inverse are hot-loop calls).
   std::vector<Complex*> yslab_ptrs_, zslab_ptrs_;
 };
@@ -70,21 +141,51 @@ class SlabFft3d {
 ///   y = row_rank*yl + jj, z = col_rank*zl + kk.
 /// Spectral layout (Z-pencils): pz[k + n*(ii + w*jj)],
 ///   kx = x_range().x0 + ii, ky = col_rank*yl2 + jj.
-class PencilFft3d {
+class PencilFft3d final : public DistFft3d {
  public:
   PencilFft3d(comm::Communicator& comm, std::size_t n, int pr, int pc);
 
-  std::size_t n() const { return n_; }
+  std::size_t n() const override { return n_; }
   std::size_t nxh() const { return n_ / 2 + 1; }
   const PencilGrid& grid() const { return transpose_.grid(); }
   PencilRange x_range() const { return transpose_.x_range(); }
 
-  std::size_t physical_elems() const {
+  std::size_t physical_elems() const override {
     return n_ * grid().yl() * grid().zl();
   }
-  std::size_t spectral_elems() const {
+  std::size_t spectral_elems() const override {
     return n_ * x_range().width() * grid().yl2();
   }
+
+  ModeView mode_view() const override {
+    return ModeView::zpencil(
+        n_, x_range().width(), x_range().x0, grid().yl2(),
+        static_cast<std::size_t>(transpose_.col_rank()) * grid().yl2());
+  }
+  PhysView phys_view() const override {
+    return PhysView::xpencil(
+        n_, grid().yl(),
+        static_cast<std::size_t>(transpose_.row_rank()) * grid().yl(),
+        grid().zl(),
+        static_cast<std::size_t>(transpose_.col_rank()) * grid().zl());
+  }
+
+  /// The pencil path always moves whole fields; the knobs are accepted so
+  /// solver code can set them uniformly, and reported back as configured.
+  void set_batching(int np, int q) override {
+    PSDNS_REQUIRE(np >= 1 && q >= 1, "bad pencil grouping");
+    np_ = np;
+    q_ = q;
+  }
+  int pencils() const override { return np_; }
+  int pencils_per_alltoall() const override { return q_; }
+
+  /// Batched multi-variable entry points (variables transform one after
+  /// the other; the pencil transposes are single-field).
+  void forward(std::span<const Real* const> phys,
+               std::span<Complex* const> spec) override;
+  void inverse(std::span<const Complex* const> spec,
+               std::span<Real* const> phys) override;
 
   void forward(std::span<const Real> phys, std::span<Complex> spec);
   void inverse(std::span<const Complex> spec, std::span<Real> phys);
@@ -94,8 +195,10 @@ class PencilFft3d {
   PencilTranspose transpose_;
   std::shared_ptr<const fft::PlanR2C> plan_x_;
   std::shared_ptr<const fft::PlanC2C> plan_yz_;
-  std::vector<Complex> px_, py_;  // intermediate layouts
-  std::vector<Complex> pz_;       // inverse() Z-pencil scratch
+  int np_ = 1, q_ = 1;
+  // Intermediate layouts (X- and Y-pencils) and the inverse() Z-pencil
+  // scratch, all checked out of the workspace arena.
+  util::WorkspaceArena::Handle<Complex> px_, py_, pz_;
 };
 
 }  // namespace psdns::transpose

@@ -28,6 +28,8 @@ PencilTranspose::PencilTranspose(comm::Communicator& world, PencilGrid grid)
                 "world size must equal Pr * Pc");
   row_counts_.resize(static_cast<std::size_t>(grid_.pr));
   row_displs_.resize(static_cast<std::size_t>(grid_.pr));
+  peer_counts_.resize(static_cast<std::size_t>(grid_.pr));
+  peer_displs_.resize(static_cast<std::size_t>(grid_.pr));
 }
 
 void PencilTranspose::x_to_y(std::span<const Complex> px,
@@ -45,12 +47,12 @@ void PencilTranspose::x_to_y(std::span<const Complex> px,
     row_displs_[static_cast<std::size_t>(d)] = total;
     total += row_counts_[static_cast<std::size_t>(d)];
   }
-  if (send_.size() < total) send_.resize(total);
+  send_.ensure(total);
   // Receive side: every source sends a w_me-wide block, which can exceed the
   // send total when this rank owns the widest x-chunk.
   const std::size_t rtotal = static_cast<std::size_t>(grid_.pr) * yl *
                              x_range().width() * zl;
-  if (recv_.size() < rtotal) recv_.resize(rtotal);
+  recv_.ensure(rtotal);
 
   for (int d = 0; d < grid_.pr; ++d) {
     const auto r = pencil_range(grid_.nxh, grid_.pr, d);
@@ -66,19 +68,18 @@ void PencilTranspose::x_to_y(std::span<const Complex> px,
 
   // Receive layout is symmetric: every source sends me w_me-wide blocks.
   const std::size_t w = x_range().width();
-  std::vector<std::size_t> rcounts(static_cast<std::size_t>(grid_.pr),
-                                   yl * w * zl);
-  std::vector<std::size_t> rdispls(static_cast<std::size_t>(grid_.pr));
   for (int s = 0; s < grid_.pr; ++s) {
-    rdispls[static_cast<std::size_t>(s)] = static_cast<std::size_t>(s) * yl *
-                                           w * zl;
+    peer_counts_[static_cast<std::size_t>(s)] = yl * w * zl;
+    peer_displs_[static_cast<std::size_t>(s)] =
+        static_cast<std::size_t>(s) * yl * w * zl;
   }
   row_.alltoallv(send_.data(), row_counts_.data(), row_displs_.data(),
-                 recv_.data(), rcounts.data(), rdispls.data());
+                 recv_.data(), peer_counts_.data(), peer_displs_.data());
 
   // Unpack: source s contributed y range [s*yl, (s+1)*yl).
   for (int s = 0; s < grid_.pr; ++s) {
-    const Complex* in = recv_.data() + rdispls[static_cast<std::size_t>(s)];
+    const Complex* in =
+        recv_.data() + peer_displs_[static_cast<std::size_t>(s)];
     for (std::size_t kk = 0; kk < zl; ++kk) {
       for (std::size_t ii = 0; ii < w; ++ii) {
         const Complex* src = in + yl * (ii + w * kk);
@@ -97,14 +98,12 @@ void PencilTranspose::y_to_x(std::span<const Complex> py,
 
   // Pack: block for row-rank d holds its y range of my x-chunk.
   std::size_t total = static_cast<std::size_t>(grid_.pr) * yl * w * zl;
-  if (send_.size() < total) send_.resize(total);
-  std::vector<std::size_t> scounts(static_cast<std::size_t>(grid_.pr),
-                                   yl * w * zl);
-  std::vector<std::size_t> sdispls(static_cast<std::size_t>(grid_.pr));
+  send_.ensure(total);
   for (int d = 0; d < grid_.pr; ++d) {
-    sdispls[static_cast<std::size_t>(d)] = static_cast<std::size_t>(d) * yl *
-                                           w * zl;
-    Complex* out = send_.data() + sdispls[static_cast<std::size_t>(d)];
+    peer_counts_[static_cast<std::size_t>(d)] = yl * w * zl;
+    peer_displs_[static_cast<std::size_t>(d)] =
+        static_cast<std::size_t>(d) * yl * w * zl;
+    Complex* out = send_.data() + peer_displs_[static_cast<std::size_t>(d)];
     for (std::size_t kk = 0; kk < zl; ++kk) {
       for (std::size_t ii = 0; ii < w; ++ii) {
         const Complex* src = py.data() + static_cast<std::size_t>(d) * yl +
@@ -123,9 +122,9 @@ void PencilTranspose::y_to_x(std::span<const Complex> py,
     row_displs_[static_cast<std::size_t>(s)] = rtotal;
     rtotal += row_counts_[static_cast<std::size_t>(s)];
   }
-  if (recv_.size() < rtotal) recv_.resize(rtotal);
-  row_.alltoallv(send_.data(), scounts.data(), sdispls.data(), recv_.data(),
-                 row_counts_.data(), row_displs_.data());
+  recv_.ensure(rtotal);
+  row_.alltoallv(send_.data(), peer_counts_.data(), peer_displs_.data(),
+                 recv_.data(), row_counts_.data(), row_displs_.data());
 
   for (int s = 0; s < grid_.pr; ++s) {
     const auto r = pencil_range(grid_.nxh, grid_.pr, s);
@@ -146,8 +145,8 @@ void PencilTranspose::y_to_z(std::span<const Complex> py,
   const std::size_t w = x_range().width();
   const std::size_t block = yl2 * w * zl;
   const std::size_t total = block * static_cast<std::size_t>(grid_.pc);
-  if (send_.size() < total) send_.resize(total);
-  if (recv_.size() < total) recv_.resize(total);
+  send_.ensure(total);
+  recv_.ensure(total);
 
   // Pack for column-rank d: its y range, all local z; layout kk+zl*(ii+w*jj).
   for (int d = 0; d < grid_.pc; ++d) {
@@ -187,8 +186,8 @@ void PencilTranspose::z_to_y(std::span<const Complex> pz,
   const std::size_t w = x_range().width();
   const std::size_t block = yl2 * w * zl;
   const std::size_t total = block * static_cast<std::size_t>(grid_.pc);
-  if (send_.size() < total) send_.resize(total);
-  if (recv_.size() < total) recv_.resize(total);
+  send_.ensure(total);
+  recv_.ensure(total);
 
   // Pack for column-rank d: its z range of my full-z pencils.
   for (int d = 0; d < grid_.pc; ++d) {

@@ -68,8 +68,12 @@ class PencilTranspose {
   PencilGrid grid_;
   comm::Communicator row_;
   comm::Communicator col_;
-  mutable std::vector<Complex> send_, recv_;
+  // Message staging from the workspace arena; count/displacement scratch
+  // for the unequal-block row exchange is sized once in the constructor so
+  // steady-state transposes allocate nothing.
+  mutable util::WorkspaceArena::Handle<Complex> send_, recv_;
   std::vector<std::size_t> row_counts_, row_displs_;
+  std::vector<std::size_t> peer_counts_, peer_displs_;
 };
 
 }  // namespace psdns::transpose

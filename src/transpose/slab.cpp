@@ -136,9 +136,9 @@ void SlabTranspose::z_to_y_chunk(std::span<const Complex* const> vars_a,
   PSDNS_REQUIRE(vars_a.size() == vars_b.size(), "variable count mismatch");
   const std::size_t block = block_elems(x1 - x0, vars_a.size());
   const std::size_t total = block * static_cast<std::size_t>(comm_.size());
-  if (send_.size() < total) send_.resize(total);
-  if (recv_.size() < total) recv_.resize(total);
-  pack_z(vars_a, x0, x1, send_);
+  send_.ensure(total);
+  recv_.ensure(total);
+  pack_z(vars_a, x0, x1, std::span<Complex>(send_.data(), total));
   comm_.alltoall(send_.data(), recv_.data(), block);
   unpack_y(std::span<const Complex>(recv_.data(), total), x0, x1, vars_b);
 }
@@ -150,9 +150,9 @@ void SlabTranspose::y_to_z_chunk(std::span<const Complex* const> vars_b,
   PSDNS_REQUIRE(vars_a.size() == vars_b.size(), "variable count mismatch");
   const std::size_t block = block_elems(x1 - x0, vars_b.size());
   const std::size_t total = block * static_cast<std::size_t>(comm_.size());
-  if (send_.size() < total) send_.resize(total);
-  if (recv_.size() < total) recv_.resize(total);
-  pack_y(vars_b, x0, x1, send_);
+  send_.ensure(total);
+  recv_.ensure(total);
+  pack_y(vars_b, x0, x1, std::span<Complex>(send_.data(), total));
   comm_.alltoall(send_.data(), recv_.data(), block);
   unpack_z(std::span<const Complex>(recv_.data(), total), x0, x1, vars_a);
 }

@@ -23,6 +23,7 @@
 
 #include "comm/communicator.hpp"
 #include "fft/types.hpp"
+#include "util/arena.hpp"
 
 namespace psdns::transpose {
 
@@ -109,8 +110,9 @@ class SlabTranspose {
  private:
   comm::Communicator& comm_;
   SlabGrid grid_;
-  // Reused message buffers (grown on demand).
-  mutable std::vector<Complex> send_, recv_;
+  // Message staging checked out of the workspace arena: grown on demand,
+  // returned to the pool (not the heap) when the transpose is destroyed.
+  mutable util::WorkspaceArena::Handle<Complex> send_, recv_;
 };
 
 }  // namespace psdns::transpose
