@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,8 +43,12 @@ class CaptureReporter : public benchmark::ConsoleReporter {
   std::vector<std::pair<std::string, double>> results_;
 };
 
-inline int run_benchmarks_with_report(int argc, char** argv,
-                                      const std::string& report_name) {
+// `input_seed` is the base RNG seed the benchmark kernels fill their input
+// data from; it lands in the report's run manifest so two BENCH_*.json files
+// are comparable input-for-input, not just flag-for-flag.
+inline int run_benchmarks_with_report(
+    int argc, char** argv, const std::string& report_name,
+    std::optional<std::uint64_t> input_seed = std::nullopt) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CaptureReporter reporter;
@@ -51,6 +56,7 @@ inline int run_benchmarks_with_report(int argc, char** argv,
   benchmark::Shutdown();
 
   obs::BenchReport report(report_name);
+  if (input_seed) report.seed(*input_seed);
   report.meta("description",
               "google-benchmark micro-kernels, real seconds per iteration");
   for (const auto& [name, seconds] : reporter.results()) {

@@ -105,6 +105,6 @@ BENCHMARK(BM_DnsStep)->Arg(32)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return psdns::bench::run_benchmarks_with_report(argc, argv,
-                                                  "micro_transpose");
+  return psdns::bench::run_benchmarks_with_report(
+      argc, argv, "micro_transpose", /*input_seed=*/1);
 }

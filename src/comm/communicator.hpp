@@ -143,7 +143,12 @@ class Communicator {
       }
     }
     if (fault == resilience::FaultKind::BitFlip && count > 0) {
-      reinterpret_cast<unsigned char*>(recv)[0] ^= 0x01u;
+      // Flip a high exponent bit of the first element's top byte: for
+      // floating-point payloads the value jumps by many orders of
+      // magnitude, so products go non-finite within one step and the
+      // health monitor's NaN guard can catch the corruption immediately
+      // (an LSB mantissa flip would hide below the diagnostics noise).
+      reinterpret_cast<unsigned char*>(recv)[sizeof(T) - 1] ^= 0x40u;
     }
   }
 

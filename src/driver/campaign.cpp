@@ -1,10 +1,16 @@
 #include "driver/campaign.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <filesystem>
+#include <numbers>
 
 #include "io/checkpoint.hpp"
+#include "obs/exposition.hpp"
 #include "obs/log.hpp"
+#include "obs/metric_series.hpp"
+#include "obs/metrics_server.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
@@ -60,6 +66,24 @@ CampaignConfig CampaignConfig::from(const util::Config& file) {
   PSDNS_REQUIRE(cfg.checkpoint_keep >= 1, "checkpoint_keep must be >= 1");
   PSDNS_REQUIRE(cfg.io_retries >= 1, "io_retries must be >= 1");
 
+  cfg.metrics_port = static_cast<int>(file.get_int("metrics_port", -1));
+  PSDNS_REQUIRE(cfg.metrics_port >= -1 && cfg.metrics_port <= 65535,
+                "metrics_port must be -1 (off) or in [0, 65535]");
+  cfg.telemetry_path = file.get("telemetry_series", "");
+  const std::string health_mode = file.get("health", "");
+  if (!health_mode.empty()) {
+    cfg.health.mode = obs::parse_health_mode(health_mode);
+  }
+  cfg.health.energy_drift_tol = file.get_double(
+      "health.energy_drift_tol", cfg.health.energy_drift_tol);
+  cfg.health.cfl_max = file.get_double("health.cfl_max", cfg.health.cfl_max);
+  cfg.health.kmax_eta_min =
+      file.get_double("health.kmax_eta_min", cfg.health.kmax_eta_min);
+  cfg.health.checkpoint_lag_max = file.get_int(
+      "health.checkpoint_lag_max", cfg.health.checkpoint_lag_max);
+  cfg.health.recoveries_max = static_cast<int>(
+      file.get_int("health.recoveries_max", cfg.health.recoveries_max));
+
   const auto unused = file.unused_keys();
   if (!unused.empty()) {
     std::string msg = "unknown config keys:";
@@ -92,6 +116,17 @@ void rollback_to_valid(comm::Communicator& comm, const std::string& path,
   comm.broadcast(vals, 2, 0);
   resume_step = vals[0];
   discarded = static_cast<int>(vals[1]);
+}
+
+/// PSDNS_METRICS_PORT wins over the config value; -1 = endpoint off.
+int resolve_metrics_port(int config_port) {
+  const char* value = std::getenv("PSDNS_METRICS_PORT");
+  if (value == nullptr || *value == '\0') return config_port;
+  char* end = nullptr;
+  const long port = std::strtol(value, &end, 10);
+  PSDNS_REQUIRE(end != value && *end == '\0' && port >= 0 && port <= 65535,
+                "PSDNS_METRICS_PORT must be an integer in [0, 65535]");
+  return static_cast<int>(port);
 }
 
 }  // namespace
@@ -131,7 +166,51 @@ CampaignResult run_campaign(comm::Communicator& comm,
                                           : io::SeriesWriter::Mode::Truncate);
   }
 
+  // --- telemetry plane -------------------------------------------------
+  // Env wins over config; both are identical across the rank threads, so
+  // every collective gate below is rank-symmetric.
+  const int metrics_port = resolve_metrics_port(cfg.metrics_port);
+  std::string telemetry_path = cfg.telemetry_path;
+  if (const char* v = std::getenv("PSDNS_SERIES_FILE")) telemetry_path = v;
+  const obs::HealthConfig health_cfg =
+      obs::HealthConfig::from_env(cfg.health);
+  obs::HealthMonitor health(health_cfg);
+  // The reduction runs per step whenever something consumes the reduced
+  // rows; Strict health also forces per-step diagnostics so a NaN is
+  // caught on the step it appears, not at the next diagnostics cadence.
+  const bool reduce_every_step =
+      metrics_port >= 0 || !telemetry_path.empty();
+  const bool telemetry_every_step =
+      reduce_every_step || health_cfg.mode == obs::HealthMode::Strict;
+
+  std::unique_ptr<obs::MetricsServer> server;
+  std::unique_ptr<obs::SeriesJsonlWriter> telemetry_series;
+  obs::SeriesRing telemetry_ring;
+  if (comm.rank() == 0) {
+    if (metrics_port >= 0) {
+      obs::MetricsServer::Options server_opts;
+      server_opts.port = metrics_port;
+      server = std::make_unique<obs::MetricsServer>(server_opts);
+      obs::registry().gauge_set("telemetry.metrics_port",
+                                static_cast<double>(server->port()));
+      obs::log_event(obs::LogLevel::Info, "driver", "metrics endpoint up",
+                     {{"port", static_cast<std::int64_t>(server->port())}});
+    }
+    if (!telemetry_path.empty()) {
+      telemetry_series = std::make_unique<obs::SeriesJsonlWriter>(
+          telemetry_path, result.restarted
+                              ? obs::SeriesJsonlWriter::Mode::Append
+                              : obs::SeriesJsonlWriter::Mode::Truncate);
+    }
+  }
+  obs::Registry rank_metrics;  // per-rank values feeding straggler stats
+  const double dx =
+      2.0 * std::numbers::pi / static_cast<double>(cfg.solver.n);
+  const double kmax = std::floor(static_cast<double>(cfg.solver.n) / 3.0);
+  obs::HealthVerdict previous_verdict = obs::HealthVerdict::Healthy;
+
   const std::int64_t first_step = solver.step_count();
+  std::int64_t last_checkpoint_step = first_step;
   while (solver.step_count() - first_step < cfg.max_steps &&
          solver.time() < cfg.max_time) {
     const double cfl_dt = solver.cfl_dt(cfg.cfl);
@@ -152,14 +231,20 @@ CampaignResult run_campaign(comm::Communicator& comm,
       reg.observe("driver.step.wall_seconds", wall);
     }
 
+    rank_metrics.counter_add("rank.steps");
+    rank_metrics.gauge_set("rank.step.wall_seconds", wall);
+
     const bool report =
         cfg.diagnostics_every > 0 &&
         solver.step_count() % cfg.diagnostics_every == 0;
     // diagnostics() is collective: every rank must agree on whether it is
-    // called, so gate on the (rank-independent) config, not on the
-    // rank-0-only writer object.
-    if (report || !cfg.series_path.empty()) {
-      const auto d = solver.diagnostics();
+    // called, so every gate here is rank-independent (config and env,
+    // never the rank-0-only writer and server objects).
+    dns::Diagnostics d;
+    bool have_diagnostics = false;
+    if (report || !cfg.series_path.empty() || telemetry_every_step) {
+      d = solver.diagnostics();
+      have_diagnostics = true;
       if (comm.rank() == 0) {
         obs::registry().gauge_set("driver.energy", d.energy);
         if (series != nullptr) {
@@ -178,9 +263,100 @@ CampaignResult run_campaign(comm::Communicator& comm,
         }
       }
     }
+
+    // Health first, then telemetry publication, then the periodic
+    // checkpoint: an Abort verdict must throw before the corrupt state
+    // can enter the checkpoint chain.
+    obs::HealthVerdict verdict = obs::HealthVerdict::Healthy;
+    const bool evaluated_health =
+        health_cfg.mode != obs::HealthMode::Off && have_diagnostics;
+    if (evaluated_health) {
+      obs::HealthInput hin;
+      hin.step = solver.step_count();
+      hin.time = solver.time();
+      hin.dt = dt;
+      hin.dx = dx;
+      hin.energy = d.energy;
+      hin.dissipation = d.dissipation;
+      hin.u_max = d.u_max;
+      hin.kmax = kmax;
+      hin.kolmogorov_eta = d.kolmogorov_eta;
+      hin.steps_since_checkpoint = solver.step_count() - last_checkpoint_step;
+      hin.recoveries = cfg.recoveries_so_far;
+      verdict = health.evaluate(hin);
+      if (comm.rank() == 0) {
+        obs::registry().gauge_set("health.status",
+                                  static_cast<double>(verdict));
+        const auto fired = health.last_events();
+        if (!fired.empty()) {
+          obs::registry().counter_add(
+              "health.events", static_cast<std::int64_t>(fired.size()));
+          for (const auto& e : fired) {
+            obs::log_event(e.severity == obs::HealthSeverity::Critical
+                               ? obs::LogLevel::Error
+                               : obs::LogLevel::Warn,
+                           "health", e.code,
+                           {{"step", e.step},
+                            {"value", e.value},
+                            {"threshold", e.threshold}});
+          }
+        }
+      }
+    }
+
+    if (reduce_every_step) {
+      // The rank-0 gauge writes above must land before any rank snapshots
+      // the shared registry; after the barrier no thread writes until the
+      // collective reduction completes, so every rank reduces identical
+      // global state and the per-rank variation comes from rank_metrics.
+      comm.barrier();
+      obs::MetricsSnapshot local = obs::registry().snapshot();
+      const obs::MetricsSnapshot mine = rank_metrics.snapshot();
+      for (const auto& [key, value] : mine.counters) {
+        local.counters[key] = value;
+      }
+      for (const auto& [key, value] : mine.gauges) local.gauges[key] = value;
+      obs::ReducedSnapshot reduced = obs::reduce_metrics(comm, local);
+      reduced.step = solver.step_count();
+      reduced.time = solver.time();
+      if (evaluated_health) {
+        reduced.health_verdict = obs::to_string(verdict);
+        for (const auto& e : health.last_events()) {
+          reduced.health_events.push_back(e.code);
+        }
+      }
+      if (comm.rank() == 0) {
+        if (telemetry_series != nullptr) telemetry_series->append(reduced);
+        if (server != nullptr) {
+          server->publish(obs::to_prometheus(reduced, health.report()),
+                          obs::to_exposition_json(reduced, health.report()),
+                          health.report().to_json(),
+                          verdict == obs::HealthVerdict::Abort);
+        }
+        telemetry_ring.push(std::move(reduced));
+      }
+    }
+
+    if (health_cfg.mode == obs::HealthMode::Strict) {
+      if (verdict == obs::HealthVerdict::Abort) {
+        // Every rank evaluated identical reduced inputs, so every rank
+        // throws here at the same step and the group unwinds together.
+        throw obs::HealthAbort(solver.step_count(), health.last_events());
+      }
+      if (verdict == obs::HealthVerdict::Degraded &&
+          previous_verdict == obs::HealthVerdict::Healthy &&
+          !cfg.checkpoint_path.empty()) {
+        // Protective checkpoint on the healthy -> degraded transition.
+        io::save_checkpoint(cfg.checkpoint_path, solver, ckpt_opts);
+        last_checkpoint_step = solver.step_count();
+      }
+    }
+    previous_verdict = verdict;
+
     if (cfg.checkpoint_every > 0 && !cfg.checkpoint_path.empty() &&
         solver.step_count() % cfg.checkpoint_every == 0) {
       io::save_checkpoint(cfg.checkpoint_path, solver, ckpt_opts);
+      last_checkpoint_step = solver.step_count();
     }
   }
 
@@ -194,6 +370,14 @@ CampaignResult run_campaign(comm::Communicator& comm,
 
   result.final_time = solver.time();
   result.final_diagnostics = solver.diagnostics();
+  result.health = health.report();
+  if (comm.rank() == 0) {
+    result.metrics_port = server != nullptr ? server->port() : 0;
+    result.telemetry.reserve(telemetry_ring.size());
+    for (std::size_t i = 0; i < telemetry_ring.size(); ++i) {
+      result.telemetry.push_back(telemetry_ring.at(i));
+    }
+  }
   // One rank writes the collected trace (spans of every rank thread are in
   // the same process-wide buffer, so rank 0 owns the file).
   if (comm.rank() == 0) obs::write_trace_if_configured();
@@ -224,13 +408,22 @@ CampaignResult run_campaign_supervised(comm::Communicator& comm,
   for (;;) {
     CampaignConfig segment = cfg;
     segment.max_steps = target_step - std::max<std::int64_t>(resume_step, 0);
+    segment.recoveries_so_far = recoveries;
     try {
       const auto r = run_campaign(comm, segment, observer);
       total.steps_run += r.steps_run;
       total.final_time = r.final_time;
       total.final_diagnostics = r.final_diagnostics;
       total.recoveries = recoveries;
+      total.metrics_port = r.metrics_port;
+      total.health = r.health;
+      total.telemetry = r.telemetry;
       return total;
+    } catch (const obs::HealthAbort&) {
+      // A health abort is a structured verdict, not a recoverable fault:
+      // the state itself went bad, so rolling back and replaying would
+      // deterministically reproduce it. Propagate to the caller intact.
+      throw;
     } catch (const std::exception& e) {
       // Injected faults strike every rank at the same per-thread call index
       // and checkpoint IO errors are agreed collectively, so every rank is

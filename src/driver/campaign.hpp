@@ -21,6 +21,8 @@
 #include "comm/communicator.hpp"
 #include "dns/solver.hpp"
 #include "io/series.hpp"
+#include "obs/health.hpp"
+#include "obs/reduce.hpp"
 #include "util/config.hpp"
 
 namespace psdns::driver {
@@ -46,6 +48,14 @@ struct CampaignConfig {
   // Resilience knobs.
   int checkpoint_keep = 2;      // rotation depth (io::CheckpointOptions)
   int io_retries = 3;           // write-transaction retry budget
+  // Telemetry plane (env wins over these: PSDNS_METRICS_PORT,
+  // PSDNS_SERIES_FILE, PSDNS_HEALTH).
+  int metrics_port = -1;        // -1 off, 0 ephemeral, >0 fixed (rank 0)
+  std::string telemetry_path;   // reduced-snapshot JSONL (rank 0)
+  obs::HealthConfig health;     // per-step invariant thresholds + mode
+  // Set by run_campaign_supervised so replayed segments report the
+  // rollback count to the health monitor; not a config-file key.
+  int recoveries_so_far = 0;
 
   /// Parses the "key = value" schema (n, viscosity, scheme, forcing.*,
   /// scalar.*, steps, cfl, checkpoint_keep, io_retries, ... - see
@@ -65,6 +75,10 @@ struct CampaignResult {
   // Supervisor bookkeeping (0 for plain run_campaign).
   int recoveries = 0;              // failed segments rolled back and replayed
   int checkpoints_discarded = 0;   // corrupt checkpoints dropped on rollback
+  // Telemetry plane (rank 0; empty/0 when the plane was off).
+  int metrics_port = 0;            // bound live-endpoint port
+  obs::HealthReport health;        // final monitor state
+  std::vector<obs::ReducedSnapshot> telemetry;  // ring of reduced rows
 };
 
 /// Runs one campaign segment on the calling rank group. Collective.

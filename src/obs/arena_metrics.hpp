@@ -9,6 +9,7 @@
 // the "rate" suffix and is higher-is-better.
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/arena.hpp"
 
 namespace psdns::obs {
@@ -27,6 +28,9 @@ inline void publish_arena_metrics(
   reg.gauge_set("alloc.arena.hit_rate",
                 requests > 0.0 ? static_cast<double>(st.hits) / requests
                                : 0.0);
+  trace_counter("arena.resident_bytes",
+                static_cast<double>(st.resident_bytes));
+  trace_counter("arena.peak_bytes", static_cast<double>(st.peak_bytes));
 }
 
 }  // namespace psdns::obs

@@ -1,13 +1,19 @@
 #include "obs/bench_report.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
+
+extern char** environ;
 
 namespace psdns::obs {
 
@@ -30,7 +36,61 @@ std::string read_first_line(const std::filesystem::path& path) {
 
 }  // namespace
 
-BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+RunManifest RunManifest::collect() {
+  RunManifest m;
+  m.git_sha = current_git_sha();
+#ifdef PSDNS_COMPILER_ID
+  m.compiler = PSDNS_COMPILER_ID;
+#else
+  m.compiler = "unknown";
+#endif
+#ifdef PSDNS_CXX_FLAGS
+  m.compiler_flags = PSDNS_CXX_FLAGS;
+#else
+  m.compiler_flags = "unknown";
+#endif
+#ifdef PSDNS_BUILD_TYPE
+  m.build_type = PSDNS_BUILD_TYPE;
+#else
+  m.build_type = "unknown";
+#endif
+  char host[256] = {};
+  m.hostname =
+      ::gethostname(host, sizeof(host) - 1) == 0 ? host : "unknown";
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    if (std::strncmp(*e, "PSDNS_", 6) != 0) continue;
+    const char* eq = std::strchr(*e, '=');
+    if (eq == nullptr) continue;
+    m.env.emplace_back(
+        std::string(*e, static_cast<std::size_t>(eq - *e)),
+        std::string(eq + 1));
+  }
+  std::sort(m.env.begin(), m.env.end());
+  return m;
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream os;
+  os << "{\"git_sha\": " << json_quote(git_sha)
+     << ", \"compiler\": " << json_quote(compiler)
+     << ", \"compiler_flags\": " << json_quote(compiler_flags)
+     << ", \"build_type\": " << json_quote(build_type)
+     << ", \"hostname\": " << json_quote(hostname)
+     << ", \"seed\": " << json_quote(seed) << ", \"env\": {";
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << json_quote(env[i].first) << ": "
+       << json_quote(env[i].second);
+  }
+  os << "}}";
+  return os.str();
+}
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), manifest_(RunManifest::collect()) {}
+
+void BenchReport::seed(std::uint64_t value) {
+  manifest_.seed = std::to_string(value);
+}
 
 void BenchReport::metric(const std::string& key, double value) {
   for (auto& [k, v] : metrics_) {
@@ -55,8 +115,9 @@ void BenchReport::meta(const std::string& key, const std::string& value) {
 std::string BenchReport::to_json() const {
   std::ostringstream os;
   os << "{\n  \"name\": " << json_quote(name_)
-     << ",\n  \"schema_version\": 1"
-     << ",\n  \"git_sha\": " << json_quote(current_git_sha())
+     << ",\n  \"schema_version\": 2"
+     << ",\n  \"git_sha\": " << json_quote(manifest_.git_sha)
+     << ",\n  \"manifest\": " << manifest_.to_json()
      << ",\n  \"metadata\": {";
   for (std::size_t i = 0; i < meta_.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n") << "    " << json_quote(meta_[i].first)

@@ -2,18 +2,43 @@
 // Machine-readable benchmark output. Every bench binary emits a
 // BENCH_<name>.json next to its human-readable tables so each commit
 // leaves a perf-trajectory datapoint that tooling can diff. Schema
-// (version 1):
-//   { "name": "<bench name>", "schema_version": 1, "git_sha": "<sha>",
+// (version 2; v1 lacked "manifest" and is still accepted by perfdiff):
+//   { "name": "<bench name>", "schema_version": 2, "git_sha": "<sha>",
+//     "manifest": { "git_sha": "<sha>", "compiler": "...",
+//                   "compiler_flags": "...", "build_type": "...",
+//                   "hostname": "...", "seed": "...",
+//                   "env": { "PSDNS_*": "<value>", ... } },
 //     "metadata": { "<key>": "<string>", ... },
 //     "metrics":  { "<key>": <number>, ... } }
 // The output directory is PSDNS_BENCH_DIR when set, else the working
 // directory (the repo root under the tier-1 flow).
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace psdns::obs {
+
+/// Where a number came from: enough to reproduce (git sha, compiler +
+/// flags, seed, every PSDNS_* override in effect) and to spot apples-to-
+/// oranges diffs (hostname, build type). psdns_perfdiff prints both
+/// manifests when a regression fires.
+struct RunManifest {
+  std::string git_sha;
+  std::string compiler;        // id + version (from the build system)
+  std::string compiler_flags;
+  std::string build_type;
+  std::string hostname;
+  std::string seed = "unset";  // benches stamp their RNG seed here
+  std::vector<std::pair<std::string, std::string>> env;  // PSDNS_* vars
+
+  /// Fills everything collectable at runtime (sha, compiler macros,
+  /// hostname, sorted PSDNS_* environment); `seed` stays "unset".
+  static RunManifest collect();
+
+  std::string to_json() const;
+};
 
 class BenchReport {
  public:
@@ -22,6 +47,11 @@ class BenchReport {
   /// Last write wins on duplicate keys.
   void metric(const std::string& key, double value);
   void meta(const std::string& key, const std::string& value);
+
+  /// Stamps the RNG seed into the embedded manifest.
+  void seed(std::uint64_t value);
+
+  const RunManifest& manifest() const { return manifest_; }
 
   std::string to_json() const;
 
@@ -35,6 +65,7 @@ class BenchReport {
 
  private:
   std::string name_;
+  RunManifest manifest_;
   std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::pair<std::string, double>> metrics_;
 };

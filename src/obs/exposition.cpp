@@ -1,0 +1,69 @@
+#include "obs/exposition.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace psdns::obs {
+
+namespace {
+
+bool prom_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void write_family(std::ostringstream& os, const std::string& key,
+                  const ReducedValue& v, const char* type) {
+  const std::string name = prometheus_name(key);
+  os << "# TYPE " << name << " " << type << "\n";
+  os << name << "{stat=\"sum\"} " << json_number(v.sum) << "\n";
+  os << name << "{stat=\"min\"} " << json_number(v.min) << "\n";
+  os << name << "{stat=\"max\"} " << json_number(v.max) << "\n";
+  os << name << "{stat=\"mean\"} " << json_number(v.mean) << "\n";
+  if (v.min_rank >= 0) {
+    os << "# TYPE " << name << "_extreme_rank gauge\n";
+    os << name << "_extreme_rank{stat=\"min\"} " << v.min_rank << "\n";
+    os << name << "_extreme_rank{stat=\"max\"} " << v.max_rank << "\n";
+  }
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view key) {
+  std::string out = "psdns_";
+  out.reserve(out.size() + key.size());
+  for (const char c : key) out.push_back(prom_ok(c) ? c : '_');
+  return out;
+}
+
+std::string to_prometheus(const ReducedSnapshot& snap,
+                          const HealthReport& health) {
+  std::ostringstream os;
+  os << "# TYPE psdns_up gauge\npsdns_up 1\n";
+  os << "# TYPE psdns_step gauge\npsdns_step " << snap.step << "\n";
+  os << "# TYPE psdns_sim_time gauge\npsdns_sim_time "
+     << json_number(snap.time) << "\n";
+  os << "# TYPE psdns_ranks gauge\npsdns_ranks " << snap.ranks << "\n";
+  os << "# TYPE psdns_health_status gauge\npsdns_health_status "
+     << static_cast<int>(health.verdict) << "\n";
+  os << "# TYPE psdns_health_events_total counter\n"
+     << "psdns_health_events_total " << health.events.size() << "\n";
+  for (const auto& [key, v] : snap.counters) {
+    write_family(os, key, v, "counter");
+  }
+  for (const auto& [key, v] : snap.gauges) {
+    write_family(os, key, v, "gauge");
+  }
+  return os.str();
+}
+
+std::string to_exposition_json(const ReducedSnapshot& snap,
+                               const HealthReport& health) {
+  std::ostringstream os;
+  os << "{\"snapshot\":" << snap.to_json() << ",\"health\":"
+     << health.to_json() << "}";
+  return os.str();
+}
+
+}  // namespace psdns::obs

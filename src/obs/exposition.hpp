@@ -1,0 +1,36 @@
+#pragma once
+// Exposition formats for the live metrics endpoint: Prometheus text
+// format 0.0.4 (what a scraper or `curl :port/metrics` reads) and a JSON
+// document (what psdns_top and programmatic consumers read), both
+// rendered from the latest ReducedSnapshot plus the health report.
+//
+// Prometheus naming: metric keys are sanitized (every character outside
+// [a-zA-Z0-9_:] becomes '_') and prefixed "psdns_"; the cross-rank
+// statistics ride on a {stat="sum|min|max|mean"} label and the straggler
+// ranks on psdns_..._extreme_rank{stat="min|max"}. Counters keep counter
+// semantics (the reduced sum of monotonic per-rank counters is
+// monotonic); gauges are gauges.
+
+#include <string>
+#include <string_view>
+
+#include "obs/health.hpp"
+#include "obs/reduce.hpp"
+
+namespace psdns::obs {
+
+/// "pipeline.last_step.overlap_efficiency" -> "psdns_pipeline_last_step_
+/// overlap_efficiency".
+std::string prometheus_name(std::string_view key);
+
+/// Prometheus text exposition of one reduced snapshot + health state.
+/// Includes psdns_up, psdns_step, psdns_ranks and psdns_health_status
+/// (0 healthy / 1 degraded / 2 abort) plus every counter and gauge.
+std::string to_prometheus(const ReducedSnapshot& snap,
+                          const HealthReport& health);
+
+/// {"snapshot": <ReducedSnapshot::to_json()>, "health": <report json>}.
+std::string to_exposition_json(const ReducedSnapshot& snap,
+                               const HealthReport& health);
+
+}  // namespace psdns::obs

@@ -1,0 +1,209 @@
+#include "obs/health.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace psdns::obs {
+
+const char* to_string(HealthMode mode) {
+  switch (mode) {
+    case HealthMode::Off: return "off";
+    case HealthMode::Warn: return "warn";
+    case HealthMode::Strict: return "strict";
+  }
+  return "?";
+}
+
+const char* to_string(HealthSeverity severity) {
+  switch (severity) {
+    case HealthSeverity::Info: return "info";
+    case HealthSeverity::Warn: return "warn";
+    case HealthSeverity::Critical: return "critical";
+  }
+  return "?";
+}
+
+const char* to_string(HealthVerdict verdict) {
+  switch (verdict) {
+    case HealthVerdict::Healthy: return "healthy";
+    case HealthVerdict::Degraded: return "degraded";
+    case HealthVerdict::Abort: return "abort";
+  }
+  return "?";
+}
+
+HealthMode parse_health_mode(const std::string& name) {
+  if (name == "off") return HealthMode::Off;
+  if (name == "warn") return HealthMode::Warn;
+  if (name == "strict") return HealthMode::Strict;
+  util::raise("unknown health mode `" + name + "` (off|warn|strict)");
+}
+
+HealthConfig HealthConfig::from_env(HealthConfig base) {
+  if (const char* mode = std::getenv("PSDNS_HEALTH")) {
+    base.mode = parse_health_mode(mode);
+  }
+  return base;
+}
+
+HealthConfig HealthConfig::from_env() { return from_env(HealthConfig{}); }
+
+std::string HealthReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"verdict\":" << json_quote(to_string(verdict))
+     << ",\"worst\":" << json_quote(to_string(worst))
+     << ",\"evaluations\":" << evaluations << ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const HealthEvent& e = events[i];
+    os << (i == 0 ? "" : ",") << "{\"severity\":"
+       << json_quote(to_string(e.severity)) << ",\"code\":"
+       << json_quote(e.code) << ",\"message\":" << json_quote(e.message)
+       << ",\"step\":" << e.step << ",\"value\":" << json_number(e.value)
+       << ",\"threshold\":" << json_number(e.threshold) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {}
+
+void HealthMonitor::fire(HealthSeverity severity, const char* code,
+                         std::string message, const HealthInput& input,
+                         double value, double threshold) {
+  HealthEvent e;
+  e.severity = severity;
+  e.code = code;
+  e.message = std::move(message);
+  e.step = input.step;
+  e.value = value;
+  e.threshold = threshold;
+  report_.events.push_back(std::move(e));
+}
+
+HealthVerdict HealthMonitor::evaluate(const HealthInput& input) {
+  last_begin_ = report_.events.size();
+  ++report_.evaluations;
+
+  // NaN/Inf guard: a non-finite diagnostic means the state itself has
+  // gone non-finite (energy sums every |uhat|^2) - nothing downstream of
+  // this step is salvageable, so it is always Critical.
+  const struct {
+    const char* code;
+    double value;
+  } finite_checks[] = {{"nan_energy", input.energy},
+                       {"nan_dissipation", input.dissipation},
+                       {"nan_umax", input.u_max}};
+  for (const auto& check : finite_checks) {
+    if (!std::isfinite(check.value)) {
+      fire(HealthSeverity::Critical, check.code,
+           std::string(check.code) + ": non-finite diagnostic", input,
+           check.value, 0.0);
+    }
+  }
+
+  // Energy-budget drift: physical decay/forcing moves energy by percent
+  // per step; silent corruption moves it by orders of magnitude. The
+  // comparison is against the previous evaluated step.
+  if (config_.energy_drift_tol > 0.0 && have_last_energy_ &&
+      std::isfinite(input.energy)) {
+    const double base = std::max(std::abs(last_energy_), 1e-300);
+    const double drift = std::abs(input.energy - last_energy_) / base;
+    if (drift > config_.energy_drift_tol) {
+      fire(HealthSeverity::Critical, "energy_drift",
+           "relative energy jump exceeds tolerance", input, drift,
+           config_.energy_drift_tol);
+    }
+  }
+  if (std::isfinite(input.energy)) {
+    last_energy_ = input.energy;
+    have_last_energy_ = true;
+  }
+
+  // CFL bound on the *achieved* step: the driver picks dt from the
+  // pre-step u_max, so a mid-step velocity explosion shows up here first.
+  if (config_.cfl_max > 0.0 && input.dx > 0.0 &&
+      std::isfinite(input.u_max)) {
+    const double cfl = input.u_max * input.dt / input.dx;
+    if (cfl > config_.cfl_max) {
+      fire(HealthSeverity::Critical, "cfl_bound",
+           "advective CFL number exceeds bound", input, cfl,
+           config_.cfl_max);
+    }
+  }
+
+  // Resolution floor: kmax*eta < 1 means the dissipation range has fallen
+  // off the grid - the run keeps integrating but the small scales are
+  // garbage. Degradation, not corruption.
+  if (config_.kmax_eta_min > 0.0 && input.kmax > 0.0 &&
+      std::isfinite(input.kolmogorov_eta)) {
+    const double kmax_eta = input.kmax * input.kolmogorov_eta;
+    if (kmax_eta < config_.kmax_eta_min) {
+      fire(HealthSeverity::Warn, "kmax_eta",
+           "spectral resolution below DNS floor", input, kmax_eta,
+           config_.kmax_eta_min);
+    }
+  }
+
+  if (config_.checkpoint_lag_max > 0 &&
+      input.steps_since_checkpoint > config_.checkpoint_lag_max) {
+    fire(HealthSeverity::Warn, "ckpt_lag",
+         "too many steps since last durable checkpoint", input,
+         static_cast<double>(input.steps_since_checkpoint),
+         static_cast<double>(config_.checkpoint_lag_max));
+  }
+
+  if (config_.recoveries_max > 0 &&
+      input.recoveries > config_.recoveries_max) {
+    fire(HealthSeverity::Warn, "recoveries",
+         "supervisor rollback count exceeds threshold", input,
+         static_cast<double>(input.recoveries),
+         static_cast<double>(config_.recoveries_max));
+  }
+
+  HealthVerdict verdict = HealthVerdict::Healthy;
+  for (std::size_t i = last_begin_; i < report_.events.size(); ++i) {
+    const HealthSeverity s = report_.events[i].severity;
+    if (s == HealthSeverity::Critical) {
+      verdict = HealthVerdict::Abort;
+      break;
+    }
+    if (s == HealthSeverity::Warn) verdict = HealthVerdict::Degraded;
+  }
+  report_.verdict = verdict;
+  if (static_cast<int>(verdict) > static_cast<int>(report_.worst)) {
+    report_.worst = verdict;
+  }
+  return verdict;
+}
+
+std::vector<HealthEvent> HealthMonitor::last_events() const {
+  return {report_.events.begin() +
+              static_cast<std::ptrdiff_t>(last_begin_),
+          report_.events.end()};
+}
+
+namespace {
+
+std::string abort_message(std::int64_t step,
+                          const std::vector<HealthEvent>& events) {
+  std::ostringstream os;
+  os << "health abort at step " << step << ":";
+  for (const auto& e : events) {
+    os << " [" << e.code << " value=" << e.value
+       << " threshold=" << e.threshold << "]";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+HealthAbort::HealthAbort(std::int64_t step, std::vector<HealthEvent> events,
+                         std::source_location loc)
+    : util::Error(abort_message(step, events), loc),
+      step_(step),
+      events_(std::move(events)) {}
+
+}  // namespace psdns::obs

@@ -1,0 +1,139 @@
+#pragma once
+// Simulation health monitor: per-step invariant checks that turn silent
+// divergence into structured, machine-readable events. A 3072^3 campaign
+// that goes non-finite at step 40k should be aborted at step 40k+1 with a
+// verdict the supervisor can act on, not discovered in a corrupted
+// spectrum file after the allocation burns out.
+//
+// Invariants evaluated each step (each can be disabled by its threshold):
+//   nan          - energy / dissipation / u_max must be finite (always on)
+//   energy_drift - relative energy jump per step bounded (a bit flip or
+//                  blow-up moves energy by orders of magnitude; physical
+//                  decay or forcing moves it by percent)
+//   cfl          - advective CFL number u_max*dt/dx stays under a bound
+//   kmax_eta     - spectral resolution kmax*eta above the DNS floor
+//   ckpt_lag     - steps since the last durable checkpoint bounded
+//   recoveries   - supervisor rollback count bounded
+//
+// Severity maps to a verdict: any Critical event -> Abort, any Warn event
+// -> Degraded, else Healthy. What the verdict *does* is the campaign
+// driver's business, gated by HealthMode: Off skips evaluation, Warn logs
+// events and records the verdict, Strict additionally throws HealthAbort
+// (collectively - every rank evaluates identical reduced inputs, so every
+// rank throws at the same step) and takes a protective checkpoint on
+// Degraded. Selected with PSDNS_HEALTH=off|warn|strict.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace psdns::obs {
+
+enum class HealthMode { Off, Warn, Strict };
+enum class HealthSeverity { Info, Warn, Critical };
+enum class HealthVerdict { Healthy, Degraded, Abort };
+
+const char* to_string(HealthMode mode);
+const char* to_string(HealthSeverity severity);
+const char* to_string(HealthVerdict verdict);
+
+/// Accepts "off"|"warn"|"strict"; throws util::Error on anything else.
+HealthMode parse_health_mode(const std::string& name);
+
+struct HealthConfig {
+  HealthMode mode = HealthMode::Warn;
+  double energy_drift_tol = 0.5;  // relative per-step jump; 0 disables
+  double cfl_max = 1.5;           // advective CFL bound; 0 disables
+  double kmax_eta_min = 0.0;      // resolution floor; 0 disables
+  std::int64_t checkpoint_lag_max = 0;  // steps; 0 disables
+  int recoveries_max = 0;               // supervisor rollbacks; 0 disables
+
+  /// Applies PSDNS_HEALTH to `mode` when set (unknown values throw).
+  static HealthConfig from_env(HealthConfig base);
+  static HealthConfig from_env();
+};
+
+/// One fired invariant. `code` is a stable machine-readable identifier
+/// (nan_energy, energy_drift, cfl_bound, kmax_eta, ckpt_lag, recoveries).
+struct HealthEvent {
+  HealthSeverity severity = HealthSeverity::Warn;
+  std::string code;
+  std::string message;
+  std::int64_t step = -1;
+  double value = 0.0;      // the observed quantity
+  double threshold = 0.0;  // the bound it crossed
+};
+
+/// Everything the per-step invariants need, in reduced (rank-identical)
+/// form. Fields a caller cannot supply keep their defaults and the
+/// corresponding checks are skipped.
+struct HealthInput {
+  std::int64_t step = 0;
+  double time = 0.0;
+  double dt = 0.0;
+  double dx = 0.0;     // grid spacing (2*pi/N); 0 skips the CFL check
+  double energy = 0.0;
+  double dissipation = 0.0;
+  double u_max = 0.0;
+  double kmax = 0.0;           // dealiased max wavenumber; 0 skips kmax_eta
+  double kolmogorov_eta = 0.0;
+  std::int64_t steps_since_checkpoint = 0;
+  int recoveries = 0;
+};
+
+/// Aggregated state for exposition (/health endpoint, series rows).
+struct HealthReport {
+  HealthVerdict verdict = HealthVerdict::Healthy;  // latest evaluation
+  HealthVerdict worst = HealthVerdict::Healthy;    // worst so far
+  std::int64_t evaluations = 0;
+  std::vector<HealthEvent> events;  // all fired events, in order
+  std::string to_json() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig config = {});
+
+  const HealthConfig& config() const { return config_; }
+
+  /// Evaluates every enabled invariant against one step's reduced inputs,
+  /// appends fired events, and returns the step's verdict. Deterministic:
+  /// identical inputs produce identical events on every rank.
+  HealthVerdict evaluate(const HealthInput& input);
+
+  HealthVerdict verdict() const { return report_.verdict; }
+  const HealthReport& report() const { return report_; }
+
+  /// Events fired by the most recent evaluate() call only.
+  std::vector<HealthEvent> last_events() const;
+
+ private:
+  void fire(HealthSeverity severity, const char* code, std::string message,
+            const HealthInput& input, double value, double threshold);
+
+  HealthConfig config_;
+  HealthReport report_;
+  std::size_t last_begin_ = 0;  // index of the latest step's first event
+  double last_energy_ = 0.0;
+  bool have_last_energy_ = false;
+};
+
+/// Thrown by the campaign driver when a Strict monitor returns Abort; the
+/// payload carries the structured events so the supervisor's decision is
+/// machine-readable end to end.
+class HealthAbort : public util::Error {
+ public:
+  HealthAbort(std::int64_t step, std::vector<HealthEvent> events,
+              std::source_location loc = std::source_location::current());
+
+  std::int64_t step() const { return step_; }
+  const std::vector<HealthEvent>& events() const { return events_; }
+
+ private:
+  std::int64_t step_ = -1;
+  std::vector<HealthEvent> events_;
+};
+
+}  // namespace psdns::obs

@@ -1,0 +1,74 @@
+#include "obs/metric_series.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace psdns::obs {
+
+SeriesRing::SeriesRing(std::size_t capacity) : capacity_(capacity) {
+  PSDNS_REQUIRE(capacity_ > 0, "series ring capacity must be positive");
+  rows_.reserve(capacity_);
+}
+
+void SeriesRing::push(ReducedSnapshot snap) {
+  if (rows_.size() < capacity_) {
+    rows_.push_back(std::move(snap));
+  } else {
+    rows_[head_] = std::move(snap);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++pushed_;
+}
+
+const ReducedSnapshot& SeriesRing::at(std::size_t i) const {
+  PSDNS_REQUIRE(i < rows_.size(), "series ring index out of range");
+  return rows_[(head_ + i) % rows_.size()];
+}
+
+const ReducedSnapshot* SeriesRing::latest() const {
+  if (rows_.empty()) return nullptr;
+  return &rows_[(head_ + rows_.size() - 1) % rows_.size()];
+}
+
+SeriesJsonlWriter::SeriesJsonlWriter(const std::string& path, Mode mode)
+    : file_(std::fopen(path.c_str(),
+                       mode == Mode::Append ? "ab" : "wb")),
+      path_(path) {
+  if (file_ == nullptr) {
+    util::raise("cannot open telemetry series file " + path_);
+  }
+}
+
+SeriesJsonlWriter::~SeriesJsonlWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SeriesJsonlWriter::append(const ReducedSnapshot& snap) {
+  const std::string row = snap.to_json();
+  if (std::fwrite(row.data(), 1, row.size(), file_) != row.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+    util::raise("write failed on telemetry series file " + path_);
+  }
+}
+
+std::vector<ReducedSnapshot> read_series_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) util::raise("cannot open telemetry series file " + path);
+  std::vector<ReducedSnapshot> rows;
+  std::string line;
+  std::int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      rows.push_back(ReducedSnapshot::parse(line));
+    } catch (const std::exception& e) {
+      util::raise(path + ":" + std::to_string(lineno) +
+                  ": malformed series row: " + e.what());
+    }
+  }
+  return rows;
+}
+
+}  // namespace psdns::obs

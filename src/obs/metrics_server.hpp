@@ -1,0 +1,80 @@
+#pragma once
+// Live metrics endpoint: a minimal HTTP/1.1 server on a rank-0 background
+// thread serving the latest published exposition documents. Off by
+// default; enabled per-campaign (CampaignConfig) or process-wide with
+// PSDNS_METRICS_PORT. Port 0 binds an ephemeral port (tests and parallel
+// CI jobs); port() reports the bound one.
+//
+// Routes:
+//   /metrics - Prometheus text format 0.0.4 (latest reduced snapshot)
+//   /json    - {"snapshot":..., "health":...} JSON
+//   /health  - health report JSON alone (200 while verdict != abort,
+//              503 on abort - a load-balancer-shaped liveness probe)
+//   anything else - 404
+//
+// The server thread only ever reads the documents under a mutex;
+// publish() swaps them in from the campaign loop. One request per
+// connection (Connection: close), loopback bind by default - this is a
+// control-plane peephole, not a web server.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace psdns::obs {
+
+class MetricsServer {
+ public:
+  struct Options {
+    int port = 0;                     // 0 = ephemeral
+    std::string bind = "127.0.0.1";
+  };
+
+  /// Binds, listens and starts the serving thread; throws util::Error
+  /// (naming the port) when the socket cannot be bound.
+  explicit MetricsServer(Options options);
+  ~MetricsServer();
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// The bound TCP port (resolves ephemeral binds).
+  int port() const { return port_; }
+
+  /// Atomically replaces the served documents. `unhealthy` switches
+  /// /health to 503.
+  void publish(std::string prometheus, std::string json,
+               std::string health_json, bool unhealthy = false);
+
+  /// Requests served so far (all routes, including 404s).
+  std::int64_t requests() const { return requests_.load(); }
+
+  /// nullptr when PSDNS_METRICS_PORT is unset; otherwise a server bound
+  /// to that port (the value must parse as an integer in [0, 65535]).
+  static std::unique_ptr<MetricsServer> from_env();
+
+ private:
+  void serve();
+  void handle(int client_fd);
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::atomic<std::int64_t> requests_{0};
+  std::mutex mutex_;
+  std::string prometheus_ = "# TYPE psdns_up gauge\npsdns_up 1\n";
+  std::string json_ = "{}";
+  std::string health_json_ = "{}";
+  bool unhealthy_ = false;
+  std::thread thread_;
+};
+
+/// Tiny blocking HTTP GET used by psdns_top and the endpoint tests:
+/// returns the response body; `status` (optional) receives the HTTP
+/// status code. Throws util::Error on connect/IO failure.
+std::string http_get(const std::string& host, int port,
+                     const std::string& path, int* status = nullptr);
+
+}  // namespace psdns::obs

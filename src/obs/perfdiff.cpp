@@ -16,17 +16,41 @@ const char* kHigherIsBetter[] = {"speedup",    "bandwidth", "flops",
 
 struct Report {
   std::string name;
+  std::string manifest;  // one-line summary; empty for schema-v1 reports
   std::vector<std::pair<std::string, double>> metrics;  // sorted by key
 };
+
+/// "sha=... compiler=... build=... host=... seed=... env: K=V ..." from a
+/// schema-v2 report's embedded manifest; "" when absent (schema v1).
+std::string manifest_summary(const JsonValue& doc) {
+  if (!doc.has("manifest") || !doc.at("manifest").is_object()) return "";
+  const JsonValue& m = doc.at("manifest");
+  const auto field = [&](const char* key) {
+    return m.has(key) && m.at(key).is_string() ? m.at(key).string
+                                               : std::string("?");
+  };
+  std::ostringstream os;
+  os << "sha=" << field("git_sha") << " compiler=" << field("compiler")
+     << " build=" << field("build_type") << " host=" << field("hostname")
+     << " seed=" << field("seed");
+  if (m.has("env") && m.at("env").is_object()) {
+    for (const auto& [key, value] : m.at("env").object) {
+      if (value.is_string()) os << " " << key << "=" << value.string;
+    }
+  }
+  return os.str();
+}
 
 Report parse_report(const std::string& json, const char* which) {
   const JsonValue doc = json_parse(json);
   PSDNS_REQUIRE(doc.is_object(), std::string(which) + " report: not an object");
-  PSDNS_REQUIRE(doc.has("schema_version") &&
-                    doc.at("schema_version").number == 1.0,
+  const double schema =
+      doc.has("schema_version") ? doc.at("schema_version").number : 0.0;
+  PSDNS_REQUIRE(schema == 1.0 || schema == 2.0,
                 std::string(which) + " report: unsupported schema_version");
   Report r;
   r.name = doc.at("name").string;
+  r.manifest = manifest_summary(doc);
   for (const auto& [key, value] : doc.at("metrics").object) {
     if (value.is_number()) r.metrics.emplace_back(key, value.number);
   }
@@ -57,6 +81,8 @@ PerfDiffResult perf_diff(const std::string& baseline_json,
 
   PerfDiffResult result;
   result.name = base.name;
+  result.baseline_manifest = base.manifest;
+  result.current_manifest = cur.manifest;
   for (const auto& [key, baseline] : base.metrics) {
     MetricDelta d;
     d.key = key;
@@ -126,6 +152,47 @@ std::string format_report(const PerfDiffResult& result,
      << " regressed, " << result.improvements << " improved, "
      << result.missing << " missing, " << result.added << " added -> "
      << (result.ok(opts) ? "PASS" : "FAIL") << "\n";
+  if (!result.ok(opts)) {
+    // A regression is only actionable with the provenance of both runs.
+    if (!result.baseline_manifest.empty()) {
+      os << "  baseline run: " << result.baseline_manifest << "\n";
+    }
+    if (!result.current_manifest.empty()) {
+      os << "  current run:  " << result.current_manifest << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string to_json(const PerfDiffResult& result,
+                    const PerfDiffOptions& opts) {
+  std::ostringstream os;
+  os << "{\"name\": " << json_quote(result.name)
+     << ", \"ok\": " << (result.ok(opts) ? "true" : "false")
+     << ", \"regressions\": " << result.regressions
+     << ", \"improvements\": " << result.improvements
+     << ", \"missing\": " << result.missing
+     << ", \"added\": " << result.added << ", \"baseline_manifest\": "
+     << json_quote(result.baseline_manifest)
+     << ", \"current_manifest\": " << json_quote(result.current_manifest)
+     << ", \"metrics\": [";
+  for (std::size_t i = 0; i < result.deltas.size(); ++i) {
+    const MetricDelta& d = result.deltas[i];
+    const char* status = d.missing       ? "missing"
+                         : d.regression  ? "regression"
+                         : d.improvement ? "improvement"
+                                         : "ok";
+    os << (i == 0 ? "" : ", ") << "{\"key\": " << json_quote(d.key)
+       << ", \"baseline\": " << json_number(d.baseline)
+       << ", \"current\": " << json_number(d.current)
+       << ", \"worsening\": " << json_number(d.worsening)
+       << ", \"direction\": "
+       << (d.direction == MetricDirection::HigherIsBetter
+               ? "\"higher_is_better\""
+               : "\"lower_is_better\"")
+       << ", \"status\": \"" << status << "\"}";
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -54,22 +54,33 @@ struct PerfDiffResult {
   int improvements = 0;
   int missing = 0;
   int added = 0;  // in current, absent from baseline (informational)
+  // One-line run-manifest summaries (schema-v2 reports; empty for v1):
+  // printed on regression so "what changed between these two numbers" is
+  // answerable from the gate log alone.
+  std::string baseline_manifest;
+  std::string current_manifest;
 
   bool ok(const PerfDiffOptions& opts = {}) const {
     return regressions == 0 && (!opts.fail_on_missing || missing == 0);
   }
 };
 
-/// Parses two schema-v1 BENCH documents and compares their metrics.
-/// Throws util::Error on malformed JSON or mismatched report names.
+/// Parses two BENCH documents (schema v1 or v2) and compares their
+/// metrics. Throws util::Error on malformed JSON or mismatched names.
 PerfDiffResult perf_diff(const std::string& baseline_json,
                          const std::string& current_json,
                          const PerfDiffOptions& opts = {});
 
 /// Human-readable report: one line per regression/improvement plus a
-/// summary; verbose lists every compared metric.
+/// summary; verbose lists every compared metric. Regressing diffs also
+/// print both run manifests when the reports carry them.
 std::string format_report(const PerfDiffResult& result,
                           const PerfDiffOptions& opts = {},
                           bool verbose = false);
+
+/// Machine-readable result (psdns_perfdiff --json): one JSON object with
+/// the summary counts, both manifest summaries and every delta.
+std::string to_json(const PerfDiffResult& result,
+                    const PerfDiffOptions& opts = {});
 
 }  // namespace psdns::obs

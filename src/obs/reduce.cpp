@@ -1,0 +1,162 @@
+#include "obs/reduce.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace psdns::obs {
+
+namespace {
+
+void merge_value(std::map<std::string, ReducedValue>& out,
+                 const std::string& key, double value, int rank) {
+  auto [it, inserted] = out.try_emplace(key);
+  ReducedValue& v = it->second;
+  if (inserted) {
+    v.sum = v.min = v.max = value;
+    v.min_rank = v.max_rank = rank;
+    v.count = 1;
+    return;
+  }
+  v.sum += value;
+  if (value < v.min) {
+    v.min = value;
+    v.min_rank = rank;
+  }
+  if (value > v.max) {
+    v.max = value;
+    v.max_rank = rank;
+  }
+  ++v.count;
+}
+
+void finalize_means(std::map<std::string, ReducedValue>& out) {
+  for (auto& [key, v] : out) {
+    v.mean = v.count > 0 ? v.sum / v.count : 0.0;
+  }
+}
+
+void write_reduced_map(std::ostringstream& os, const char* section,
+                       const std::map<std::string, ReducedValue>& map) {
+  os << json_quote(section) << ":{";
+  bool first = true;
+  for (const auto& [key, v] : map) {
+    if (!first) os << ",";
+    first = false;
+    os << json_quote(key) << ":{\"sum\":" << json_number(v.sum)
+       << ",\"min\":" << json_number(v.min)
+       << ",\"max\":" << json_number(v.max)
+       << ",\"mean\":" << json_number(v.mean)
+       << ",\"min_rank\":" << v.min_rank << ",\"max_rank\":" << v.max_rank
+       << ",\"count\":" << v.count << "}";
+  }
+  os << "}";
+}
+
+std::map<std::string, ReducedValue> parse_reduced_map(const JsonValue& obj) {
+  std::map<std::string, ReducedValue> out;
+  for (const auto& [key, val] : obj.object) {
+    ReducedValue v;
+    v.sum = val.at("sum").number;
+    v.min = val.at("min").number;
+    v.max = val.at("max").number;
+    v.mean = val.at("mean").number;
+    v.min_rank = static_cast<int>(val.at("min_rank").number);
+    v.max_rank = static_cast<int>(val.at("max_rank").number);
+    v.count = static_cast<int>(val.at("count").number);
+    out.emplace(key, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ReducedSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"step\":" << step << ",\"time\":" << json_number(time)
+     << ",\"ranks\":" << ranks << ",";
+  write_reduced_map(os, "counters", counters);
+  os << ",";
+  write_reduced_map(os, "gauges", gauges);
+  if (!health_verdict.empty()) {
+    os << ",\"health\":{\"verdict\":" << json_quote(health_verdict)
+       << ",\"events\":[";
+    for (std::size_t i = 0; i < health_events.size(); ++i) {
+      os << (i == 0 ? "" : ",") << json_quote(health_events[i]);
+    }
+    os << "]}";
+  }
+  os << "}";
+  return os.str();
+}
+
+ReducedSnapshot ReducedSnapshot::parse(const std::string& json) {
+  const JsonValue doc = json_parse(json);
+  PSDNS_REQUIRE(doc.is_object(), "reduced snapshot is not a JSON object");
+  ReducedSnapshot snap;
+  snap.step = static_cast<std::int64_t>(doc.at("step").number);
+  snap.time = doc.at("time").number;
+  snap.ranks = static_cast<int>(doc.at("ranks").number);
+  snap.counters = parse_reduced_map(doc.at("counters"));
+  snap.gauges = parse_reduced_map(doc.at("gauges"));
+  if (doc.has("health")) {
+    const JsonValue& h = doc.at("health");
+    snap.health_verdict = h.at("verdict").string;
+    for (const auto& e : h.at("events").array) {
+      snap.health_events.push_back(e.string);
+    }
+  }
+  return snap;
+}
+
+const ReducedValue* ReducedSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? nullptr : &it->second;
+}
+
+const ReducedValue* ReducedSnapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? nullptr : &it->second;
+}
+
+std::string serialize_snapshot(const MetricsSnapshot& local) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, value] : local.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << json_quote(key) << ":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, value] : local.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << json_quote(key) << ":" << json_number(value);
+  }
+  os << "}}";
+  return os.str();
+}
+
+ReducedSnapshot merge_snapshots(const std::vector<std::string>& per_rank) {
+  ReducedSnapshot out;
+  out.ranks = static_cast<int>(per_rank.size());
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    const JsonValue doc = json_parse(per_rank[r]);
+    PSDNS_REQUIRE(doc.is_object(), "rank snapshot is not a JSON object");
+    const int rank = static_cast<int>(r);
+    for (const auto& [key, value] : doc.at("counters").object) {
+      merge_value(out.counters, key, value.number, rank);
+    }
+    for (const auto& [key, value] : doc.at("gauges").object) {
+      merge_value(out.gauges, key, value.number, rank);
+    }
+  }
+  finalize_means(out.counters);
+  finalize_means(out.gauges);
+  return out;
+}
+
+}  // namespace psdns::obs

@@ -1,0 +1,120 @@
+#pragma once
+// Cross-rank metric reduction: turns each rank's local MetricsSnapshot
+// into one ReducedSnapshot per step - sum/min/max/mean for every counter
+// and gauge, plus the rank holding the min and max so stragglers are
+// identified by name, not hunted through per-rank dumps. This is the data
+// plane the live metrics endpoint, the step-series JSONL and the health
+// monitor all consume.
+//
+// The reduction is collective and returns the identical ReducedSnapshot
+// on every rank (serialize local -> gather to rank 0 -> merge -> broadcast
+// the merged document), so downstream decisions taken from it - notably
+// the health monitor's abort verdict - are rank-symmetric by construction.
+// Keys are reduced over the ranks that carry them (`count` records how
+// many did): a gauge only rank 0 sets still appears, with count == 1.
+//
+// The communicator is a template parameter rather than a concrete
+// comm::Communicator so obs stays below comm in the layering (comm links
+// obs for its instrumentation); any type with rank()/size()/gather/
+// broadcast/allreduce_max works, which also keeps the merge logic unit-
+// testable without spinning up rank threads.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace psdns::obs {
+
+/// One metric reduced across ranks. min_rank/max_rank identify the
+/// extreme ranks (ties resolve to the lowest rank); count is the number
+/// of ranks that reported the key.
+struct ReducedValue {
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  int min_rank = -1;
+  int max_rank = -1;
+  int count = 0;
+};
+
+/// The per-step cross-rank view: every counter and gauge of the union of
+/// all ranks' snapshots, reduced. Histograms are deliberately not reduced
+/// (their per-rank percentile summaries do not compose); their counts are
+/// visible through the counters they shadow.
+struct ReducedSnapshot {
+  std::int64_t step = -1;
+  double time = 0.0;
+  int ranks = 0;
+  std::map<std::string, ReducedValue> counters;
+  std::map<std::string, ReducedValue> gauges;
+  // Health annotation stamped by the campaign driver (empty = health
+  // monitoring off for this row).
+  std::string health_verdict;
+  std::vector<std::string> health_events;  // event codes fired this step
+
+  /// One JSON object (single line, JSONL-ready):
+  ///   {"step":N,"time":T,"ranks":R,
+  ///    "counters":{name:{sum,min,max,mean,min_rank,max_rank,count}},
+  ///    "gauges":{...}[,"health":{"verdict":v,"events":[...]}]}
+  std::string to_json() const;
+
+  /// Inverse of to_json(); throws util::Error on malformed input.
+  static ReducedSnapshot parse(const std::string& json);
+
+  /// Convenience lookups; nullptr when the key is absent.
+  const ReducedValue* counter(const std::string& name) const;
+  const ReducedValue* gauge(const std::string& name) const;
+};
+
+/// Serializes one rank's local snapshot for the gather leg.
+std::string serialize_snapshot(const MetricsSnapshot& local);
+
+/// Merges the per-rank serialized snapshots (index = rank) into the
+/// reduced view. Pure function - the collective wrapper below and the
+/// unit tests share it.
+ReducedSnapshot merge_snapshots(const std::vector<std::string>& per_rank);
+
+/// Collective reduction over `comm` (all of rank()/size()/gather/
+/// broadcast/allreduce_max in comm::Communicator's shapes). Every rank
+/// receives the same ReducedSnapshot; step/time are stamped by the
+/// caller afterwards.
+template <class Comm>
+ReducedSnapshot reduce_metrics(Comm& comm, const MetricsSnapshot& local) {
+  std::string blob = serialize_snapshot(local);
+  // Pad every rank's blob to the group max so gather can move fixed-size
+  // blocks; true lengths travel alongside.
+  std::uint64_t len = blob.size();
+  const std::uint64_t max_len = comm.allreduce_max(len);
+  blob.resize(max_len, ' ');
+  const int nranks = comm.size();
+  std::vector<char> gathered;
+  std::vector<std::uint64_t> lens(static_cast<std::size_t>(nranks), 0);
+  if (comm.rank() == 0) {
+    gathered.resize(max_len * static_cast<std::uint64_t>(nranks));
+  }
+  comm.gather(blob.data(), comm.rank() == 0 ? gathered.data() : nullptr,
+              max_len, 0);
+  comm.gather(&len, comm.rank() == 0 ? lens.data() : nullptr, 1, 0);
+
+  std::string reduced_blob;
+  if (comm.rank() == 0) {
+    std::vector<std::string> per_rank(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      per_rank[static_cast<std::size_t>(r)].assign(
+          gathered.data() + static_cast<std::uint64_t>(r) * max_len,
+          lens[static_cast<std::size_t>(r)]);
+    }
+    reduced_blob = merge_snapshots(per_rank).to_json();
+  }
+  std::uint64_t reduced_len = reduced_blob.size();
+  comm.broadcast(&reduced_len, 1, 0);
+  reduced_blob.resize(reduced_len, ' ');
+  comm.broadcast(reduced_blob.data(), reduced_len, 0);
+  return ReducedSnapshot::parse(reduced_blob);
+}
+
+}  // namespace psdns::obs

@@ -37,6 +37,10 @@ struct TraceState {
   // broadcast-shaped flow can fan out to several consumers.
   std::unordered_map<FlowId, SpanId> pending;
   std::vector<FlowEdge> edges;
+  // Counter tracks (trace_counter). Bounded; overflow counts as dropped.
+  std::vector<CounterSample> counters;
+  std::int64_t counters_dropped = 0;
+  static constexpr std::size_t kCounterCap = 1 << 20;
   std::atomic<std::uint64_t> next_span{1};
   std::atomic<std::uint64_t> next_flow{1};
 };
@@ -132,6 +136,8 @@ void set_tracing(bool on) {
     st.rings.clear();
     st.pending.clear();
     st.edges.clear();
+    st.counters.clear();
+    st.counters_dropped = 0;
     ++st.epoch;
     st.origin.reset();
   }
@@ -194,6 +200,8 @@ SpanTrace collect_trace() {
     std::lock_guard lock(st.mutex);
     rings = st.rings;
     out.edges = st.edges;
+    out.counters = st.counters;
+    out.dropped += st.counters_dropped;
   }
   for (const auto& ring : rings) {
     std::lock_guard lock(ring->mutex);
@@ -220,6 +228,8 @@ void clear_trace() {
   st.rings.clear();
   st.pending.clear();
   st.edges.clear();
+  st.counters.clear();
+  st.counters_dropped = 0;
   ++st.epoch;
 }
 
@@ -265,6 +275,22 @@ void flow_consume(FlowId flow) {
   const auto it = st.pending.find(flow);
   if (it == st.pending.end() || it->second == dst) return;
   st.edges.push_back(FlowEdge{flow, it->second, dst});
+}
+
+void trace_counter(std::string_view name, double value) {
+  if (!tracing()) return;
+  auto& st = trace_state();
+  CounterSample sample;
+  sample.name = std::string(name);
+  sample.rank = rank_tag();
+  sample.t_s = st.origin.seconds();
+  sample.value = value;
+  std::lock_guard lock(st.mutex);
+  if (st.counters.size() >= TraceState::kCounterCap) {
+    ++st.counters_dropped;
+    return;
+  }
+  st.counters.push_back(std::move(sample));
 }
 
 TraceSpan::TraceSpan(std::string_view name, SpanKind kind) {

@@ -61,9 +61,20 @@ struct FlowEdge {
   SpanId dst = 0;
 };
 
+/// One sample of a numeric counter track (Chrome trace ph "C"): per-step
+/// gauges like overlap efficiency or arena residency plotted alongside
+/// the span lanes.
+struct CounterSample {
+  std::string name;
+  int rank = -1;       // obs::rank_tag() of the sampling thread
+  double t_s = 0.0;    // seconds since tracing was (re)enabled
+  double value = 0.0;
+};
+
 struct SpanTrace {
   std::vector<SpanRecord> spans;  // sorted by start time
   std::vector<FlowEdge> edges;
+  std::vector<CounterSample> counters;  // in sampling order
   std::int64_t dropped = 0;       // spans lost to ring-buffer wrap
 };
 
@@ -110,6 +121,11 @@ void flow_emit(FlowId flow);
 /// that was never emitted is a silent no-op (the producer's ring may have
 /// wrapped, or its site may not be instrumented).
 void flow_consume(FlowId flow);
+
+/// Samples a counter track at the current trace time. No-op (one relaxed
+/// atomic load) while tracing is off; samples beyond the per-trace cap
+/// (1M) are counted into SpanTrace::dropped.
+void trace_counter(std::string_view name, double value);
 
 /// RAII span. Cheap when tracing is off (no allocation, no lock): the
 /// name is only copied into owned storage after the tracing gate passes.

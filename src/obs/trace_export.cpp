@@ -37,6 +37,19 @@ void append_complete_event(std::ostringstream& os,
   first = false;
 }
 
+/// Counter-track sample (ph "C"): Perfetto renders each distinct name as
+/// a stacked-area track alongside the span lanes.
+void append_counter_event(std::ostringstream& os,
+                          const ChromeTraceOptions& opt,
+                          const std::string& name, int pid, double ts_s,
+                          double value, bool& first) {
+  os << (first ? "" : ",\n") << "{\"name\":" << json_quote(name)
+     << ",\"ph\":\"C\",\"ts\":" << json_number(ts_s * opt.seconds_to_us)
+     << ",\"pid\":" << pid << ",\"tid\":0,\"args\":{\"value\":"
+     << json_number(value) << "}}";
+  first = false;
+}
+
 /// One half of a Chrome flow-event pair ("s" start / "f" finish).
 void append_flow_event(std::ostringstream& os, const ChromeTraceOptions& opt,
                        const char* phase, std::uint64_t id, int pid, int tid,
@@ -199,6 +212,12 @@ std::string to_chrome_trace(const SpanTrace& trace,
                       src->second->thread, src->second->end_s, first);
     append_flow_event(os, options, "f", flow_seq, pid_of(dst->second->rank),
                       dst->second->thread, dst->second->start_s, first);
+  }
+  // Per-step gauge samples as counter tracks, grouped under the process
+  // of the rank that sampled them (untagged samples under the base pid).
+  for (const auto& c : trace.counters) {
+    append_counter_event(os, options, c.name, pid_of(c.rank), c.t_s,
+                         c.value, first);
   }
   os << "\n]\n";
   return os.str();

@@ -8,6 +8,7 @@
 #include "obs/critical_path.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "sim/dag.hpp"
 #include "sim/engine.hpp"
 #include "sim/flow_network.hpp"
@@ -349,6 +350,10 @@ StepResult DnsStepModel::simulate_gpu_step(const PipelineConfig& cfg) const {
   reg.gauge_set("pipeline.last_step.critpath.comm", attrib.comm);
   reg.gauge_set("pipeline.last_step.critpath.transfer", attrib.transfer);
   reg.gauge_set("pipeline.last_step.critpath.idle", attrib.idle);
+  obs::trace_counter("pipeline.overlap_efficiency",
+                     result.overlap_efficiency);
+  obs::trace_counter("pipeline.step_seconds", result.seconds);
+  obs::trace_counter("pipeline.exposed_traffic", overlap.exposed);
   obs::log_event(obs::LogLevel::Debug, "pipeline", "gpu step simulated",
                  {{"n", cfg.n},
                   {"nodes", cfg.nodes},

@@ -549,15 +549,32 @@ TEST(BenchReport, JsonSchemaAndDedup) {
   report.metric("alpha", 1.0);
   report.metric("alpha", 2.0);  // last write wins
   report.metric("beta.sub", -0.25);
+  report.seed(42);
 
   const auto v = json_parse(report.to_json());
   EXPECT_EQ(v.at("name").string, "unit_test");
-  EXPECT_DOUBLE_EQ(v.at("schema_version").number, 1.0);
+  EXPECT_DOUBLE_EQ(v.at("schema_version").number, 2.0);
   EXPECT_TRUE(v.at("git_sha").is_string());
   EXPECT_FALSE(v.at("git_sha").string.empty());
   EXPECT_EQ(v.at("metadata").at("description").string, "schema check");
   EXPECT_DOUBLE_EQ(v.at("metrics").at("alpha").number, 2.0);
   EXPECT_DOUBLE_EQ(v.at("metrics").at("beta.sub").number, -0.25);
+}
+
+TEST(BenchReport, ManifestCarriesProvenance) {
+  ASSERT_EQ(setenv("PSDNS_MANIFEST_PROBE", "on", 1), 0);
+  BenchReport report("manifest_test");
+  report.seed(1234);
+  unsetenv("PSDNS_MANIFEST_PROBE");
+
+  const auto v = json_parse(report.to_json());
+  const auto& m = v.at("manifest");
+  EXPECT_EQ(m.at("git_sha").string, v.at("git_sha").string);
+  EXPECT_FALSE(m.at("compiler").string.empty());
+  EXPECT_FALSE(m.at("hostname").string.empty());
+  EXPECT_EQ(m.at("seed").string, "1234");
+  // Every PSDNS_* variable in effect at collection is recorded.
+  EXPECT_EQ(m.at("env").at("PSDNS_MANIFEST_PROBE").string, "on");
 }
 
 TEST(BenchReport, WritesToBenchDir) {

@@ -248,7 +248,8 @@ TEST(Hooks, AlltoallBitFlipCorruptsReceivedPayload) {
     int send = 7;
     int recv = 0;
     comm.alltoall(&send, &recv, 1);
-    EXPECT_EQ(recv, 6);  // low bit of the first byte flipped
+    // Bit 0x40 of the top byte flipped: 7 | 0x40000000 (little-endian).
+    EXPECT_EQ(recv, 7 + 0x40000000);
     comm.alltoall(&send, &recv, 1);
     EXPECT_EQ(recv, 7);  // one-shot
   });

@@ -508,6 +508,40 @@ TEST(PerfDiffTest, FormatReportMentionsRegressions) {
   const std::string text = obs::format_report(result, {});
   EXPECT_NE(text.find("step_seconds.case"), std::string::npos);
   EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  // A regressing diff also prints both run manifests (schema-v2 reports
+  // embed them), so the gate log answers "what changed between runs".
+  EXPECT_NE(text.find("baseline run: sha="), std::string::npos);
+  EXPECT_NE(text.find("current run:  sha="), std::string::npos);
+}
+
+TEST(PerfDiffTest, SchemaV1BaselineStillCompares) {
+  // Committed baselines predate the manifest; they carry no manifest and
+  // schema_version 1, and must keep diffing against v2 reports.
+  const std::string v1 =
+      "{\"name\": \"demo\", \"schema_version\": 1, \"git_sha\": \"x\","
+      " \"metadata\": {}, \"metrics\": {\"step_seconds.case\": 10.0}}";
+  const auto curr = report_json({{"step_seconds.case", 10.1}});
+  const auto result = obs::perf_diff(v1, curr);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.baseline_manifest.empty());
+  EXPECT_FALSE(result.current_manifest.empty());
+}
+
+TEST(PerfDiffTest, JsonOutputIsMachineReadable) {
+  const auto base = report_json({{"step_seconds.case", 10.0}});
+  const auto curr = report_json({{"step_seconds.case", 13.0}});
+  const auto result = obs::perf_diff(base, curr);
+  const auto doc = obs::json_parse(obs::to_json(result));
+  EXPECT_EQ(doc.at("name").string, "demo");
+  EXPECT_FALSE(doc.at("ok").boolean);
+  EXPECT_DOUBLE_EQ(doc.at("regressions").number, 1.0);
+  ASSERT_EQ(doc.at("metrics").array.size(), 1u);
+  const auto& d = doc.at("metrics").array[0];
+  EXPECT_EQ(d.at("key").string, "step_seconds.case");
+  EXPECT_EQ(d.at("status").string, "regression");
+  EXPECT_NEAR(d.at("worsening").number, 0.3, 1e-12);
+  EXPECT_NE(doc.at("current_manifest").string.find("sha="),
+            std::string::npos);
 }
 
 TEST(PerfDiffTest, DirectionInference) {

@@ -9,6 +9,8 @@
 // no metric regresses, 1 on regression (or missing metric/report), 2 on
 // usage/parse errors. --warn-only reports but always exits 0, for noisy
 // wall-clock benches where the gate should annotate rather than block.
+// --json replaces the text report with one JSON array of per-pair results
+// (obs::to_json) on stdout, for tooling that consumes the gate's verdict.
 
 #include <algorithm>
 #include <cstdio>
@@ -52,7 +54,7 @@ int usage() {
       stderr,
       "usage: psdns_perfdiff --baseline=<file|dir> --current=<file|dir>\n"
       "       [--threshold=0.05] [--abs-floor=1e-6] [--warn-only]\n"
-      "       [--allow-missing] [--verbose]\n");
+      "       [--allow-missing] [--verbose] [--json]\n");
   return 2;
 }
 
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
   opts.fail_on_missing = !cli.get_bool("allow-missing", false);
   const bool warn_only = cli.get_bool("warn-only", false);
   const bool verbose = cli.get_bool("verbose", false);
+  const bool json = cli.get_bool("json", false);
 
   // Pair up (baseline, current) file paths.
   std::vector<std::pair<std::string, std::string>> pairs;
@@ -92,16 +95,27 @@ int main(int argc, char** argv) {
   }
 
   bool any_regression = false;
+  std::vector<std::string> json_rows;
   for (const auto& [bpath, cpath] : pairs) {
     if (!fs::exists(cpath)) {
-      std::printf("%s: MISSING current report %s\n", bpath.c_str(),
-                  cpath.c_str());
+      if (json) {
+        json_rows.push_back("{\"baseline\": \"" + bpath +
+                            "\", \"ok\": false, \"error\": "
+                            "\"missing current report\"}");
+      } else {
+        std::printf("%s: MISSING current report %s\n", bpath.c_str(),
+                    cpath.c_str());
+      }
       any_regression = true;
       continue;
     }
     try {
       const auto result = obs::perf_diff(slurp(bpath), slurp(cpath), opts);
-      std::printf("%s", obs::format_report(result, opts, verbose).c_str());
+      if (json) {
+        json_rows.push_back(obs::to_json(result, opts));
+      } else {
+        std::printf("%s", obs::format_report(result, opts, verbose).c_str());
+      }
       if (!result.ok(opts)) any_regression = true;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "psdns_perfdiff: %s vs %s: %s\n", bpath.c_str(),
@@ -110,8 +124,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : ", ", json_rows[i].c_str());
+    }
+    std::printf("]\n");
+  }
   if (any_regression && warn_only) {
-    std::printf("perfdiff: regressions found (warn-only, not failing)\n");
+    if (!json) {
+      std::printf("perfdiff: regressions found (warn-only, not failing)\n");
+    }
     return 0;
   }
   return any_regression ? 1 : 0;
