@@ -10,6 +10,7 @@
 #include "fft/real.hpp"
 #include "gbench_main.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -114,6 +115,34 @@ void BM_BatchedLines(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n));
 }
 BENCHMARK(BM_BatchedLines)->Arg(64)->Arg(256)->Arg(1024);
+
+// Worker-pool scaling of the batched path: same plane of lines as
+// BM_BatchedLines, swept over pool widths. The pool is resized outside the
+// timing loop and restored afterwards so the other benches keep running at
+// the PSDNS_THREADS-configured width.
+void BM_BatchedLinesThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  auto& pool = psdns::util::ThreadPool::global();
+  const int prev = pool.threads();
+  pool.set_threads(threads);
+  const auto plan = psdns::fft::get_plan(n);
+  psdns::util::Rng rng(6);
+  std::vector<Complex> x(n * n);
+  for (auto& c : x) c = Complex{rng.gaussian(), rng.gaussian()};
+  const BatchLayout layout{.count = n, .stride = n, .dist = 1};
+  for (auto _ : state) {
+    plan->transform_batch(Direction::Forward, x.data(), x.data(), layout);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n));
+  pool.set_threads(prev);
+}
+BENCHMARK(BM_BatchedLinesThreads)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4});
 
 void BM_Fft3dR2C(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

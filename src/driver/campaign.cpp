@@ -11,6 +11,7 @@
 #include "obs/log.hpp"
 #include "obs/metric_series.hpp"
 #include "obs/metrics_server.hpp"
+#include "obs/pool_metrics.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
@@ -229,6 +230,7 @@ CampaignResult run_campaign(comm::Communicator& comm,
       reg.gauge_set("driver.cfl_dt", cfl_dt);
       reg.gauge_set("driver.sim_time", solver.time());
       reg.observe("driver.step.wall_seconds", wall);
+      obs::publish_pool_metrics(reg);
     }
 
     rank_metrics.counter_add("rank.steps");

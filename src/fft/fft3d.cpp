@@ -6,6 +6,7 @@
 #include "fft/real.hpp"
 #include "obs/registry.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::fft {
 
@@ -43,11 +44,16 @@ void fft3d_c2c(Direction dir, const Shape3& shape, Complex* data) {
   }
   {
     obs::ScopedTimer timer("fft3d.c2c.y");
-    for (std::size_t k = 0; k < nz; ++k) {
-      Complex* base = data + nx * ny * k;
-      py->transform_batch(dir, base, base,
-                          BatchLayout{.count = nx, .stride = nx, .dist = 1});
-    }
+    // z-planes are disjoint, so they stripe across the worker pool; the
+    // per-plane transform_batch runs inline inside a stripe (nested
+    // parallel_for executes on the calling thread).
+    util::ThreadPool::global().parallel_for(
+        "fft.3d.y", 0, nz, [&](std::size_t k) {
+          Complex* base = data + nx * ny * k;
+          py->transform_batch(
+              dir, base, base,
+              BatchLayout{.count = nx, .stride = nx, .dist = 1});
+        });
   }
   {
     obs::ScopedTimer timer("fft3d.c2c.z");
@@ -70,11 +76,13 @@ void fft3d_r2c(const Shape3& shape, const Real* in, Complex* out) {
   }
   {
     obs::ScopedTimer timer("fft3d.r2c.y");
-    for (std::size_t k = 0; k < nz; ++k) {
-      Complex* base = out + nxh * ny * k;
-      py->transform_batch(Direction::Forward, base, base,
-                          BatchLayout{.count = nxh, .stride = nxh, .dist = 1});
-    }
+    util::ThreadPool::global().parallel_for(
+        "fft.3d.y", 0, nz, [&](std::size_t k) {
+          Complex* base = out + nxh * ny * k;
+          py->transform_batch(
+              Direction::Forward, base, base,
+              BatchLayout{.count = nxh, .stride = nxh, .dist = 1});
+        });
   }
   {
     obs::ScopedTimer timer("fft3d.r2c.z");
@@ -103,11 +111,13 @@ void fft3d_c2r(const Shape3& shape, const Complex* in, Real* out) {
   }
   {
     obs::ScopedTimer timer("fft3d.c2r.y");
-    for (std::size_t k = 0; k < nz; ++k) {
-      Complex* base = work.data() + nxh * ny * k;
-      py->transform_batch(Direction::Inverse, base, base,
-                          BatchLayout{.count = nxh, .stride = nxh, .dist = 1});
-    }
+    util::ThreadPool::global().parallel_for(
+        "fft.3d.y", 0, nz, [&](std::size_t k) {
+          Complex* base = work.data() + nxh * ny * k;
+          py->transform_batch(
+              Direction::Inverse, base, base,
+              BatchLayout{.count = nxh, .stride = nxh, .dist = 1});
+        });
   }
   {
     obs::ScopedTimer timer("fft3d.c2r.x");

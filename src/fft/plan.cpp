@@ -14,6 +14,7 @@
 #include "obs/registry.hpp"
 #include "util/arena.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::fft {
 
@@ -55,10 +56,11 @@ util::WorkspaceArena::Handle<Complex>& batch_scratch(std::size_t n) {
 }  // namespace
 
 std::size_t batch_block_lines(std::size_t n) {
-  // 256 KiB per staging buffer (two are live at once), at least 8 lines so
-  // the inner batch loop fills a vector register, at most 64 so the gather
-  // touches a bounded set of cache lines per column.
-  constexpr std::size_t kBlockBytes = std::size_t{1} << 18;
+  // 512 KiB per staging buffer (two are live at once, comfortably inside a
+  // 2 MiB L2), at least 8 lines so the inner batch loop fills a vector
+  // register, at most 64 so the gather touches a bounded set of cache lines
+  // per column.
+  constexpr std::size_t kBlockBytes = std::size_t{1} << 19;
   const std::size_t lines =
       kBlockBytes / (sizeof(Complex) * std::max<std::size_t>(n, 1));
   return std::clamp<std::size_t>(lines, 8, 64);
@@ -133,31 +135,45 @@ void PlanC2C::transform_batch(Direction dir, const Complex* in, Complex* out,
 
   const StockhamEngine& eng = *impl_->stockham;
   const std::size_t bmax = batch_block_lines(n_);
-  auto& buf = batch_scratch(2 * bmax * n_);
-  Complex* stage0 = buf.data();
-  Complex* stage1 = buf.data() + bmax * n_;
+  const std::size_t blocks = (layout.count + bmax - 1) / bmax;
 
-  std::size_t blocks = 0;
-  for (std::size_t b0 = 0; b0 < layout.count; b0 += bmax, ++blocks) {
-    const std::size_t nb = std::min(bmax, layout.count - b0);
-    // Blocked gather: column j of the staging buffer holds element j of all
-    // nb lines, so the write side is always unit-stride and, for the common
-    // dist == 1 plane layouts, the read side streams whole cache lines.
-    Complex* gbuf = eng.prefers_work_input() ? stage1 : stage0;
-    const Complex* src = in + b0 * dist;
-    for (std::size_t j = 0; j < n_; ++j) {
-      const Complex* col = src + j * layout.stride;
-      Complex* dst = gbuf + j * nb;
-      for (std::size_t b = 0; b < nb; ++b) dst[b] = col[b * dist];
-    }
-    eng.execute_batch(dir, stage0, stage1, nb);
-    Complex* obase = out + b0 * dist;
-    for (std::size_t j = 0; j < n_; ++j) {
-      const Complex* srcj = stage0 + j * nb;
-      Complex* col = obase + j * layout.stride;
-      for (std::size_t b = 0; b < nb; ++b) col[b * dist] = srcj[b];
-    }
-  }
+  // Blocks are independent (disjoint line ranges, per-thread staging), so
+  // they stripe across the worker pool; each executing thread checks out
+  // its own thread_local ping-pong buffers. The block partition is fixed by
+  // bmax alone, so results are bitwise identical at any thread count.
+  util::ThreadPool::global().parallel_for(
+      "fft.c2c.batch", 0, blocks, [&](std::size_t blk) {
+        const std::size_t b0 = blk * bmax;
+        const std::size_t nb = std::min(bmax, layout.count - b0);
+        auto& buf = batch_scratch(2 * bmax * n_);
+        Complex* stage0 = buf.data();
+        Complex* stage1 = buf.data() + bmax * n_;
+        if (dist == 1) {
+          // Plane layout: line b's element j already sits at
+          // in[b + j*stride], which is exactly the pitched row layout the
+          // first and last Stockham stages can stream directly — neither a
+          // gather nor a scatter pass touches the block.
+          eng.execute_batch_plane(dir, in + b0, layout.stride, out + b0,
+                                  layout.stride, stage0, stage1, nb);
+          return;
+        }
+        // Blocked gather: column j of the staging buffer holds element j
+        // of all nb lines, so the write side is always unit-stride.
+        Complex* gbuf = eng.prefers_work_input() ? stage1 : stage0;
+        const Complex* src = in + b0 * dist;
+        for (std::size_t j = 0; j < n_; ++j) {
+          const Complex* col = src + j * layout.stride;
+          Complex* dst = gbuf + j * nb;
+          for (std::size_t b = 0; b < nb; ++b) dst[b] = col[b * dist];
+        }
+        eng.execute_batch(dir, stage0, stage1, nb);
+        Complex* obase = out + b0 * dist;
+        for (std::size_t j = 0; j < n_; ++j) {
+          const Complex* srcj = stage0 + j * nb;
+          Complex* col = obase + j * layout.stride;
+          for (std::size_t b = 0; b < nb; ++b) col[b * dist] = srcj[b];
+        }
+      });
 
   auto& reg = obs::registry();
   reg.counter_add("fft.stockham.batches", static_cast<std::int64_t>(blocks));

@@ -12,6 +12,7 @@
 #include "obs/registry.hpp"
 #include "util/arena.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::fft {
 
@@ -135,39 +136,47 @@ void PlanR2C::forward_batch(const Real* in, std::size_t in_dist, Complex* out,
 
   const std::size_t h = n_ / 2;
   const std::size_t bmax = batch_block_lines(h);
-  Complex* stage0 = batch_scratch(0, bmax * std::max<std::size_t>(h, 1)).data();
-  Complex* stage1 = batch_scratch(1, bmax * std::max<std::size_t>(h, 1)).data();
+  const std::size_t blocks = (count + bmax - 1) / bmax;
 
-  for (std::size_t b0 = 0; b0 < count; b0 += bmax) {
-    const std::size_t nb = std::min(bmax, count - b0);
-    // Pack adjacent real pairs of every line, batch-innermost.
-    Complex* gbuf = eng->prefers_work_input() ? stage1 : stage0;
-    for (std::size_t j = 0; j < h; ++j) {
-      const Real* col = in + b0 * in_dist + 2 * j;
-      Complex* dst = gbuf + j * nb;
-      for (std::size_t b = 0; b < nb; ++b) {
-        dst[b] = Complex{col[b * in_dist], col[b * in_dist + 1]};
-      }
-    }
-    eng->execute_batch(Direction::Forward, stage0, stage1, nb);
-    // Unravel X[k] = A[k] + w^k B[k] across the batch; the zk/zmk columns
-    // are contiguous nb-wide runs of the staging buffer.
-    for (std::size_t k = 0; k <= h; ++k) {
-      const Complex w = omega_[k];
-      const Complex* zkc = stage0 + (k == h ? 0 : k) * nb;
-      const Complex* zmc = stage0 + ((h - k) % h) * nb;
-      Complex* dst = out + b0 * out_dist + k;
-      for (std::size_t b = 0; b < nb; ++b) {
-        const double zkr = zkc[b].real(), zki = zkc[b].imag();
-        const double zmr = zmc[b].real(), zmi = -zmc[b].imag();
-        const double ar = 0.5 * (zkr + zmr), ai = 0.5 * (zki + zmi);
-        // (zk - zmk) / (2i) == (zk - zmk) * (-i/2)
-        const double br = 0.5 * (zki - zmi), bi = -0.5 * (zkr - zmr);
-        dst[b * out_dist] = Complex{ar + br * w.real() - bi * w.imag(),
-                                    ai + br * w.imag() + bi * w.real()};
-      }
-    }
-  }
+  // Blocks stripe across the worker pool; per-thread staging keeps them
+  // independent and the fixed bmax partition keeps results bitwise identical
+  // at any thread count (see PlanC2C::transform_batch).
+  util::ThreadPool::global().parallel_for(
+      "fft.r2c.batch", 0, blocks, [&](std::size_t blk) {
+        const std::size_t b0 = blk * bmax;
+        const std::size_t nb = std::min(bmax, count - b0);
+        Complex* stage0 =
+            batch_scratch(0, bmax * std::max<std::size_t>(h, 1)).data();
+        Complex* stage1 =
+            batch_scratch(1, bmax * std::max<std::size_t>(h, 1)).data();
+        // Pack adjacent real pairs of every line, batch-innermost.
+        Complex* gbuf = eng->prefers_work_input() ? stage1 : stage0;
+        for (std::size_t j = 0; j < h; ++j) {
+          const Real* col = in + b0 * in_dist + 2 * j;
+          Complex* dst = gbuf + j * nb;
+          for (std::size_t b = 0; b < nb; ++b) {
+            dst[b] = Complex{col[b * in_dist], col[b * in_dist + 1]};
+          }
+        }
+        eng->execute_batch(Direction::Forward, stage0, stage1, nb);
+        // Unravel X[k] = A[k] + w^k B[k] across the batch; the zk/zmk
+        // columns are contiguous nb-wide runs of the staging buffer.
+        for (std::size_t k = 0; k <= h; ++k) {
+          const Complex w = omega_[k];
+          const Complex* zkc = stage0 + (k == h ? 0 : k) * nb;
+          const Complex* zmc = stage0 + ((h - k) % h) * nb;
+          Complex* dst = out + b0 * out_dist + k;
+          for (std::size_t b = 0; b < nb; ++b) {
+            const double zkr = zkc[b].real(), zki = zkc[b].imag();
+            const double zmr = zmc[b].real(), zmi = -zmc[b].imag();
+            const double ar = 0.5 * (zkr + zmr), ai = 0.5 * (zki + zmi);
+            // (zk - zmk) / (2i) == (zk - zmk) * (-i/2)
+            const double br = 0.5 * (zki - zmi), bi = -0.5 * (zkr - zmr);
+            dst[b * out_dist] = Complex{ar + br * w.real() - bi * w.imag(),
+                                        ai + br * w.imag() + bi * w.real()};
+          }
+        }
+      });
 }
 
 void PlanR2C::inverse_batch(const Complex* in, std::size_t in_dist, Real* out,
@@ -182,43 +191,48 @@ void PlanR2C::inverse_batch(const Complex* in, std::size_t in_dist, Real* out,
 
   const std::size_t h = n_ / 2;
   const std::size_t bmax = batch_block_lines(h);
-  Complex* stage0 = batch_scratch(0, bmax * std::max<std::size_t>(h, 1)).data();
-  Complex* stage1 = batch_scratch(1, bmax * std::max<std::size_t>(h, 1)).data();
+  const std::size_t blocks = (count + bmax - 1) / bmax;
 
-  for (std::size_t b0 = 0; b0 < count; b0 += bmax) {
-    const std::size_t nb = std::min(bmax, count - b0);
-    // Recover the packed half-length spectrum Z[k] = A[k] + i*B[k].
-    Complex* gbuf = eng->prefers_work_input() ? stage1 : stage0;
-    for (std::size_t k = 0; k < h; ++k) {
-      const Complex wb = std::conj(omega_[k]);
-      const Complex* xkc = in + b0 * in_dist + k;
-      const Complex* xmc = in + b0 * in_dist + (h - k);
-      Complex* dst = gbuf + k * nb;
-      for (std::size_t b = 0; b < nb; ++b) {
-        const double xkr = xkc[b * in_dist].real();
-        const double xki = xkc[b * in_dist].imag();
-        const double xmr = xmc[b * in_dist].real();
-        const double xmi = -xmc[b * in_dist].imag();
-        const double ar = 0.5 * (xkr + xmr), ai = 0.5 * (xki + xmi);
-        const double dr = 0.5 * (xkr - xmr), di = 0.5 * (xki - xmi);
-        const double br = dr * wb.real() - di * wb.imag();
-        const double bi = dr * wb.imag() + di * wb.real();
-        // Z = a + i*b
-        dst[b] = Complex{ar - bi, ai + br};
-      }
-    }
-    eng->execute_batch(Direction::Inverse, stage0, stage1, nb);
-    // The half-length unnormalized inverse carries a factor h; the c2r
-    // convention wants n = 2h, hence the factor 2.
-    for (std::size_t j = 0; j < h; ++j) {
-      const Complex* src = stage0 + j * nb;
-      Real* col = out + b0 * out_dist + 2 * j;
-      for (std::size_t b = 0; b < nb; ++b) {
-        col[b * out_dist] = 2.0 * src[b].real();
-        col[b * out_dist + 1] = 2.0 * src[b].imag();
-      }
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      "fft.r2c.batch", 0, blocks, [&](std::size_t blk) {
+        const std::size_t b0 = blk * bmax;
+        const std::size_t nb = std::min(bmax, count - b0);
+        Complex* stage0 =
+            batch_scratch(0, bmax * std::max<std::size_t>(h, 1)).data();
+        Complex* stage1 =
+            batch_scratch(1, bmax * std::max<std::size_t>(h, 1)).data();
+        // Recover the packed half-length spectrum Z[k] = A[k] + i*B[k].
+        Complex* gbuf = eng->prefers_work_input() ? stage1 : stage0;
+        for (std::size_t k = 0; k < h; ++k) {
+          const Complex wb = std::conj(omega_[k]);
+          const Complex* xkc = in + b0 * in_dist + k;
+          const Complex* xmc = in + b0 * in_dist + (h - k);
+          Complex* dst = gbuf + k * nb;
+          for (std::size_t b = 0; b < nb; ++b) {
+            const double xkr = xkc[b * in_dist].real();
+            const double xki = xkc[b * in_dist].imag();
+            const double xmr = xmc[b * in_dist].real();
+            const double xmi = -xmc[b * in_dist].imag();
+            const double ar = 0.5 * (xkr + xmr), ai = 0.5 * (xki + xmi);
+            const double dr = 0.5 * (xkr - xmr), di = 0.5 * (xki - xmi);
+            const double br = dr * wb.real() - di * wb.imag();
+            const double bi = dr * wb.imag() + di * wb.real();
+            // Z = a + i*b
+            dst[b] = Complex{ar - bi, ai + br};
+          }
+        }
+        eng->execute_batch(Direction::Inverse, stage0, stage1, nb);
+        // The half-length unnormalized inverse carries a factor h; the c2r
+        // convention wants n = 2h, hence the factor 2.
+        for (std::size_t j = 0; j < h; ++j) {
+          const Complex* src = stage0 + j * nb;
+          Real* col = out + b0 * out_dist + 2 * j;
+          for (std::size_t b = 0; b < nb; ++b) {
+            col[b * out_dist] = 2.0 * src[b].real();
+            col[b * out_dist + 1] = 2.0 * src[b].imag();
+          }
+        }
+      });
 }
 
 std::shared_ptr<const PlanR2C> get_plan_r2c(std::size_t n) {

@@ -1,30 +1,67 @@
 #include "fft/stockham.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "fft/factor.hpp"
+#include "fft/stockham_kernels.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace psdns::fft {
 
 namespace {
 
-// Twiddles are stored in the forward (exp(-i)) convention; the inverse
-// transform conjugates them outside the batch loops.
-inline Complex pick(bool inverse, Complex w) {
-  return inverse ? Complex{w.real(), -w.imag()} : w;
+using StageFn = void (*)(const StockhamStage&, const Complex*, const Complex*,
+                         bool, std::size_t, std::size_t, std::size_t,
+                         const Complex*, Complex*);
+using TailFn = void (*)(const StockhamStage&, const Complex*, const Complex*,
+                        bool, std::size_t, std::size_t, std::size_t,
+                        std::size_t, const Complex*, Complex*);
+
+// One backend per execute: all stages of a transform run the same kernel,
+// so scalar and SIMD runs are comparable stage by stage.
+StageFn pick_stage_fn() {
+#if defined(PSDNS_HAVE_AVX2)
+  if (util::simd::active_backend() == util::simd::Backend::Avx2) {
+    return &detail::run_stage_avx2;
+  }
+#endif
+  return &detail::run_stage_scalar;
 }
 
-// y[q] = x[q] * w, spelled out in real arithmetic so the compiler emits
-// straight-line vector code (std::complex operator* carries NaN-recovery
-// branches that block vectorization).
-inline Complex cmul(Complex x, double wr, double wi) {
-  const double xr = x.real(), xi = x.imag();
-  return Complex{xr * wr - xi * wi, xr * wi + xi * wr};
+TailFn pick_tail_fn() {
+#if defined(PSDNS_HAVE_AVX2)
+  if (util::simd::active_backend() == util::simd::Backend::Avx2) {
+    return &detail::run_stage_tail_avx2;
+  }
+#endif
+  return &detail::run_stage_tail_scalar;
 }
 
 }  // namespace
+
+namespace detail {
+
+void run_stage_scalar(const StockhamStage& st, const Complex* tw,
+                      const Complex* mat, bool inverse, std::size_t s,
+                      std::size_t xs, std::size_t ys, const Complex* x,
+                      Complex* y) {
+  run_stage_impl<util::simd::ScalarPack>(st, tw, mat, inverse, s, xs, ys, x,
+                                         y);
+}
+
+void run_stage_tail_scalar(const StockhamStage& st, const Complex* tw,
+                           const Complex* mat, bool inverse, std::size_t nb,
+                           std::size_t nchunks, std::size_t xs,
+                           std::size_t out_stride, const Complex* x,
+                           Complex* y) {
+  run_stage_tail_impl<util::simd::ScalarPack>(st, tw, mat, inverse, nb,
+                                              nchunks, xs, out_stride, x, y);
+}
+
+}  // namespace detail
 
 StockhamEngine::StockhamEngine(std::size_t n) : n_(n) {
   PSDNS_REQUIRE(n >= 1, "transform length must be positive");
@@ -52,7 +89,7 @@ StockhamEngine::StockhamEngine(std::size_t n) : n_(n) {
   std::size_t nsub = n;
   std::size_t off = 0;
   for (const std::size_t r : merged) {
-    Stage st;
+    StockhamStage st;
     st.radix = r;
     st.m = nsub / r;
     st.tw = off;
@@ -97,9 +134,12 @@ void StockhamEngine::execute_batch(Direction dir, Complex* data, Complex* work,
   const bool inverse = dir == Direction::Inverse;
   Complex* src = prefers_work_input() ? work : data;
   Complex* dst = prefers_work_input() ? data : work;
+  const StageFn stage_fn = pick_stage_fn();
   std::size_t s = batch;
-  for (const Stage& st : stages_) {
-    run_stage(st, inverse, s, src, dst);
+  for (const StockhamStage& st : stages_) {
+    const Complex* mat =
+        st.mat == kNoMat ? nullptr : radix_mats_[st.mat].data();
+    stage_fn(st, twiddle_.data() + st.tw, mat, inverse, s, s, s, src, dst);
     s *= st.radix;
     std::swap(src, dst);
   }
@@ -107,116 +147,56 @@ void StockhamEngine::execute_batch(Direction dir, Complex* data, Complex* work,
   // above that is always `data`.
 }
 
-void StockhamEngine::run_stage(const Stage& st, bool inverse, std::size_t s,
-                               const Complex* x, Complex* y) const {
-  const std::size_t m = st.m;
-  const Complex* tw = twiddle_.data() + st.tw;
-
-  if (st.radix == 2) {
-    for (std::size_t p = 0; p < m; ++p) {
-      const Complex w = pick(inverse, tw[p]);
-      const double wr = w.real(), wi = w.imag();
-      const Complex* xa = x + s * p;
-      const Complex* xb = x + s * (p + m);
-      Complex* ya = y + s * (2 * p);
-      Complex* yb = ya + s;
-      for (std::size_t q = 0; q < s; ++q) {
-        const double ar = xa[q].real(), ai = xa[q].imag();
-        const double br = xb[q].real(), bi = xb[q].imag();
-        ya[q] = Complex{ar + br, ai + bi};
-        yb[q] = Complex{(ar - br) * wr - (ai - bi) * wi,
-                        (ar - br) * wi + (ai - bi) * wr};
-      }
-    }
+void StockhamEngine::execute_batch_plane(Direction dir, const Complex* in,
+                                         std::size_t in_stride, Complex* out,
+                                         std::size_t out_stride,
+                                         Complex* stage0, Complex* stage1,
+                                         std::size_t batch) const {
+  PSDNS_REQUIRE(batch >= 1, "batch must be positive");
+  if (stages_.empty()) {  // n == 1: the single element of each line
+    for (std::size_t b = 0; b < batch; ++b) out[b] = in[b];
     return;
   }
+  const bool inverse = dir == Direction::Inverse;
+  const StageFn stage_fn = pick_stage_fn();
+  const std::size_t nstages = stages_.size();
 
-  if (st.radix == 4) {
-    for (std::size_t p = 0; p < m; ++p) {
-      const Complex w1 = pick(inverse, tw[3 * p]);
-      const Complex w2 = pick(inverse, tw[3 * p + 1]);
-      const Complex w3 = pick(inverse, tw[3 * p + 2]);
-      const Complex* xa = x + s * p;
-      const Complex* xb = x + s * (p + m);
-      const Complex* xc = x + s * (p + 2 * m);
-      const Complex* xd = x + s * (p + 3 * m);
-      Complex* y0 = y + s * (4 * p);
-      Complex* y1 = y0 + s;
-      Complex* y2 = y1 + s;
-      Complex* y3 = y2 + s;
-      // Forward: w_4 = -i, so X1/X3 = (a-c) -+ i(b-d); inverse flips the i.
-      const double sg = inverse ? -1.0 : 1.0;
-      for (std::size_t q = 0; q < s; ++q) {
-        const double ar = xa[q].real(), ai = xa[q].imag();
-        const double br = xb[q].real(), bi = xb[q].imag();
-        const double cr = xc[q].real(), ci = xc[q].imag();
-        const double dr = xd[q].real(), di = xd[q].imag();
-        const double pr = ar + cr, pi = ai + ci;   // a + c
-        const double mr = ar - cr, mi = ai - ci;   // a - c
-        const double qr = br + dr, qi = bi + di;   // b + d
-        const double ur = bi - di, ui = dr - br;   // -i*(b - d)
-        y0[q] = Complex{pr + qr, pi + qi};
-        y1[q] = cmul(Complex{mr + sg * ur, mi + sg * ui}, w1.real(),
-                     w1.imag());
-        y2[q] = cmul(Complex{pr - qr, pi - qi}, w2.real(), w2.imag());
-        y3[q] = cmul(Complex{mr - sg * ur, mi - sg * ui}, w3.real(),
-                     w3.imag());
-      }
+  const Complex* src = in;      // current stage input
+  std::size_t xs = in_stride;   // and its row stride
+  if (nstages == 1 && in == out) {
+    // A single stage would read and write the same buffer, which the
+    // kernels' no-alias contract forbids. Compact the n_ pitched input rows
+    // into stage0 first (n_ is one radix here, so this is a handful of
+    // short contiguous copies).
+    for (std::size_t k = 0; k < n_; ++k) {
+      std::copy(in + in_stride * k, in + in_stride * k + batch,
+                stage0 + batch * k);
     }
-    return;
+    src = stage0;
+    xs = batch;
   }
-
-  if (st.radix == 3) {
-    // X1/X2 = (a - (b+c)/2) -+ i*(sqrt(3)/2)*(b-c) in the forward direction.
-    const double h = inverse ? -0.8660254037844386 : 0.8660254037844386;
-    for (std::size_t p = 0; p < m; ++p) {
-      const Complex w1 = pick(inverse, tw[2 * p]);
-      const Complex w2 = pick(inverse, tw[2 * p + 1]);
-      const Complex* xa = x + s * p;
-      const Complex* xb = x + s * (p + m);
-      const Complex* xc = x + s * (p + 2 * m);
-      Complex* y0 = y + s * (3 * p);
-      Complex* y1 = y0 + s;
-      Complex* y2 = y1 + s;
-      for (std::size_t q = 0; q < s; ++q) {
-        const double ar = xa[q].real(), ai = xa[q].imag();
-        const double br = xb[q].real(), bi = xb[q].imag();
-        const double cr = xc[q].real(), ci = xc[q].imag();
-        const double tr = br + cr, ti = bi + ci;
-        const double ur = br - cr, ui = bi - ci;
-        y0[q] = Complex{ar + tr, ai + ti};
-        const double er = ar - 0.5 * tr, ei = ai - 0.5 * ti;
-        // -i*h*(u) = (h*ui, -h*ur) for forward h > 0.
-        y1[q] = cmul(Complex{er + h * ui, ei - h * ur}, w1.real(), w1.imag());
-        y2[q] = cmul(Complex{er - h * ui, ei + h * ur}, w2.real(), w2.imag());
-      }
-    }
-    return;
-  }
-
-  // Generic radix: per output j, fold the stage twiddle into the radix-r DFT
-  // row once, then stream the batch.
-  const std::size_t r = st.radix;
-  const Complex* mat = radix_mats_[st.mat].data();
-  for (std::size_t p = 0; p < m; ++p) {
-    const Complex* twrow = tw + p * (r - 1);
-    for (std::size_t j = 0; j < r; ++j) {
-      Complex coef[kMaxDirectPrime];
-      const Complex wj =
-          j == 0 ? Complex{1.0, 0.0} : pick(inverse, twrow[j - 1]);
-      for (std::size_t q2 = 0; q2 < r; ++q2) {
-        coef[q2] = pick(inverse, mat[j * r + q2]) * wj;
-      }
-      Complex* yj = y + s * (r * p + j);
-      for (std::size_t q = 0; q < s; ++q) {
-        double accr = 0.0, acci = 0.0;
-        for (std::size_t q2 = 0; q2 < r; ++q2) {
-          const Complex v = x[q + s * (p + m * q2)];
-          accr += v.real() * coef[q2].real() - v.imag() * coef[q2].imag();
-          acci += v.real() * coef[q2].imag() + v.imag() * coef[q2].real();
-        }
-        yj[q] = Complex{accr, acci};
-      }
+  Complex* pong[2] = {stage0, stage1};
+  int which = 0;
+  std::size_t s = batch;
+  for (std::size_t i = 0; i < nstages; ++i) {
+    const StockhamStage& st = stages_[i];
+    const Complex* mat =
+        st.mat == kNoMat ? nullptr : radix_mats_[st.mat].data();
+    const Complex* tws = twiddle_.data() + st.tw;
+    if (i + 1 < nstages) {
+      Complex* dst = pong[which];
+      stage_fn(st, tws, mat, inverse, s, xs, s, src, dst);
+      s *= st.radix;
+      src = dst;
+      xs = s;
+      which ^= 1;
+    } else {
+      // Final stage: m == 1, so its outputs are r rows of s = batch*(n/r)
+      // elements, i.e. n/r runs of `batch` contiguous user elements each.
+      // The tail kernel sweeps each run with the x rows at their full
+      // stride and the y rows landing directly in the pitched user buffer.
+      pick_tail_fn()(st, tws, mat, inverse, batch, n_ / st.radix, xs,
+                     out_stride, src, out);
     }
   }
 }

@@ -12,6 +12,8 @@
 
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 extern char** environ;
 
@@ -57,6 +59,8 @@ RunManifest RunManifest::collect() {
   char host[256] = {};
   m.hostname =
       ::gethostname(host, sizeof(host) - 1) == 0 ? host : "unknown";
+  m.simd = util::simd::to_string(util::simd::active_backend());
+  m.threads = util::ThreadPool::env_threads();
   for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
     if (std::strncmp(*e, "PSDNS_", 6) != 0) continue;
     const char* eq = std::strchr(*e, '=');
@@ -76,7 +80,9 @@ std::string RunManifest::to_json() const {
      << ", \"compiler_flags\": " << json_quote(compiler_flags)
      << ", \"build_type\": " << json_quote(build_type)
      << ", \"hostname\": " << json_quote(hostname)
-     << ", \"seed\": " << json_quote(seed) << ", \"env\": {";
+     << ", \"seed\": " << json_quote(seed)
+     << ", \"simd\": " << json_quote(simd)
+     << ", \"threads\": " << threads << ", \"env\": {";
   for (std::size_t i = 0; i < env.size(); ++i) {
     os << (i == 0 ? "" : ", ") << json_quote(env[i].first) << ": "
        << json_quote(env[i].second);

@@ -31,10 +31,13 @@ struct RunManifest {
   std::string build_type;
   std::string hostname;
   std::string seed = "unset";  // benches stamp their RNG seed here
+  std::string simd;            // dispatched FFT kernel backend (scalar/avx2)
+  int threads = 1;             // worker-pool width (PSDNS_THREADS)
   std::vector<std::pair<std::string, std::string>> env;  // PSDNS_* vars
 
   /// Fills everything collectable at runtime (sha, compiler macros,
-  /// hostname, sorted PSDNS_* environment); `seed` stays "unset".
+  /// hostname, dispatched SIMD backend, pool width, sorted PSDNS_*
+  /// environment); `seed` stays "unset".
   static RunManifest collect();
 
   std::string to_json() const;

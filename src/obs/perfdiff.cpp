@@ -33,6 +33,12 @@ std::string manifest_summary(const JsonValue& doc) {
   os << "sha=" << field("git_sha") << " compiler=" << field("compiler")
      << " build=" << field("build_type") << " host=" << field("hostname")
      << " seed=" << field("seed");
+  if (m.has("simd") && m.at("simd").is_string()) {
+    os << " simd=" << m.at("simd").string;
+  }
+  if (m.has("threads") && m.at("threads").is_number()) {
+    os << " threads=" << static_cast<int>(m.at("threads").number);
+  }
   if (m.has("env") && m.at("env").is_object()) {
     for (const auto& [key, value] : m.at("env").object) {
       if (value.is_string()) os << " " << key << "=" << value.string;

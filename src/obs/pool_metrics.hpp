@@ -1,0 +1,41 @@
+#pragma once
+// Publishes the worker pool's runtime shape and accumulated busy time (plus
+// the dispatched FFT SIMD backend) into a metrics registry, so the reduced
+// telemetry snapshot records how the intra-rank parallel layer was actually
+// configured and where its time went. Stage keys come from the string
+// literals passed to ThreadPool::parallel_for ("fft.c2c.batch",
+// "transpose.slab.pack", ...), sanitized into metric-key form.
+
+#include <string>
+
+#include "obs/registry.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace psdns::obs {
+
+/// Gauge snapshot of the global pool + SIMD dispatch:
+///   fft.simd.backend        0 = scalar, 1 = avx2 (util::simd::Backend)
+///   pool.threads            configured pool width
+///   pool.jobs               threaded parallel_for calls completed
+///   pool.stripes            stripe executions across all jobs
+///   pool.busy_seconds       total busy time summed over stripes
+///   pool.busy_seconds.<stage>  per-stage breakdown
+/// Cheap enough to call once per step; gauges overwrite, so the values are
+/// cumulative-as-of-now rather than per-step deltas.
+inline void publish_pool_metrics(Registry& reg) {
+  reg.gauge_set("fft.simd.backend",
+                static_cast<double>(util::simd::active_backend()));
+  const auto& pool = util::ThreadPool::global();
+  const auto stats = pool.stats();
+  reg.gauge_set("pool.threads", static_cast<double>(pool.threads()));
+  reg.gauge_set("pool.jobs", static_cast<double>(stats.jobs));
+  reg.gauge_set("pool.stripes", static_cast<double>(stats.stripes));
+  reg.gauge_set("pool.busy_seconds", stats.busy_seconds);
+  for (const auto& stage : stats.stages) {
+    reg.gauge_set(std::string("pool.busy_seconds.") + stage.name,
+                  stage.busy_seconds);
+  }
+}
+
+}  // namespace psdns::obs

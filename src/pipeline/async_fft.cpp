@@ -2,6 +2,7 @@
 
 #include "gpu/copy.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::pipeline {
 
@@ -37,12 +38,15 @@ void AsyncFft3d::stage_fft_y(fft::Direction dir, std::size_t x0,
     }
     {
       obs::TraceSpan fft("async.fft_y", obs::SpanKind::Compute);
-      for (std::size_t kk = 0; kk < transpose_.grid().mz(); ++kk) {
-        Complex* base = device_.data() + w * n_ * kk;
-        plan_yz_->transform_batch(
-            dir, base, base,
-            fft::BatchLayout{.count = w, .stride = w, .dist = 1});
-      }
+      // Disjoint z-planes of the staged pencil stripe across the worker
+      // pool (the per-plane transform_batch runs inline in its stripe).
+      util::ThreadPool::global().parallel_for(
+          "pipeline.fft_y", 0, transpose_.grid().mz(), [&](std::size_t kk) {
+            Complex* base = device_.data() + w * n_ * kk;
+            plan_yz_->transform_batch(
+                dir, base, base,
+                fft::BatchLayout{.count = w, .stride = w, .dist = 1});
+          });
     }
     obs::TraceSpan d2h("async.d2h", obs::SpanKind::Transfer);
     gpu::memcpy2d(slab + x0, nxh_, device_.data(), w, w, my_rows);
@@ -120,15 +124,16 @@ void AsyncFft3d::inverse(std::span<const Complex* const> spec,
 
     // z transforms inside the freshly arrived x-chunk.
     obs::TraceSpan fft_z("async.fft_z", obs::SpanKind::Compute);
-    for (std::size_t v = 0; v < nv; ++v) {
-      for (std::size_t jj = 0; jj < g.my(); ++jj) {
-        Complex* base = yslab[v] + grp.x0 + nxh_ * n_ * jj;
-        plan_yz_->transform_batch(
-            fft::Direction::Inverse, base, base,
-            fft::BatchLayout{.count = grp.x1 - grp.x0, .stride = nxh_,
-                             .dist = 1});
-      }
-    }
+    util::ThreadPool::global().parallel_for(
+        "pipeline.fft_z", 0, nv * g.my(), [&](std::size_t idx) {
+          const std::size_t v = idx / g.my();
+          const std::size_t jj = idx % g.my();
+          Complex* base = yslab[v] + grp.x0 + nxh_ * n_ * jj;
+          plan_yz_->transform_batch(
+              fft::Direction::Inverse, base, base,
+              fft::BatchLayout{.count = grp.x1 - grp.x0, .stride = nxh_,
+                               .dist = 1});
+        });
   }
 
   // Final complex-to-real x transforms (full x lines now local).
@@ -167,15 +172,16 @@ void AsyncFft3d::forward(std::span<const Real* const> phys,
 
     {
       obs::TraceSpan fft_z("async.fft_z", obs::SpanKind::Compute);
-      for (std::size_t v = 0; v < nv; ++v) {
-        for (std::size_t jj = 0; jj < g.my(); ++jj) {
-          Complex* base = yslab[v] + grp.x0 + nxh_ * n_ * jj;
-          plan_yz_->transform_batch(
-              fft::Direction::Forward, base, base,
-              fft::BatchLayout{.count = grp.x1 - grp.x0, .stride = nxh_,
-                               .dist = 1});
-        }
-      }
+      util::ThreadPool::global().parallel_for(
+          "pipeline.fft_z", 0, nv * g.my(), [&](std::size_t idx) {
+            const std::size_t v = idx / g.my();
+            const std::size_t jj = idx % g.my();
+            Complex* base = yslab[v] + grp.x0 + nxh_ * n_ * jj;
+            plan_yz_->transform_batch(
+                fft::Direction::Forward, base, base,
+                fft::BatchLayout{.count = grp.x1 - grp.x0, .stride = nxh_,
+                                 .dist = 1});
+          });
     }
 
     obs::TraceSpan pack("async.pack", obs::SpanKind::Transfer);

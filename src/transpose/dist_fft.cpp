@@ -5,6 +5,7 @@
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::transpose {
 
@@ -74,12 +75,15 @@ void SlabFft3d::forward(std::span<const Real* const> phys,
     {
       obs::ScopedTimer timer("slab_fft.forward.z");
       obs::TraceSpan span("slab_fft.forward.z", obs::SpanKind::Compute);
-      for (std::size_t jj = 0; jj < my(); ++jj) {
-        Complex* base = w.data() + h * n_ * jj;
-        plan_yz_->transform_batch(fft::Direction::Forward, base, base,
-                                  BatchLayout{.count = h, .stride = h,
-                                              .dist = 1});
-      }
+      // Planes are disjoint: stripe them across the worker pool (the
+      // per-plane transform_batch then runs inline inside its stripe).
+      util::ThreadPool::global().parallel_for(
+          "fft.slab.z", 0, my(), [&](std::size_t jj) {
+            Complex* base = w.data() + h * n_ * jj;
+            plan_yz_->transform_batch(fft::Direction::Forward, base, base,
+                                      BatchLayout{.count = h, .stride = h,
+                                                  .dist = 1});
+          });
     }
   }
 
@@ -92,14 +96,15 @@ void SlabFft3d::forward(std::span<const Real* const> phys,
   // y: strided lines (stride nxh) inside the Z-slab.
   obs::ScopedTimer timer("slab_fft.forward.y");
   obs::TraceSpan span("slab_fft.forward.y", obs::SpanKind::Compute);
-  for (std::size_t v = 0; v < nv; ++v) {
-    for (std::size_t kk = 0; kk < mz(); ++kk) {
-      Complex* base = spec[v] + h * n_ * kk;
-      plan_yz_->transform_batch(fft::Direction::Forward, base, base,
-                                BatchLayout{.count = h, .stride = h,
-                                            .dist = 1});
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      "fft.slab.y", 0, nv * mz(), [&](std::size_t idx) {
+        const std::size_t v = idx / mz();
+        const std::size_t kk = idx % mz();
+        Complex* base = spec[v] + h * n_ * kk;
+        plan_yz_->transform_batch(fft::Direction::Forward, base, base,
+                                  BatchLayout{.count = h, .stride = h,
+                                              .dist = 1});
+      });
 }
 
 void SlabFft3d::inverse(std::span<const Complex* const> spec,
@@ -120,12 +125,13 @@ void SlabFft3d::inverse(std::span<const Complex* const> spec,
       wz.ensure(h * n_ * mz());
       zslab_ptrs_[v] = wz.data();
       std::copy(spec[v], spec[v] + spectral_elems(), wz.data());
-      for (std::size_t kk = 0; kk < mz(); ++kk) {
-        Complex* base = wz.data() + h * n_ * kk;
-        plan_yz_->transform_batch(fft::Direction::Inverse, base, base,
-                                  BatchLayout{.count = h, .stride = h,
-                                              .dist = 1});
-      }
+      util::ThreadPool::global().parallel_for(
+          "fft.slab.y", 0, mz(), [&](std::size_t kk) {
+            Complex* base = wz.data() + h * n_ * kk;
+            plan_yz_->transform_batch(fft::Direction::Inverse, base, base,
+                                      BatchLayout{.count = h, .stride = h,
+                                                  .dist = 1});
+          });
       auto& wy = work_[nv + v];
       wy.ensure(h * n_ * my());
       yslab_ptrs_[v] = wy.data();
@@ -143,12 +149,13 @@ void SlabFft3d::inverse(std::span<const Complex* const> spec,
     {
       obs::ScopedTimer timer("slab_fft.inverse.z");
       obs::TraceSpan span("slab_fft.inverse.z", obs::SpanKind::Compute);
-      for (std::size_t jj = 0; jj < my(); ++jj) {
-        Complex* base = w + h * n_ * jj;
-        plan_yz_->transform_batch(fft::Direction::Inverse, base, base,
-                                  BatchLayout{.count = h, .stride = h,
-                                              .dist = 1});
-      }
+      util::ThreadPool::global().parallel_for(
+          "fft.slab.z", 0, my(), [&](std::size_t jj) {
+            Complex* base = w + h * n_ * jj;
+            plan_yz_->transform_batch(fft::Direction::Inverse, base, base,
+                                      BatchLayout{.count = h, .stride = h,
+                                                  .dist = 1});
+          });
     }
     // x: complex-to-real, batched over all lines of the Y-slab.
     {

@@ -1,6 +1,7 @@
 #include "transpose/pencil.hpp"
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::transpose {
 
@@ -54,17 +55,25 @@ void PencilTranspose::x_to_y(std::span<const Complex> px,
                              x_range().width() * zl;
   recv_.ensure(rtotal);
 
-  for (int d = 0; d < grid_.pr; ++d) {
-    const auto r = pencil_range(grid_.nxh, grid_.pr, d);
-    Complex* out = send_.data() + row_displs_[static_cast<std::size_t>(d)];
-    for (std::size_t kk = 0; kk < zl; ++kk) {
-      for (std::size_t ii = 0; ii < r.width(); ++ii) {
-        const Complex* src = px.data() + (r.x0 + ii) + grid_.nxh * (yl * kk);
-        Complex* dst = out + yl * (ii + r.width() * kk);
-        for (std::size_t jj = 0; jj < yl; ++jj) dst[jj] = src[grid_.nxh * jj];
-      }
-    }
-  }
+  // (d, kk) pairs write disjoint send-block slices; stripe them across the
+  // worker pool.
+  util::ThreadPool::global().parallel_for(
+      "transpose.pencil.pack", 0,
+      static_cast<std::size_t>(grid_.pr) * zl, [&](std::size_t idx) {
+        const int d = static_cast<int>(idx / zl);
+        const std::size_t kk = idx % zl;
+        const auto r = pencil_range(grid_.nxh, grid_.pr, d);
+        Complex* out =
+            send_.data() + row_displs_[static_cast<std::size_t>(d)];
+        for (std::size_t ii = 0; ii < r.width(); ++ii) {
+          const Complex* src =
+              px.data() + (r.x0 + ii) + grid_.nxh * (yl * kk);
+          Complex* dst = out + yl * (ii + r.width() * kk);
+          for (std::size_t jj = 0; jj < yl; ++jj) {
+            dst[jj] = src[grid_.nxh * jj];
+          }
+        }
+      });
 
   // Receive layout is symmetric: every source sends me w_me-wide blocks.
   const std::size_t w = x_range().width();
@@ -77,18 +86,19 @@ void PencilTranspose::x_to_y(std::span<const Complex> px,
                  recv_.data(), peer_counts_.data(), peer_displs_.data());
 
   // Unpack: source s contributed y range [s*yl, (s+1)*yl).
-  for (int s = 0; s < grid_.pr; ++s) {
-    const Complex* in =
-        recv_.data() + peer_displs_[static_cast<std::size_t>(s)];
-    for (std::size_t kk = 0; kk < zl; ++kk) {
-      for (std::size_t ii = 0; ii < w; ++ii) {
-        const Complex* src = in + yl * (ii + w * kk);
-        Complex* dst = py.data() + static_cast<std::size_t>(s) * yl +
-                       grid_.ny * (ii + w * kk);
-        for (std::size_t jj = 0; jj < yl; ++jj) dst[jj] = src[jj];
-      }
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      "transpose.pencil.unpack", 0,
+      static_cast<std::size_t>(grid_.pr) * zl, [&](std::size_t idx) {
+        const std::size_t sidx = idx / zl;
+        const std::size_t kk = idx % zl;
+        const Complex* in = recv_.data() + peer_displs_[sidx];
+        for (std::size_t ii = 0; ii < w; ++ii) {
+          const Complex* src = in + yl * (ii + w * kk);
+          Complex* dst =
+              py.data() + sidx * yl + grid_.ny * (ii + w * kk);
+          for (std::size_t jj = 0; jj < yl; ++jj) dst[jj] = src[jj];
+        }
+      });
 }
 
 void PencilTranspose::y_to_x(std::span<const Complex> py,
@@ -103,16 +113,20 @@ void PencilTranspose::y_to_x(std::span<const Complex> py,
     peer_counts_[static_cast<std::size_t>(d)] = yl * w * zl;
     peer_displs_[static_cast<std::size_t>(d)] =
         static_cast<std::size_t>(d) * yl * w * zl;
-    Complex* out = send_.data() + peer_displs_[static_cast<std::size_t>(d)];
-    for (std::size_t kk = 0; kk < zl; ++kk) {
-      for (std::size_t ii = 0; ii < w; ++ii) {
-        const Complex* src = py.data() + static_cast<std::size_t>(d) * yl +
-                             grid_.ny * (ii + w * kk);
-        Complex* dst = out + yl * (ii + w * kk);
-        for (std::size_t jj = 0; jj < yl; ++jj) dst[jj] = src[jj];
-      }
-    }
   }
+  util::ThreadPool::global().parallel_for(
+      "transpose.pencil.pack", 0,
+      static_cast<std::size_t>(grid_.pr) * zl, [&](std::size_t idx) {
+        const std::size_t didx = idx / zl;
+        const std::size_t kk = idx % zl;
+        Complex* out = send_.data() + peer_displs_[didx];
+        for (std::size_t ii = 0; ii < w; ++ii) {
+          const Complex* src =
+              py.data() + didx * yl + grid_.ny * (ii + w * kk);
+          Complex* dst = out + yl * (ii + w * kk);
+          for (std::size_t jj = 0; jj < yl; ++jj) dst[jj] = src[jj];
+        }
+      });
 
   // Receive: source s owns x-chunk w_s.
   std::size_t rtotal = 0;
@@ -126,17 +140,22 @@ void PencilTranspose::y_to_x(std::span<const Complex> py,
   row_.alltoallv(send_.data(), peer_counts_.data(), peer_displs_.data(),
                  recv_.data(), row_counts_.data(), row_displs_.data());
 
-  for (int s = 0; s < grid_.pr; ++s) {
-    const auto r = pencil_range(grid_.nxh, grid_.pr, s);
-    const Complex* in = recv_.data() + row_displs_[static_cast<std::size_t>(s)];
-    for (std::size_t kk = 0; kk < zl; ++kk) {
-      for (std::size_t ii = 0; ii < r.width(); ++ii) {
-        const Complex* src = in + yl * (ii + r.width() * kk);
-        Complex* dst = px.data() + (r.x0 + ii) + grid_.nxh * (yl * kk);
-        for (std::size_t jj = 0; jj < yl; ++jj) dst[grid_.nxh * jj] = src[jj];
-      }
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      "transpose.pencil.unpack", 0,
+      static_cast<std::size_t>(grid_.pr) * zl, [&](std::size_t idx) {
+        const int sr = static_cast<int>(idx / zl);
+        const std::size_t kk = idx % zl;
+        const auto r = pencil_range(grid_.nxh, grid_.pr, sr);
+        const Complex* in =
+            recv_.data() + row_displs_[static_cast<std::size_t>(sr)];
+        for (std::size_t ii = 0; ii < r.width(); ++ii) {
+          const Complex* src = in + yl * (ii + r.width() * kk);
+          Complex* dst = px.data() + (r.x0 + ii) + grid_.nxh * (yl * kk);
+          for (std::size_t jj = 0; jj < yl; ++jj) {
+            dst[grid_.nxh * jj] = src[jj];
+          }
+        }
+      });
 }
 
 void PencilTranspose::y_to_z(std::span<const Complex> py,
@@ -149,35 +168,38 @@ void PencilTranspose::y_to_z(std::span<const Complex> py,
   recv_.ensure(total);
 
   // Pack for column-rank d: its y range, all local z; layout kk+zl*(ii+w*jj).
-  for (int d = 0; d < grid_.pc; ++d) {
-    Complex* out = send_.data() + static_cast<std::size_t>(d) * block;
-    for (std::size_t jj = 0; jj < yl2; ++jj) {
-      for (std::size_t ii = 0; ii < w; ++ii) {
-        Complex* dst = out + zl * (ii + w * jj);
-        const Complex* src = py.data() + (static_cast<std::size_t>(d) * yl2 +
-                                          jj) +
-                             grid_.ny * ii;
-        for (std::size_t kk = 0; kk < zl; ++kk) {
-          dst[kk] = src[grid_.ny * w * kk];
+  util::ThreadPool::global().parallel_for(
+      "transpose.pencil.pack", 0,
+      static_cast<std::size_t>(grid_.pc) * yl2, [&](std::size_t idx) {
+        const std::size_t didx = idx / yl2;
+        const std::size_t jj = idx % yl2;
+        Complex* out = send_.data() + didx * block;
+        for (std::size_t ii = 0; ii < w; ++ii) {
+          Complex* dst = out + zl * (ii + w * jj);
+          const Complex* src =
+              py.data() + (didx * yl2 + jj) + grid_.ny * ii;
+          for (std::size_t kk = 0; kk < zl; ++kk) {
+            dst[kk] = src[grid_.ny * w * kk];
+          }
         }
-      }
-    }
-  }
+      });
 
   col_.alltoall(send_.data(), recv_.data(), block);
 
   // Unpack: source s contributed z range [s*zl, (s+1)*zl).
-  for (int s = 0; s < grid_.pc; ++s) {
-    const Complex* in = recv_.data() + static_cast<std::size_t>(s) * block;
-    for (std::size_t jj = 0; jj < yl2; ++jj) {
-      for (std::size_t ii = 0; ii < w; ++ii) {
-        const Complex* src = in + zl * (ii + w * jj);
-        Complex* dst = pz.data() + static_cast<std::size_t>(s) * zl +
-                       grid_.nz * (ii + w * jj);
-        for (std::size_t kk = 0; kk < zl; ++kk) dst[kk] = src[kk];
-      }
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      "transpose.pencil.unpack", 0,
+      static_cast<std::size_t>(grid_.pc) * yl2, [&](std::size_t idx) {
+        const std::size_t sidx = idx / yl2;
+        const std::size_t jj = idx % yl2;
+        const Complex* in = recv_.data() + sidx * block;
+        for (std::size_t ii = 0; ii < w; ++ii) {
+          const Complex* src = in + zl * (ii + w * jj);
+          Complex* dst =
+              pz.data() + sidx * zl + grid_.nz * (ii + w * jj);
+          for (std::size_t kk = 0; kk < zl; ++kk) dst[kk] = src[kk];
+        }
+      });
 }
 
 void PencilTranspose::z_to_y(std::span<const Complex> pz,
@@ -190,34 +212,38 @@ void PencilTranspose::z_to_y(std::span<const Complex> pz,
   recv_.ensure(total);
 
   // Pack for column-rank d: its z range of my full-z pencils.
-  for (int d = 0; d < grid_.pc; ++d) {
-    Complex* out = send_.data() + static_cast<std::size_t>(d) * block;
-    for (std::size_t jj = 0; jj < yl2; ++jj) {
-      for (std::size_t ii = 0; ii < w; ++ii) {
-        Complex* dst = out + zl * (ii + w * jj);
-        const Complex* src = pz.data() + static_cast<std::size_t>(d) * zl +
-                             grid_.nz * (ii + w * jj);
-        for (std::size_t kk = 0; kk < zl; ++kk) dst[kk] = src[kk];
-      }
-    }
-  }
+  util::ThreadPool::global().parallel_for(
+      "transpose.pencil.pack", 0,
+      static_cast<std::size_t>(grid_.pc) * yl2, [&](std::size_t idx) {
+        const std::size_t didx = idx / yl2;
+        const std::size_t jj = idx % yl2;
+        Complex* out = send_.data() + didx * block;
+        for (std::size_t ii = 0; ii < w; ++ii) {
+          Complex* dst = out + zl * (ii + w * jj);
+          const Complex* src =
+              pz.data() + didx * zl + grid_.nz * (ii + w * jj);
+          for (std::size_t kk = 0; kk < zl; ++kk) dst[kk] = src[kk];
+        }
+      });
 
   col_.alltoall(send_.data(), recv_.data(), block);
 
   // Unpack: source s contributed y range [s*yl2, (s+1)*yl2).
-  for (int s = 0; s < grid_.pc; ++s) {
-    const Complex* in = recv_.data() + static_cast<std::size_t>(s) * block;
-    for (std::size_t jj = 0; jj < yl2; ++jj) {
-      for (std::size_t ii = 0; ii < w; ++ii) {
-        const Complex* src = in + zl * (ii + w * jj);
-        Complex* dst = py.data() + (static_cast<std::size_t>(s) * yl2 + jj) +
-                       grid_.ny * ii;
-        for (std::size_t kk = 0; kk < zl; ++kk) {
-          dst[grid_.ny * w * kk] = src[kk];
+  util::ThreadPool::global().parallel_for(
+      "transpose.pencil.unpack", 0,
+      static_cast<std::size_t>(grid_.pc) * yl2, [&](std::size_t idx) {
+        const std::size_t sidx = idx / yl2;
+        const std::size_t jj = idx % yl2;
+        const Complex* in = recv_.data() + sidx * block;
+        for (std::size_t ii = 0; ii < w; ++ii) {
+          const Complex* src = in + zl * (ii + w * jj);
+          Complex* dst =
+              py.data() + (sidx * yl2 + jj) + grid_.ny * ii;
+          for (std::size_t kk = 0; kk < zl; ++kk) {
+            dst[grid_.ny * w * kk] = src[kk];
+          }
         }
-      }
-    }
-  }
+      });
 }
 
 }  // namespace psdns::transpose

@@ -3,6 +3,7 @@
 #include "gpu/copy.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::transpose {
 
@@ -41,20 +42,24 @@ void SlabTranspose::pack_z(std::span<const Complex* const> vars_a,
   PSDNS_REQUIRE(send.size() >= block * static_cast<std::size_t>(comm_.size()),
                 "send buffer too small");
 
-  for (int q = 0; q < comm_.size(); ++q) {
-    Complex* out = send.data() + static_cast<std::size_t>(q) * block;
-    for (std::size_t v = 0; v < vars_a.size(); ++v) {
-      for (std::size_t kk = 0; kk < mz; ++kk) {
+  // Every (q, v, kk) copy touches a disjoint destination, so the flattened
+  // loop stripes across the worker pool.
+  const std::size_t nvars = vars_a.size();
+  util::ThreadPool::global().parallel_for(
+      "transpose.slab.pack", 0,
+      static_cast<std::size_t>(comm_.size()) * nvars * mz,
+      [&](std::size_t idx) {
+        const std::size_t kk = idx % mz;
+        const std::size_t v = (idx / mz) % nvars;
+        const std::size_t q = idx / (mz * nvars);
+        Complex* out = send.data() + q * block;
         // my rows of w contiguous elements: jj-th row starts at y index
         // q*my + jj within this local z-plane.
         const Complex* src =
-            vars_a[v] + x0 +
-            grid_.nxh * (static_cast<std::size_t>(q) * my + grid_.ny * kk);
+            vars_a[v] + x0 + grid_.nxh * (q * my + grid_.ny * kk);
         Complex* dst = out + w * my * (kk + mz * v);
         gpu::memcpy2d(dst, w, src, grid_.nxh, w, my);
-      }
-    }
-  }
+      });
 }
 
 void SlabTranspose::unpack_y(std::span<const Complex> recv, std::size_t x0,
@@ -65,20 +70,22 @@ void SlabTranspose::unpack_y(std::span<const Complex> recv, std::size_t x0,
   const std::size_t my = grid_.my(), mz = grid_.mz();
   const std::size_t block = block_elems(w, vars_b.size());
 
-  for (int p = 0; p < comm_.size(); ++p) {
-    const Complex* in = recv.data() + static_cast<std::size_t>(p) * block;
-    for (std::size_t v = 0; v < vars_b.size(); ++v) {
-      for (std::size_t jj = 0; jj < my; ++jj) {
+  const std::size_t nvars = vars_b.size();
+  util::ThreadPool::global().parallel_for(
+      "transpose.slab.unpack", 0,
+      static_cast<std::size_t>(comm_.size()) * nvars * my,
+      [&](std::size_t idx) {
+        const std::size_t jj = idx % my;
+        const std::size_t v = (idx / my) % nvars;
+        const std::size_t p = idx / (my * nvars);
+        const Complex* in = recv.data() + p * block;
         // mz rows: the kk-th row lands at z index p*mz + kk of local y jj.
         const Complex* src = in + w * (jj + my * mz * v);
         Complex* dst =
-            vars_b[v] + x0 +
-            grid_.nxh * (static_cast<std::size_t>(p) * mz + grid_.nz * jj);
+            vars_b[v] + x0 + grid_.nxh * (p * mz + grid_.nz * jj);
         // Source rows are strided by w*my (kk-major within the block).
         gpu::memcpy2d(dst, grid_.nxh, src, w * my, w, mz);
-      }
-    }
-  }
+      });
 }
 
 void SlabTranspose::pack_y(std::span<const Complex* const> vars_b,
@@ -91,18 +98,20 @@ void SlabTranspose::pack_y(std::span<const Complex* const> vars_b,
   PSDNS_REQUIRE(send.size() >= block * static_cast<std::size_t>(comm_.size()),
                 "send buffer too small");
 
-  for (int q = 0; q < comm_.size(); ++q) {
-    Complex* out = send.data() + static_cast<std::size_t>(q) * block;
-    for (std::size_t v = 0; v < vars_b.size(); ++v) {
-      for (std::size_t jj = 0; jj < my; ++jj) {
+  const std::size_t nvars = vars_b.size();
+  util::ThreadPool::global().parallel_for(
+      "transpose.slab.pack", 0,
+      static_cast<std::size_t>(comm_.size()) * nvars * my,
+      [&](std::size_t idx) {
+        const std::size_t jj = idx % my;
+        const std::size_t v = (idx / my) % nvars;
+        const std::size_t q = idx / (my * nvars);
+        Complex* out = send.data() + q * block;
         const Complex* src =
-            vars_b[v] + x0 +
-            grid_.nxh * (static_cast<std::size_t>(q) * mz + grid_.nz * jj);
+            vars_b[v] + x0 + grid_.nxh * (q * mz + grid_.nz * jj);
         Complex* dst = out + w * mz * (jj + my * v);
         gpu::memcpy2d(dst, w, src, grid_.nxh, w, mz);
-      }
-    }
-  }
+      });
 }
 
 void SlabTranspose::unpack_z(std::span<const Complex> recv, std::size_t x0,
@@ -113,20 +122,22 @@ void SlabTranspose::unpack_z(std::span<const Complex> recv, std::size_t x0,
   const std::size_t my = grid_.my(), mz = grid_.mz();
   const std::size_t block = block_elems(w, vars_a.size());
 
-  for (int p = 0; p < comm_.size(); ++p) {
-    const Complex* in = recv.data() + static_cast<std::size_t>(p) * block;
-    for (std::size_t v = 0; v < vars_a.size(); ++v) {
-      for (std::size_t kk = 0; kk < mz; ++kk) {
+  const std::size_t nvars = vars_a.size();
+  util::ThreadPool::global().parallel_for(
+      "transpose.slab.unpack", 0,
+      static_cast<std::size_t>(comm_.size()) * nvars * mz,
+      [&](std::size_t idx) {
+        const std::size_t kk = idx % mz;
+        const std::size_t v = (idx / mz) % nvars;
+        const std::size_t p = idx / (mz * nvars);
+        const Complex* in = recv.data() + p * block;
         const Complex* src = in + w * (kk + mz * my * v);
         Complex* dst =
-            vars_a[v] + x0 +
-            grid_.nxh * (static_cast<std::size_t>(p) * my + grid_.ny * kk);
+            vars_a[v] + x0 + grid_.nxh * (p * my + grid_.ny * kk);
         // jj-major: source rows strided by w*mz; destination rows strided by
         // nxh (consecutive y).
         gpu::memcpy2d(dst, grid_.nxh, src, w * mz, w, my);
-      }
-    }
-  }
+      });
 }
 
 void SlabTranspose::z_to_y_chunk(std::span<const Complex* const> vars_a,

@@ -23,6 +23,7 @@
 #include "obs/arena_metrics.hpp"
 #include "obs/registry.hpp"
 #include "util/arena.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -158,6 +159,39 @@ TEST(AllocFree, PencilRk4ForcedFourRanks) {
     EXPECT_EQ(d.deletes, 0);
     EXPECT_EQ(d.arena_misses, 0);
   });
+}
+
+TEST(AllocFree, SlabRk2PooledFourThreads) {
+  // The worker pool's static striping warms each pool thread's arena
+  // scratch during the untracked steps; the tracked steps then opt every
+  // pool thread into the new/delete counters, so a single stray allocation
+  // on any worker fails the test. Job submission itself must also be
+  // allocation-free (fixed ring, function pointer + context).
+  auto& pool = util::ThreadPool::global();
+  const int prev = pool.threads();
+  pool.set_threads(4);
+  comm::run_ranks(1, [&](comm::Communicator& comm) {
+    SolverConfig config;
+    config.n = 32;  // big enough for several blocks per batched loop
+    config.viscosity = 0.02;
+    SlabSolver solver(comm, config);
+    solver.init_taylor_green();
+    solver.step(1e-3);
+    solver.step(1e-3);
+    comm.barrier();
+    const auto arena_before = util::WorkspaceArena::global().stats();
+    const long n0 = g_news.load();
+    const long d0 = g_deletes.load();
+    pool.for_each_thread([](std::size_t) { t_track = true; });
+    for (int i = 0; i < 3; ++i) solver.step(1e-3);
+    pool.for_each_thread([](std::size_t) { t_track = false; });
+    comm.barrier();
+    const auto arena_after = util::WorkspaceArena::global().stats();
+    EXPECT_EQ(g_news.load() - n0, 0);
+    EXPECT_EQ(g_deletes.load() - d0, 0);
+    EXPECT_EQ(arena_after.misses - arena_before.misses, 0u);
+  });
+  pool.set_threads(prev);
 }
 
 TEST(ArenaMetrics, PublishesGaugesNextToUsage) {

@@ -13,6 +13,8 @@
 #include "fft/real.hpp"
 #include "fft/stockham.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::fft {
 namespace {
@@ -521,6 +523,130 @@ INSTANTIATE_TEST_SUITE_P(Sizes, Fft3dBatched,
                          [](const ::testing::TestParamInfo<std::size_t>& pinfo) {
                            return "n" + std::to_string(pinfo.param);
                          });
+
+// --- SIMD backend dispatch ---
+
+// Restores the dispatched kernel backend (and with it the documented
+// env/CPUID selection order) no matter how the test exits.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(util::simd::active_backend()) {}
+  ~BackendGuard() { util::simd::set_backend(saved_); }
+
+ private:
+  util::simd::Backend saved_;
+};
+
+// Runs a batched transform of `count` lines of length n under the given
+// backend; plane layout (dist 1) to cover the fused gather-free path, and
+// both directions to cover the inverse butterflies.
+std::vector<Complex> batch_under_backend(util::simd::Backend backend,
+                                         std::size_t n, std::size_t count,
+                                         Direction dir) {
+  util::simd::set_backend(backend);
+  auto x = random_signal(n * count, 77);
+  PlanC2C plan(n);
+  plan.transform_batch(dir, x.data(), x.data(),
+                       BatchLayout{.count = count, .stride = count, .dist = 1});
+  return x;
+}
+
+TEST(Simd, BackendsAgreeAcrossRadicesAndBatches) {
+  if (!util::simd::avx2_supported()) {
+    GTEST_SKIP() << "no AVX2+FMA kernel on this build/CPU";
+  }
+  BackendGuard guard;
+  // Lengths hit every dedicated butterfly (2/3/4), the generic direct-prime
+  // rows (5, 7, 11), mixed schedules, and the Bluestein fallback (97, 101);
+  // counts 1 and odd values exercise the scalar remainder tail of every
+  // AVX2 sweep plus blocking-boundary block shapes.
+  const std::size_t lengths[] = {2, 3, 4, 5, 7, 8, 9, 11, 12, 16, 25,
+                                 27, 49, 60, 64, 97, 101, 121, 210, 256};
+  const std::size_t counts[] = {1, 3, 7, 13, 33};
+  for (const std::size_t n : lengths) {
+    for (const std::size_t count : counts) {
+      for (const Direction dir : {Direction::Forward, Direction::Inverse}) {
+        const auto scalar =
+            batch_under_backend(util::simd::Backend::Scalar, n, count, dir);
+        const auto avx2 =
+            batch_under_backend(util::simd::Backend::Avx2, n, count, dir);
+        double scale = 1.0;
+        for (const auto& c : scalar) scale = std::max(scale, std::abs(c));
+        EXPECT_LT(max_abs_diff(scalar, avx2), 1e-12 * scale)
+            << "n=" << n << " count=" << count
+            << " dir=" << (dir == Direction::Forward ? "fwd" : "inv");
+      }
+    }
+  }
+}
+
+TEST(Simd, BackendsAgreeOnReal3d) {
+  if (!util::simd::avx2_supported()) {
+    GTEST_SKIP() << "no AVX2+FMA kernel on this build/CPU";
+  }
+  BackendGuard guard;
+  const std::size_t n = 24;
+  const Shape3 shape{n, n, n};
+  util::Rng rng(5);
+  std::vector<Real> x(shape.volume());
+  for (auto& v : x) v = rng.gaussian();
+  std::vector<Complex> a((n / 2 + 1) * n * n), b(a.size());
+  util::simd::set_backend(util::simd::Backend::Scalar);
+  fft3d_r2c(shape, x.data(), a.data());
+  util::simd::set_backend(util::simd::Backend::Avx2);
+  fft3d_r2c(shape, x.data(), b.data());
+  double scale = 0.0;
+  for (const auto& c : a) scale = std::max(scale, std::abs(c));
+  EXPECT_LT(max_abs_diff(a, b), 1e-12 * scale);
+}
+
+// --- worker-pool determinism ---
+
+// The block partition and stripe->thread binding are pure functions of the
+// loop bounds, so a pooled run must be bitwise identical to the inline one.
+TEST(ThreadedBatch, PooledTransformsBitwiseMatchInline) {
+  auto& pool = util::ThreadPool::global();
+  const int prev = pool.threads();
+  const std::size_t n = 64;
+  const auto x = random_signal(n * n, 11);
+  PlanC2C plan(n);
+  const BatchLayout layout{.count = n, .stride = n, .dist = 1};
+
+  pool.set_threads(1);
+  auto inline_out = x;
+  plan.transform_batch(Direction::Forward, inline_out.data(),
+                       inline_out.data(), layout);
+  pool.set_threads(4);
+  auto pooled_out = x;
+  plan.transform_batch(Direction::Forward, pooled_out.data(),
+                       pooled_out.data(), layout);
+  pool.set_threads(prev);
+
+  for (std::size_t i = 0; i < inline_out.size(); ++i) {
+    ASSERT_EQ(inline_out[i], pooled_out[i]) << "i=" << i;
+  }
+}
+
+TEST(ThreadedBatch, PooledReal3dBitwiseMatchesInline) {
+  auto& pool = util::ThreadPool::global();
+  const int prev = pool.threads();
+  const std::size_t n = 32;
+  const Shape3 shape{n, n, n};
+  util::Rng rng(9);
+  std::vector<Real> x(shape.volume());
+  for (auto& v : x) v = rng.gaussian();
+  std::vector<Complex> a((n / 2 + 1) * n * n), b(a.size());
+
+  pool.set_threads(1);
+  fft3d_r2c(shape, x.data(), a.data());
+  pool.set_threads(4);
+  fft3d_r2c(shape, x.data(), b.data());
+  pool.set_threads(prev);
+
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "i=" << i;
+  }
+}
 
 }  // namespace
 }  // namespace psdns::fft

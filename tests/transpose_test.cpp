@@ -10,6 +10,7 @@
 #include "transpose/pencil.hpp"
 #include "transpose/slab.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::transpose {
 namespace {
@@ -341,6 +342,39 @@ INSTANTIATE_TEST_SUITE_P(Ranks, SlabFftP, ::testing::Values(1, 2, 4, 8),
                          [](const ::testing::TestParamInfo<int>& pinfo) {
                            return "P" + std::to_string(pinfo.param);
                          });
+
+TEST(SlabFft, PooledForwardBitwiseMatchesInline) {
+  // The pooled pack/unpack and line-FFT loops stripe deterministically, so
+  // widening the worker pool must not move a single bit of the result.
+  const std::size_t n = 16;
+  std::vector<Complex> inline_spec, pooled_spec;
+  auto& pool = util::ThreadPool::global();
+  const int prev = pool.threads();
+  for (std::vector<Complex>* out : {&inline_spec, &pooled_spec}) {
+    pool.set_threads(out == &inline_spec ? 1 : 4);
+    comm::run_ranks(2, [&](comm::Communicator& comm) {
+      SlabFft3d fft3(comm, n);
+      const std::size_t my = fft3.my();
+      const std::size_t y0 = static_cast<std::size_t>(comm.rank()) * my;
+      std::vector<Real> phys(fft3.physical_elems());
+      for (std::size_t jj = 0; jj < my; ++jj) {
+        for (std::size_t k = 0; k < n; ++k) {
+          for (std::size_t i = 0; i < n; ++i) {
+            phys[i + n * (k + n * jj)] = rval(i, y0 + jj, k);
+          }
+        }
+      }
+      std::vector<Complex> spec(fft3.spectral_elems());
+      fft3.forward(phys, spec);
+      if (comm.rank() == 0) *out = spec;
+    });
+  }
+  pool.set_threads(prev);
+  ASSERT_EQ(inline_spec.size(), pooled_spec.size());
+  for (std::size_t i = 0; i < inline_spec.size(); ++i) {
+    ASSERT_EQ(inline_spec[i], pooled_spec[i]) << "i=" << i;
+  }
+}
 
 class PencilFftP : public ::testing::TestWithParam<GridCase> {};
 

@@ -1,15 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
 
 #include "util/aligned.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psdns::util {
 namespace {
@@ -125,6 +131,107 @@ TEST(Cli, ParsesFlagsAndValues) {
   EXPECT_EQ(cli.get("name", ""), "run1");
   EXPECT_EQ(cli.get_int("missing", 77), 77);
   EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Simd, BackendNamesAndDispatchAreConsistent) {
+  EXPECT_STREQ(simd::to_string(simd::Backend::Scalar), "scalar");
+  EXPECT_STREQ(simd::to_string(simd::Backend::Avx2), "avx2");
+  // The dispatched backend is always runnable on this machine.
+  const simd::Backend b = simd::active_backend();
+  EXPECT_TRUE(b == simd::Backend::Scalar || simd::avx2_supported());
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for("test.count", 0, kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, StripeToThreadBindingIsDeterministic) {
+  // Which thread slot computes which index must be a pure function of the
+  // loop bounds and thread count — run the same loop twice and compare.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 257;  // not a multiple of the width
+  std::vector<int> first(kN, -1), second(kN, -1);
+  for (auto* out : {&first, &second}) {
+    // Tag each pool thread with its slot, then record who ran each index.
+    thread_local int t_slot = -1;
+    pool.for_each_thread([&](std::size_t slot) {
+      t_slot = static_cast<int>(slot);
+    });
+    pool.parallel_for("test.bind", 0, kN,
+                      [&](std::size_t i) { (*out)[i] = t_slot; });
+  }
+  EXPECT_EQ(first, second);
+  // Caller participates as slot 0 and the loop uses the full width.
+  std::set<int> used(first.begin(), first.end());
+  EXPECT_EQ(used.size(), 4u);
+  EXPECT_TRUE(used.contains(0));
+}
+
+TEST(ThreadPool, ForEachThreadHitsEverySlotOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(3);
+  pool.for_each_thread([&](std::size_t slot) {
+    hits[slot].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(hits[s].load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for("test.outer", 0, 8, [&](std::size_t) {
+    pool.parallel_for("test.inner", 0, 8,
+                      [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for("test.throw", 0, 100, [&](std::size_t i) {
+      if (i == 42) throw std::runtime_error("boom 42");
+    });
+    FAIL() << "expected the loop to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 42");
+  }
+  // The pool survives an exception and keeps running loops.
+  std::atomic<int> n{0};
+  pool.parallel_for("test.after", 0, 10, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, SetThreadsResizes) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  pool.set_threads(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::atomic<int> n{0};
+  pool.parallel_for("test.resized", 0, 16, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 16);
+  pool.set_threads(1);
+  EXPECT_EQ(pool.threads(), 1);
+}
+
+TEST(ThreadPool, StatsAccumulateStageBusyTime) {
+  ThreadPool pool(2);
+  pool.parallel_for("test.stage_a", 0, 64, [](std::size_t) {});
+  pool.parallel_for("test.stage_a", 0, 64, [](std::size_t) {});
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.jobs, 2);
+  EXPECT_GE(stats.stripes, 2);
+  bool found = false;
+  for (const auto& st : stats.stages) {
+    if (std::string_view(st.name) == "test.stage_a") found = true;
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace
