@@ -369,6 +369,7 @@ CampaignResult run_campaign(comm::Communicator& comm,
   if (comm.rank() == 0 && !cfg.spectrum_path.empty()) {
     io::write_spectrum_csv(cfg.spectrum_path, spectrum);
   }
+  result.final_spectrum = std::move(spectrum);
 
   result.final_time = solver.time();
   result.final_diagnostics = solver.diagnostics();
@@ -416,6 +417,7 @@ CampaignResult run_campaign_supervised(comm::Communicator& comm,
       total.steps_run += r.steps_run;
       total.final_time = r.final_time;
       total.final_diagnostics = r.final_diagnostics;
+      total.final_spectrum = r.final_spectrum;
       total.recoveries = recoveries;
       total.metrics_port = r.metrics_port;
       total.health = r.health;

@@ -71,6 +71,7 @@ struct CampaignResult {
   std::int64_t steps_run = 0;  // steps executed in completed segments
   double final_time = 0.0;
   dns::Diagnostics final_diagnostics;
+  std::vector<double> final_spectrum;  // shell spectrum of the final state
   bool restarted = false;  // resumed from an existing checkpoint
   // Supervisor bookkeeping (0 for plain run_campaign).
   int recoveries = 0;              // failed segments rolled back and replayed

@@ -1,0 +1,335 @@
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace psdns::net {
+
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Writes the whole buffer, retrying on short writes; false on error.
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n <= 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+const char* reason_of(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 409: return "Conflict";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return "Status";
+  }
+}
+
+/// Case-insensitive search for a header in the request head; returns its
+/// value with surrounding whitespace trimmed, or "" when absent.
+std::string header_value(const std::string& head, const std::string& name) {
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::size_t colon = head.find(':', pos);
+    if (colon != std::string::npos && colon < eol &&
+        colon - pos == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(head[pos + i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t b = colon + 1;
+        while (b < eol && std::isspace(static_cast<unsigned char>(head[b]))) {
+          ++b;
+        }
+        std::size_t e = eol;
+        while (e > b && std::isspace(static_cast<unsigned char>(head[e - 1]))) {
+          --e;
+        }
+        return head.substr(b, e - b);
+      }
+    }
+    pos = eol + 2;
+  }
+  return "";
+}
+
+/// Remaining budget in milliseconds for poll(); -1 when unbounded.
+int remaining_ms(const util::Stopwatch& watch, double timeout_s) {
+  if (timeout_s <= 0.0) return -1;
+  const double left = timeout_s - watch.seconds();
+  if (left <= 0.0) return 0;
+  return static_cast<int>(left * 1e3) + 1;
+}
+
+/// Connects to host:port within the timeout budget; returns the fd.
+int connect_with_timeout(const std::string& host, int port, double timeout_s,
+                         const util::Stopwatch& watch) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) util::raise("http client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    util::raise("http client: bad host " + host);
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms(watch, timeout_s));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (ready <= 0 || err != 0) {
+      ::close(fd);
+      util::raise("http client: cannot connect to " + host + ":" +
+                  std::to_string(port) +
+                  (ready <= 0 ? " (timeout)" : " (refused)"));
+    }
+  } else if (rc != 0) {
+    ::close(fd);
+    util::raise("http client: cannot connect to " + host + ":" +
+                std::to_string(port));
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking; IO is poll-gated below
+  return fd;
+}
+
+std::string exchange(const std::string& host, int port,
+                     const std::string& request, int* status,
+                     double timeout_s) {
+  const util::Stopwatch watch;
+  const int fd = connect_with_timeout(host, port, timeout_s, watch);
+  if (!write_all(fd, request.data(), request.size())) {
+    ::close(fd);
+    util::raise("http client: request write failed to " + host + ":" +
+                std::to_string(port));
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int budget = remaining_ms(watch, timeout_s);
+    const int ready = ::poll(&pfd, 1, budget);
+    if (ready == 0) {
+      ::close(fd);
+      util::raise("http client: response timed out after " +
+                  std::to_string(timeout_s) + "s from " + host + ":" +
+                  std::to_string(port));
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      util::raise("http client: poll() failed reading from " + host);
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      util::raise("http client: read failed from " + host + ":" +
+                  std::to_string(port));
+    }
+    if (n == 0) break;  // peer closed: response complete
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    util::raise("http client: malformed response from " + host + ":" +
+                std::to_string(port));
+  }
+  if (status != nullptr) {
+    *status = 0;
+    const std::size_t sp = response.find(' ');
+    if (sp != std::string::npos) {
+      *status = std::atoi(response.c_str() + sp + 1);
+    }
+  }
+  return response.substr(head_end + 4);
+}
+
+}  // namespace
+
+std::string render_response(const HttpResponse& response) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << response.status << " " << reason_of(response.status)
+     << "\r\n"
+     << "Content-Type: " << response.content_type << "\r\n"
+     << "Content-Length: " << response.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << response.body;
+  return os.str();
+}
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : handler_(std::move(handler)) {
+  PSDNS_REQUIRE(options.port >= 0 && options.port <= 65535,
+                "http port out of range");
+  PSDNS_REQUIRE(handler_ != nullptr, "http server needs a handler");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) util::raise("http server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind.c_str(), &addr.sin_addr) != 1) {
+    close_fd(listen_fd_);
+    util::raise("http server: bad bind address " + options.bind);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    close_fd(listen_fd_);
+    util::raise("http server: cannot bind port " +
+                std::to_string(options.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  // Self-pipe so the destructor can wake the poll() loop without closing
+  // a descriptor another thread is blocked on.
+  if (::pipe(stop_pipe_) != 0) {
+    close_fd(listen_fd_);
+    util::raise("http server: pipe() failed");
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+HttpServer::~HttpServer() {
+  const char wake = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &wake, 1);
+  if (thread_.joinable()) thread_.join();
+  close_fd(listen_fd_);
+  close_fd(stop_pipe_[0]);
+  close_fd(stop_pipe_[1]);
+}
+
+void HttpServer::serve() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // destructor woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::handle(int client_fd) {
+  // Read the request head; cap the read so a garbage peer cannot grow the
+  // buffer without bound. POST bodies are read up to Content-Length.
+  std::string raw;
+  char buf[1024];
+  std::size_t head_end = std::string::npos;
+  while (raw.size() < 8192) {
+    head_end = raw.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1);
+  if (head_end == std::string::npos) return;  // never got a full head
+
+  HttpRequest request;
+  const std::string head = raw.substr(0, head_end);
+  const std::size_t sp1 = head.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : head.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return;
+  request.method = head.substr(0, sp1);
+  request.path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  const std::string length_text = header_value(head, "Content-Length");
+  std::size_t body_size = 0;
+  if (!length_text.empty()) {
+    body_size = static_cast<std::size_t>(std::atoll(length_text.c_str()));
+    if (body_size > (1u << 20)) {
+      const HttpResponse too_big{400, "text/plain", "body too large\n"};
+      const std::string wire = render_response(too_big);
+      write_all(client_fd, wire.data(), wire.size());
+      return;
+    }
+  }
+  request.body = raw.substr(head_end + 4);
+  while (request.body.size() < body_size) {
+    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    request.body.append(buf, static_cast<std::size_t>(n));
+  }
+  request.body.resize(std::min(request.body.size(), body_size));
+
+  HttpResponse response;
+  try {
+    response = handler_(request);
+  } catch (const std::exception& e) {
+    response = HttpResponse{500, "text/plain",
+                            std::string("internal error: ") + e.what() + "\n"};
+  }
+  const std::string wire = render_response(response);
+  write_all(client_fd, wire.data(), wire.size());
+}
+
+std::string http_get(const std::string& host, int port,
+                     const std::string& path, int* status, double timeout_s) {
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  return exchange(host, port, request, status, timeout_s);
+}
+
+std::string http_post(const std::string& host, int port,
+                      const std::string& path, const std::string& body,
+                      int* status, double timeout_s) {
+  const std::string request =
+      "POST " + path + " HTTP/1.1\r\nHost: " + host +
+      "\r\nContent-Type: application/json\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  return exchange(host, port, request, status, timeout_s);
+}
+
+}  // namespace psdns::net

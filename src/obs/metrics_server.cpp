@@ -1,98 +1,22 @@
 #include "obs/metrics_server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdlib>
-#include <cstring>
-#include <sstream>
 
 #include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace psdns::obs {
 
-namespace {
-
-void close_fd(int& fd) {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
-  }
-}
-
-/// Writes the whole buffer, retrying on short writes; false on error.
-bool write_all(int fd, const char* data, std::size_t size) {
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
-    if (n <= 0) return false;
-    done += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-std::string http_response(int status, const char* reason,
-                          const char* content_type,
-                          const std::string& body) {
-  std::ostringstream os;
-  os << "HTTP/1.1 " << status << " " << reason << "\r\n"
-     << "Content-Type: " << content_type << "\r\n"
-     << "Content-Length: " << body.size() << "\r\n"
-     << "Connection: close\r\n\r\n"
-     << body;
-  return os.str();
-}
-
-}  // namespace
-
 MetricsServer::MetricsServer(Options options) {
-  PSDNS_REQUIRE(options.port >= 0 && options.port <= 65535,
-                "metrics port out of range");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) util::raise("metrics server: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
-  if (::inet_pton(AF_INET, options.bind.c_str(), &addr.sin_addr) != 1) {
-    close_fd(listen_fd_);
-    util::raise("metrics server: bad bind address " + options.bind);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
-    close_fd(listen_fd_);
-    util::raise("metrics server: cannot bind port " +
-                std::to_string(options.port));
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = static_cast<int>(ntohs(addr.sin_port));
-
-  // Self-pipe so the destructor can wake the poll() loop without closing
-  // a descriptor another thread is blocked on.
-  if (::pipe(stop_pipe_) != 0) {
-    close_fd(listen_fd_);
-    util::raise("metrics server: pipe() failed");
-  }
-  thread_ = std::thread([this] { serve(); });
+  net::HttpServer::Options server_opts;
+  server_opts.port = options.port;
+  server_opts.bind = options.bind;
+  server_ = std::make_unique<net::HttpServer>(
+      server_opts,
+      [this](const net::HttpRequest& request) { return handle(request); });
 }
 
-MetricsServer::~MetricsServer() {
-  const char wake = 'x';
-  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &wake, 1);
-  if (thread_.joinable()) thread_.join();
-  close_fd(listen_fd_);
-  close_fd(stop_pipe_[0]);
-  close_fd(stop_pipe_[1]);
-}
+MetricsServer::~MetricsServer() = default;
 
 void MetricsServer::publish(std::string prometheus, std::string json,
                             std::string health_json, bool unhealthy) {
@@ -115,111 +39,25 @@ std::unique_ptr<MetricsServer> MetricsServer::from_env() {
   return std::make_unique<MetricsServer>(options);
 }
 
-void MetricsServer::serve() {
-  for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return;
-    }
-    if (fds[1].revents != 0) return;  // destructor woke us
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    handle(client);
-    ::close(client);
-  }
-}
-
-void MetricsServer::handle(int client_fd) {
-  // Read until the end of the request head (we only need the request
-  // line); cap the read so a garbage peer cannot grow the buffer.
-  std::string request;
-  char buf[1024];
-  while (request.size() < 8192 &&
-         request.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
-    if (n <= 0) break;
-    request.append(buf, static_cast<std::size_t>(n));
-  }
-  requests_.fetch_add(1);
+net::HttpResponse MetricsServer::handle(const net::HttpRequest& request) {
   registry().counter_add("telemetry.http.requests");
-
-  std::string path = "/";
-  const std::size_t sp1 = request.find(' ');
-  if (sp1 != std::string::npos) {
-    const std::size_t sp2 = request.find(' ', sp1 + 1);
-    if (sp2 != std::string::npos) path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (request.path == "/metrics") {
+    return net::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                             prometheus_};
   }
-
-  std::string response;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (path == "/metrics") {
-      response = http_response(200, "OK",
-                               "text/plain; version=0.0.4; charset=utf-8",
-                               prometheus_);
-    } else if (path == "/json" || path == "/") {
-      response = http_response(200, "OK", "application/json", json_);
-    } else if (path == "/health") {
-      response = unhealthy_
-                     ? http_response(503, "Service Unavailable",
-                                     "application/json", health_json_)
-                     : http_response(200, "OK", "application/json",
-                                     health_json_);
-    } else {
-      response = http_response(404, "Not Found", "text/plain",
-                               "not found\n");
-    }
+  if (request.path == "/json" || request.path == "/") {
+    return net::HttpResponse::json(json_);
   }
-  write_all(client_fd, response.data(), response.size());
+  if (request.path == "/health") {
+    return net::HttpResponse::json(health_json_, unhealthy_ ? 503 : 200);
+  }
+  return net::HttpResponse::not_found();
 }
 
 std::string http_get(const std::string& host, int port,
-                     const std::string& path, int* status) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) util::raise("http_get: socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    util::raise("http_get: bad host " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    util::raise("http_get: cannot connect to " + host + ":" +
-                std::to_string(port));
-  }
-  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
-  if (!write_all(fd, request.data(), request.size())) {
-    ::close(fd);
-    util::raise("http_get: request write failed");
-  }
-  std::string response;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n <= 0) break;
-    response.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-
-  const std::size_t head_end = response.find("\r\n\r\n");
-  if (head_end == std::string::npos) {
-    util::raise("http_get: malformed response from " + host + ":" +
-                std::to_string(port));
-  }
-  if (status != nullptr) {
-    *status = 0;
-    const std::size_t sp = response.find(' ');
-    if (sp != std::string::npos) {
-      *status = std::atoi(response.c_str() + sp + 1);
-    }
-  }
-  return response.substr(head_end + 4);
+                     const std::string& path, int* status, double timeout_s) {
+  return net::http_get(host, port, path, status, timeout_s);
 }
 
 }  // namespace psdns::obs

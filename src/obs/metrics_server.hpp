@@ -1,6 +1,7 @@
 #pragma once
-// Live metrics endpoint: a minimal HTTP/1.1 server on a rank-0 background
-// thread serving the latest published exposition documents. Off by
+// Live metrics endpoint: the rank-0 telemetry peephole, now a thin adapter
+// over the reusable net::HttpServer (the socket loop and request parsing
+// live in net/http.*; this file only owns the served documents). Off by
 // default; enabled per-campaign (CampaignConfig) or process-wide with
 // PSDNS_METRICS_PORT. Port 0 binds an ephemeral port (tests and parallel
 // CI jobs); port() reports the bound one.
@@ -12,17 +13,15 @@
 //              503 on abort - a load-balancer-shaped liveness probe)
 //   anything else - 404
 //
-// The server thread only ever reads the documents under a mutex;
-// publish() swaps them in from the campaign loop. One request per
-// connection (Connection: close), loopback bind by default - this is a
-// control-plane peephole, not a web server.
+// The handler only ever reads the documents under a mutex; publish()
+// swaps them in from the campaign loop.
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
+
+#include "net/http.hpp"
 
 namespace psdns::obs {
 
@@ -41,7 +40,7 @@ class MetricsServer {
   MetricsServer& operator=(const MetricsServer&) = delete;
 
   /// The bound TCP port (resolves ephemeral binds).
-  int port() const { return port_; }
+  int port() const { return server_->port(); }
 
   /// Atomically replaces the served documents. `unhealthy` switches
   /// /health to 503.
@@ -49,32 +48,32 @@ class MetricsServer {
                std::string health_json, bool unhealthy = false);
 
   /// Requests served so far (all routes, including 404s).
-  std::int64_t requests() const { return requests_.load(); }
+  std::int64_t requests() const { return server_->requests(); }
 
   /// nullptr when PSDNS_METRICS_PORT is unset; otherwise a server bound
   /// to that port (the value must parse as an integer in [0, 65535]).
   static std::unique_ptr<MetricsServer> from_env();
 
  private:
-  void serve();
-  void handle(int client_fd);
+  net::HttpResponse handle(const net::HttpRequest& request);
 
-  int listen_fd_ = -1;
-  int stop_pipe_[2] = {-1, -1};
-  int port_ = 0;
-  std::atomic<std::int64_t> requests_{0};
   std::mutex mutex_;
   std::string prometheus_ = "# TYPE psdns_up gauge\npsdns_up 1\n";
   std::string json_ = "{}";
   std::string health_json_ = "{}";
   bool unhealthy_ = false;
-  std::thread thread_;
+  std::unique_ptr<net::HttpServer> server_;  // last: handler reads the above
 };
 
 /// Tiny blocking HTTP GET used by psdns_top and the endpoint tests:
 /// returns the response body; `status` (optional) receives the HTTP
-/// status code. Throws util::Error on connect/IO failure.
+/// status code. `timeout_s` bounds the whole exchange (the seed version
+/// blocked forever on a stalled peer); <= 0 waits forever. Throws
+/// util::Error on connect/IO failure or timeout. Forwards to
+/// net::http_get; for a retrying client see svc::fetch (which wraps this
+/// path in a resilience::RetryPolicy).
 std::string http_get(const std::string& host, int port,
-                     const std::string& path, int* status = nullptr);
+                     const std::string& path, int* status = nullptr,
+                     double timeout_s = 30.0);
 
 }  // namespace psdns::obs

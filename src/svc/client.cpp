@@ -1,0 +1,25 @@
+#include "svc/client.hpp"
+
+#include "net/http.hpp"
+
+namespace psdns::svc {
+
+std::string fetch(const std::string& host, int port, const std::string& path,
+                  int* status, const FetchOptions& options) {
+  return resilience::with_retry(
+      options.retry, "svc.fetch " + path, [&] {
+        return net::http_get(host, port, path, status, options.timeout_s);
+      });
+}
+
+std::string post(const std::string& host, int port, const std::string& path,
+                 const std::string& body, int* status,
+                 const FetchOptions& options) {
+  return resilience::with_retry(
+      options.retry, "svc.post " + path, [&] {
+        return net::http_post(host, port, path, body, status,
+                              options.timeout_s);
+      });
+}
+
+}  // namespace psdns::svc

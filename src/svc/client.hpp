@@ -1,0 +1,33 @@
+#pragma once
+// Retrying HTTP client for the campaign service. net::http_get/http_post
+// already bound each exchange with a timeout (the seed client blocked
+// forever on a stalled peer); this layer adds the resilience::RetryPolicy
+// on top - bounded attempts with deterministic backoff - which the layering
+// keeps out of net itself (resilience sits above obs, obs links net).
+// psdns_submit talks to the service exclusively through these calls.
+
+#include <string>
+
+#include "resilience/retry.hpp"
+
+namespace psdns::svc {
+
+struct FetchOptions {
+  double timeout_s = 10.0;            // per-attempt exchange budget
+  resilience::RetryPolicy retry{};    // attempts across timeouts/refusals
+};
+
+/// GET http://host:port/path with per-attempt timeout and bounded retry.
+/// Returns the body; `status` (optional) receives the HTTP status code.
+/// Throws util::Error once the retry budget is exhausted.
+std::string fetch(const std::string& host, int port, const std::string& path,
+                  int* status = nullptr, const FetchOptions& options = {});
+
+/// POST with the same timeout + retry envelope. Retries re-send the body;
+/// service submissions are idempotent by construction (content-addressed),
+/// so a duplicate delivery costs a cache hit, not a duplicate run.
+std::string post(const std::string& host, int port, const std::string& path,
+                 const std::string& body, int* status = nullptr,
+                 const FetchOptions& options = {});
+
+}  // namespace psdns::svc

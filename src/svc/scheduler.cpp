@@ -1,0 +1,373 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "svc/runner.hpp"
+#include "util/check.hpp"
+
+namespace psdns::svc {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  PSDNS_REQUIRE(end != value && *end == '\0',
+                std::string(name) + " must be an integer");
+  return static_cast<int>(parsed);
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return (value == nullptr || *value == '\0') ? fallback : value;
+}
+
+}  // namespace
+
+ServiceConfig ServiceConfig::from(const util::Config& file) {
+  ServiceConfig cfg;
+  cfg.port = static_cast<int>(file.get_int("service.port", cfg.port));
+  cfg.max_concurrent = static_cast<int>(
+      file.get_int("service.max_concurrent", cfg.max_concurrent));
+  cfg.queue_capacity = static_cast<int>(
+      file.get_int("service.queue_capacity", cfg.queue_capacity));
+  cfg.cache_dir = file.get("service.cache_dir", cfg.cache_dir);
+  cfg.cache_keep =
+      static_cast<int>(file.get_int("service.cache_keep", cfg.cache_keep));
+  cfg.workdir = file.get("service.workdir", cfg.workdir);
+
+  // Everything left must be a tenant weight: service.tenant.<name>.weight.
+  const std::string prefix = "service.tenant.";
+  const std::string suffix = ".weight";
+  for (const std::string& key : file.unused_keys()) {
+    PSDNS_REQUIRE(key.size() > prefix.size() + suffix.size() &&
+                      key.compare(0, prefix.size(), prefix) == 0 &&
+                      key.compare(key.size() - suffix.size(), suffix.size(),
+                                  suffix) == 0,
+                  "unknown service config key \"" + key + "\"");
+    const std::string name = key.substr(
+        prefix.size(), key.size() - prefix.size() - suffix.size());
+    PSDNS_REQUIRE(!name.empty(), "empty tenant name in \"" + key + "\"");
+    const double weight = file.get_double(key, 1.0);
+    PSDNS_REQUIRE(weight > 0.0,
+                  "tenant weight must be positive in \"" + key + "\"");
+    cfg.tenant_weights[name] = weight;
+  }
+  cfg.validate();
+  return cfg;
+}
+
+ServiceConfig ServiceConfig::with_env(ServiceConfig base) {
+  base.port = env_int("PSDNS_SVC_PORT", base.port);
+  base.max_concurrent =
+      env_int("PSDNS_SVC_MAX_CONCURRENT", base.max_concurrent);
+  base.queue_capacity =
+      env_int("PSDNS_SVC_QUEUE_CAPACITY", base.queue_capacity);
+  base.cache_dir = env_str("PSDNS_SVC_CACHE_DIR", base.cache_dir);
+  base.cache_keep = env_int("PSDNS_SVC_CACHE_KEEP", base.cache_keep);
+  base.workdir = env_str("PSDNS_SVC_WORKDIR", base.workdir);
+  base.validate();
+  return base;
+}
+
+void ServiceConfig::validate() const {
+  PSDNS_REQUIRE(port >= 0 && port <= 65535,
+                "service.port must be in [0, 65535]");
+  PSDNS_REQUIRE(max_concurrent >= 1 && max_concurrent <= 64,
+                "service.max_concurrent must be in [1, 64]");
+  PSDNS_REQUIRE(queue_capacity >= 1,
+                "service.queue_capacity must be >= 1");
+  PSDNS_REQUIRE(!cache_dir.empty(), "service.cache_dir must be non-empty");
+  PSDNS_REQUIRE(cache_keep >= 1, "service.cache_keep must be >= 1");
+  PSDNS_REQUIRE(!workdir.empty(), "service.workdir must be non-empty");
+  for (const auto& [name, weight] : tenant_weights) {
+    PSDNS_REQUIRE(weight > 0.0,
+                  "tenant weight must be positive for \"" + name + "\"");
+  }
+}
+
+Scheduler::Scheduler(ServiceConfig config, ResultStore& store, bool autostart)
+    : config_(std::move(config)), store_(store) {
+  config_.validate();
+  if (autostart) start();
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+void Scheduler::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(static_cast<std::size_t>(config_.max_concurrent));
+  for (int w = 0; w < config_.max_concurrent; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::TenantState& Scheduler::tenant_locked(const std::string& name) {
+  const auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second;
+  TenantState fresh;
+  const auto weight = config_.tenant_weights.find(name);
+  if (weight != config_.tenant_weights.end()) fresh.weight = weight->second;
+  // Join at the current minimum pass: a newcomer competes from "now", it
+  // does not cash in credit for the time it was absent.
+  double min_pass = std::numeric_limits<double>::max();
+  for (const auto& [other, state] : tenants_) {
+    min_pass = std::min(min_pass, state.pass);
+  }
+  if (!tenants_.empty()) fresh.pass = min_pass;
+  return tenants_.emplace(name, fresh).first->second;
+}
+
+void Scheduler::publish_gauges_locked() {
+  auto& reg = obs::registry();
+  reg.gauge_set("svc.queue.depth", static_cast<double>(queue_.size()));
+  reg.gauge_set("svc.jobs.running", static_cast<double>(running_));
+  for (const auto& [name, state] : tenants_) {
+    reg.gauge_set("svc.tenant." + name + ".completed",
+                  static_cast<double>(state.completed));
+  }
+}
+
+Scheduler::Submission Scheduler::submit(const JobRequest& request) {
+  request.validate();
+  const std::string hash = request.hash();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Submission out;
+  if (!accepting_) {
+    ++rejected_;
+    obs::registry().counter_add("svc.jobs.rejected");
+    out.error = "service is draining";
+    return out;
+  }
+
+  TenantState& tenant = tenant_locked(request.tenant);
+  if (const auto cached = store_.lookup(hash)) {
+    // Born Done: the stored bytes are exactly what a fresh run would
+    // produce, so there is nothing to schedule.
+    JobRecord rec;
+    rec.id = next_id_++;
+    rec.request = request;
+    rec.hash = hash;
+    rec.state = JobState::Done;
+    rec.cached = true;
+    rec.queued_s = rec.started_s = rec.finished_s = now();
+    ++tenant.submitted;
+    jobs_.emplace(rec.id, rec);
+    out.accepted = true;
+    out.id = rec.id;
+    out.cached = true;
+    return out;
+  }
+
+  if (queue_.size() >= static_cast<std::size_t>(config_.queue_capacity)) {
+    ++rejected_;
+    obs::registry().counter_add("svc.jobs.rejected");
+    out.error = "admission queue full";
+    return out;
+  }
+
+  JobRecord rec;
+  rec.id = next_id_++;
+  rec.request = request;
+  rec.hash = hash;
+  rec.queued_s = now();
+  ++tenant.submitted;
+  jobs_.emplace(rec.id, rec);
+  queue_.push_back(rec.id);
+  publish_gauges_locked();
+  work_cv_.notify_one();
+  out.accepted = true;
+  out.id = rec.id;
+  return out;
+}
+
+std::int64_t Scheduler::pick_next_locked() {
+  if (queue_.empty()) return -1;
+  // Tenants with at least one queued job, then the minimum-pass tenant
+  // (name breaks ties so the order is total).
+  const TenantState* best_state = nullptr;
+  std::string best_name;
+  for (const std::int64_t id : queue_) {
+    const std::string& name = jobs_.at(id).request.tenant;
+    const TenantState& state = tenants_.at(name);
+    if (best_state == nullptr || state.pass < best_state->pass ||
+        (state.pass == best_state->pass && name < best_name)) {
+      best_state = &state;
+      best_name = name;
+    }
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (jobs_.at(*it).request.tenant == best_name) {
+      const std::int64_t id = *it;
+      queue_.erase(it);
+      return id;
+    }
+  }
+  return -1;  // unreachable
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const std::int64_t id = pick_next_locked();
+    JobRecord& rec = jobs_.at(id);
+    rec.state = JobState::Running;
+    rec.started_s = now();
+    rec.dispatch_index = dispatch_counter_++;
+    TenantState& tenant = tenant_locked(rec.request.tenant);
+    tenant.pass += 1.0 / tenant.weight;
+    ++running_;
+    publish_gauges_locked();
+    const JobRequest request = rec.request;
+    const std::string hash = rec.hash;
+    lock.unlock();
+
+    JobOutcome outcome;
+    std::string error;
+    try {
+      outcome = run_job(request, config_.workdir);
+      store_.insert(hash, outcome.result_json);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+
+    lock.lock();
+    JobRecord& done = jobs_.at(id);
+    done.finished_s = now();
+    done.recoveries = outcome.recoveries;
+    done.checkpoints_discarded = outcome.checkpoints_discarded;
+    if (error.empty()) {
+      done.state = JobState::Done;
+      ++completed_;
+      ++tenant_locked(request.tenant).completed;
+      obs::registry().counter_add("svc.jobs.completed");
+    } else {
+      done.state = JobState::Failed;
+      done.error = error;
+      ++failed_;
+      obs::registry().counter_add("svc.jobs.failed");
+    }
+    --running_;
+    publish_gauges_locked();
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+std::optional<JobRecord> Scheduler::job(std::int64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Scheduler::result(std::int64_t id) {
+  std::string hash;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.state != JobState::Done) {
+      return std::nullopt;
+    }
+    hash = it->second.hash;
+  }
+  return store_.read(hash);
+}
+
+bool Scheduler::cancel(std::int64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto queued = std::find(queue_.begin(), queue_.end(), id);
+  if (queued == queue_.end()) return false;
+  queue_.erase(queued);
+  JobRecord& rec = jobs_.at(id);
+  rec.state = JobState::Cancelled;
+  rec.finished_s = now();
+  publish_gauges_locked();
+  if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+  return true;
+}
+
+std::string Scheduler::queue_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"queued\":" << queue_.size()
+     << ",\"running\":" << running_
+     << ",\"completed\":" << completed_
+     << ",\"failed\":" << failed_
+     << ",\"rejected\":" << rejected_
+     << ",\"accepting\":" << (accepting_ ? "true" : "false")
+     << ",\"cache\":{\"hits\":" << store_.hits()
+     << ",\"misses\":" << store_.misses()
+     << ",\"evictions\":" << store_.evictions()
+     << ",\"entries\":" << store_.size() << "}";
+  os << ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [name, state] : tenants_) {
+    if (!first) os << ",";
+    first = false;
+    os << obs::json_quote(name) << ":{\"weight\":"
+       << obs::json_number(state.weight)
+       << ",\"submitted\":" << state.submitted
+       << ",\"completed\":" << state.completed << "}";
+  }
+  os << "},\"jobs\":[";
+  first = true;
+  for (const auto& [id, rec] : jobs_) {
+    if (rec.state != JobState::Queued && rec.state != JobState::Running) {
+      continue;
+    }
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << id << ",\"tenant\":" << obs::json_quote(
+           rec.request.tenant)
+       << ",\"state\":\"" << to_string(rec.state) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::size_t Scheduler::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t Scheduler::running() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(running_);
+}
+
+void Scheduler::drain() {
+  start();  // a never-started scheduler must still be able to drain
+  std::unique_lock<std::mutex> lock(mutex_);
+  accepting_ = false;
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void Scheduler::shutdown() {
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace psdns::svc

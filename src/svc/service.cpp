@@ -1,0 +1,158 @@
+#include "svc/service.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "obs/exposition.hpp"
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "obs/reduce.hpp"
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+namespace psdns::svc {
+
+namespace {
+
+std::string error_json(const std::string& message) {
+  return "{\"error\":" + obs::json_quote(message) + "}";
+}
+
+/// "/jobs/17/result" -> id 17, rest "/result"; false when <id> is not a
+/// plain decimal number.
+bool parse_job_path(const std::string& path, std::int64_t* id,
+                    std::string* rest) {
+  const std::string prefix = "/jobs/";
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  std::size_t end = prefix.size();
+  while (end < path.size() && path[end] >= '0' && path[end] <= '9') ++end;
+  if (end == prefix.size()) return false;
+  *id = std::strtoll(path.substr(prefix.size(), end - prefix.size()).c_str(),
+                     nullptr, 10);
+  *rest = path.substr(end);
+  return true;
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config)
+    : config_(config),
+      store_(ResultStore::Options{config.cache_dir, config.cache_keep}),
+      scheduler_(config, store_) {
+  net::HttpServer::Options opts;
+  opts.port = config_.port;
+  server_ = std::make_unique<net::HttpServer>(
+      opts,
+      [this](const net::HttpRequest& request) { return handle(request); });
+}
+
+Service::~Service() {
+  // Stop answering before tearing down the scheduler the handler routes
+  // into.
+  server_.reset();
+  scheduler_.shutdown();
+}
+
+void Service::request_shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Service::wait_shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+  }
+  scheduler_.drain();
+}
+
+std::string Service::metrics_text() const {
+  // The service is one process, so the cross-rank reducer runs over a
+  // single snapshot: same exposition pipeline, count == 1 everywhere.
+  const obs::MetricsSnapshot local = obs::registry().snapshot();
+  const obs::ReducedSnapshot reduced =
+      obs::merge_snapshots({obs::serialize_snapshot(local)});
+  return obs::to_prometheus(reduced, obs::HealthReport{});
+}
+
+net::HttpResponse Service::handle(const net::HttpRequest& request) {
+  obs::registry().counter_add("svc.http.requests");
+  if (request.path == "/jobs" && request.method == "POST") {
+    JobRequest job;
+    try {
+      job = JobRequest::from_json(request.body);
+      job.validate();
+    } catch (const std::exception& e) {
+      return net::HttpResponse::json(error_json(e.what()), 400);
+    }
+    const Scheduler::Submission sub = scheduler_.submit(job);
+    if (!sub.accepted) {
+      return net::HttpResponse::json(error_json(sub.error), 503);
+    }
+    std::ostringstream os;
+    os << "{\"id\":" << sub.id << ",\"hash\":\"" << job.hash() << "\""
+       << ",\"cached\":" << (sub.cached ? "true" : "false") << "}";
+    return net::HttpResponse::json(os.str(), 202);
+  }
+  if (request.path.rfind("/jobs/", 0) == 0 && request.method == "GET") {
+    return handle_jobs_route(request);
+  }
+  if (request.path == "/queue" && request.method == "GET") {
+    return net::HttpResponse::json(scheduler_.queue_json());
+  }
+  if (request.path == "/metrics" && request.method == "GET") {
+    return net::HttpResponse{200,
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             metrics_text()};
+  }
+  if (request.path == "/health" && request.method == "GET") {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const bool draining = shutdown_requested_;
+    const std::string body =
+        std::string("{\"status\":\"") + (draining ? "draining" : "ok") +
+        "\",\"queued\":" + std::to_string(scheduler_.queue_depth()) +
+        ",\"running\":" + std::to_string(scheduler_.running()) + "}";
+    return net::HttpResponse::json(body, draining ? 503 : 200);
+  }
+  if (request.path == "/shutdown" && request.method == "POST") {
+    request_shutdown();
+    return net::HttpResponse::json("{\"status\":\"draining\"}", 202);
+  }
+  return net::HttpResponse::not_found();
+}
+
+net::HttpResponse Service::handle_jobs_route(const net::HttpRequest& request) {
+  std::int64_t id = -1;
+  std::string rest;
+  if (!parse_job_path(request.path, &id, &rest)) {
+    return net::HttpResponse::not_found();
+  }
+  if (rest.empty()) {
+    const auto record = scheduler_.job(id);
+    if (!record) {
+      return net::HttpResponse::json(error_json("unknown job id"), 404);
+    }
+    return net::HttpResponse::json(record->to_json());
+  }
+  if (rest == "/result") {
+    const auto record = scheduler_.job(id);
+    if (!record) {
+      return net::HttpResponse::json(error_json("unknown job id"), 404);
+    }
+    const auto result = scheduler_.result(id);
+    if (!result) {
+      return net::HttpResponse::json(
+          error_json("no result (job is " +
+                     std::string(to_string(record->state)) + ")"),
+          404);
+    }
+    return net::HttpResponse::json(*result);
+  }
+  return net::HttpResponse::not_found();
+}
+
+}  // namespace psdns::svc

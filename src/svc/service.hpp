@@ -1,0 +1,77 @@
+#pragma once
+// The campaign service's HTTP front end: one net::HttpServer routing onto
+// a Scheduler + ResultStore pair. This is what `psdns_serve` runs and what
+// `psdns_submit` talks to.
+//
+// Routes:
+//   POST /jobs              submit (body: JobRequest JSON) ->
+//                           202 {"id":n,"hash":h,"cached":b},
+//                           400 invalid request, 503 queue full/draining
+//   GET  /jobs/<id>         the JobRecord document (404 unknown id)
+//   GET  /jobs/<id>/result  the stored result JSON (404 until Done)
+//   GET  /queue             depths, tenants, cache counters, live jobs
+//   GET  /metrics           Prometheus exposition of the process registry
+//                           (svc.* counters and gauges included)
+//   GET  /health            200 {"status":"ok",...} while accepting,
+//                           503 once draining
+//   POST /shutdown          starts a graceful drain; wait_shutdown()
+//                           unblocks
+//   anything else           404
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "net/http.hpp"
+#include "svc/result_store.hpp"
+#include "svc/scheduler.hpp"
+
+namespace psdns::svc {
+
+class Service {
+ public:
+  /// Opens the store, starts the worker pool and binds the HTTP server.
+  /// Throws util::Error when the port cannot be bound.
+  explicit Service(ServiceConfig config);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// The bound TCP port (resolves port 0).
+  int port() const { return server_->port(); }
+
+  Scheduler& scheduler() { return scheduler_; }
+  ResultStore& store() { return store_; }
+
+  /// Marks the service as shutting down (POST /shutdown and the serve
+  /// daemon's signal handler both land here). Safe from any thread.
+  void request_shutdown();
+
+  /// Blocks until request_shutdown(), then drains the scheduler: every
+  /// admitted job finishes, new submissions are refused. The HTTP server
+  /// stays up through the drain so in-flight jobs remain observable.
+  void wait_shutdown();
+
+  /// True once request_shutdown() has been called (the serve daemon polls
+  /// this alongside its signal flag - signal handlers cannot touch the
+  /// condition variable).
+  bool shutdown_requested() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_requested_;
+  }
+
+ private:
+  net::HttpResponse handle(const net::HttpRequest& request);
+  net::HttpResponse handle_jobs_route(const net::HttpRequest& request);
+  std::string metrics_text() const;
+
+  ServiceConfig config_;
+  ResultStore store_;
+  Scheduler scheduler_;
+  mutable std::mutex mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::unique_ptr<net::HttpServer> server_;  // last: handler uses the above
+};
+
+}  // namespace psdns::svc

@@ -1,0 +1,603 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "resilience/fault.hpp"
+#include "svc/client.hpp"
+#include "svc/job.hpp"
+#include "svc/result_store.hpp"
+#include "svc/runner.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/service.hpp"
+#include "util/check.hpp"
+#include "util/config.hpp"
+#include "util/stopwatch.hpp"
+
+namespace psdns::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmp_dir(const std::string& name) {
+  const std::string path = (fs::temp_directory_path() / name).string();
+  fs::remove_all(path);
+  return path;
+}
+
+JobRequest small_request(std::uint64_t seed = 1, const std::string& tenant =
+                                                     "default") {
+  JobRequest req;
+  req.tenant = tenant;
+  req.n = 16;
+  req.ranks = 1;
+  req.steps = 2;
+  req.seed = seed;
+  return req;
+}
+
+// --- job model -----------------------------------------------------------
+
+TEST(JobRequest, HashIsContentAddressedAndExcludesTenant) {
+  JobRequest a = small_request(1, "alice");
+  JobRequest b = small_request(1, "bob");
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.hash().size(), 16u);
+  for (const char c : a.hash()) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+
+  JobRequest c = small_request(2, "alice");
+  EXPECT_NE(a.hash(), c.hash());
+  JobRequest d = small_request(1, "alice");
+  d.decomposition = Decomposition::Pencil;
+  EXPECT_NE(a.hash(), d.hash());
+  JobRequest e = small_request(1, "alice");
+  e.dealias = DealiasMode::PhaseShift;
+  EXPECT_NE(a.hash(), e.hash());
+}
+
+TEST(JobRequest, JsonRoundTrip) {
+  JobRequest a = small_request(42, "alice");
+  a.scheme = "rk4";
+  a.decomposition = Decomposition::Pencil;
+  a.dealias = DealiasMode::PhaseShift;
+  a.forcing = true;
+  a.forcing_power = 0.25;
+  a.scalars = 2;
+  const JobRequest b = JobRequest::from_json(a.to_json());
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.tenant, b.tenant);
+}
+
+TEST(JobRequest, FromJsonRejectsUnknownAndMalformed) {
+  EXPECT_THROW(JobRequest::from_json("{\"grid\":32}"), util::Error);
+  EXPECT_THROW(JobRequest::from_json("{\"n\":\"big\"}"), util::Error);
+  EXPECT_THROW(JobRequest::from_json("not json"), util::Error);
+  EXPECT_THROW(JobRequest::from_json("[1,2]"), util::Error);
+}
+
+TEST(JobRequest, ValidateRejectsUnserviceableValues) {
+  EXPECT_NO_THROW(small_request().validate());
+
+  JobRequest bad = small_request();
+  bad.ranks = 3;  // does not divide n = 16
+  EXPECT_THROW(bad.validate(), util::Error);
+
+  bad = small_request();
+  bad.scheme = "euler";
+  EXPECT_THROW(bad.validate(), util::Error);
+
+  bad = small_request();
+  bad.steps = 0;
+  EXPECT_THROW(bad.validate(), util::Error);
+
+  bad = small_request();
+  bad.viscosity = -1.0;
+  EXPECT_THROW(bad.validate(), util::Error);
+
+  bad = small_request();
+  bad.tenant = "no spaces";
+  EXPECT_THROW(bad.validate(), util::Error);
+
+  bad = small_request();
+  bad.n = 4;  // below the serviceable floor
+  EXPECT_THROW(bad.validate(), util::Error);
+}
+
+TEST(JobRequest, FromConfigParsesAndRejectsUnknownKeys) {
+  const auto file = util::Config::from_string(R"(
+tenant = alice
+n = 32
+decomposition = pencil
+ranks = 4
+scheme = rk4
+viscosity = 0.005
+seed = 9
+steps = 12
+dealias = phase_shift
+forcing = true
+forcing_power = 0.2
+scalars = 1
+)");
+  const JobRequest req = JobRequest::from_config(file);
+  EXPECT_EQ(req.tenant, "alice");
+  EXPECT_EQ(req.n, 32u);
+  EXPECT_EQ(req.decomposition, Decomposition::Pencil);
+  EXPECT_EQ(req.ranks, 4);
+  EXPECT_EQ(req.scheme, "rk4");
+  EXPECT_EQ(req.seed, 9u);
+  EXPECT_EQ(req.steps, 12);
+  EXPECT_EQ(req.dealias, DealiasMode::PhaseShift);
+  EXPECT_TRUE(req.forcing);
+  EXPECT_EQ(req.scalars, 1);
+  EXPECT_NO_THROW(req.validate());
+
+  EXPECT_THROW(
+      JobRequest::from_config(util::Config::from_string("grid = 32\n")),
+      util::Error);
+}
+
+// --- service config (new util::config keys) ------------------------------
+
+TEST(ServiceConfig, ParsesServiceKeysAndTenantWeights) {
+  const auto file = util::Config::from_string(R"(
+service.port = 9999
+service.max_concurrent = 3
+service.queue_capacity = 8
+service.cache_dir = /tmp/psdns_cache
+service.cache_keep = 5
+service.workdir = /tmp/psdns_work
+service.tenant.alice.weight = 2.0
+service.tenant.bob.weight = 0.5
+)");
+  const ServiceConfig cfg = ServiceConfig::from(file);
+  EXPECT_EQ(cfg.port, 9999);
+  EXPECT_EQ(cfg.max_concurrent, 3);
+  EXPECT_EQ(cfg.queue_capacity, 8);
+  EXPECT_EQ(cfg.cache_dir, "/tmp/psdns_cache");
+  EXPECT_EQ(cfg.cache_keep, 5);
+  EXPECT_EQ(cfg.workdir, "/tmp/psdns_work");
+  ASSERT_EQ(cfg.tenant_weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.tenant_weights.at("alice"), 2.0);
+  EXPECT_DOUBLE_EQ(cfg.tenant_weights.at("bob"), 0.5);
+}
+
+TEST(ServiceConfig, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(
+      ServiceConfig::from(util::Config::from_string("service.prot = 1\n")),
+      util::Error);
+  EXPECT_THROW(ServiceConfig::from(
+                   util::Config::from_string("service.port = 123456\n")),
+               util::Error);
+  EXPECT_THROW(ServiceConfig::from(util::Config::from_string(
+                   "service.max_concurrent = 0\n")),
+               util::Error);
+  EXPECT_THROW(ServiceConfig::from(
+                   util::Config::from_string("service.cache_keep = 0\n")),
+               util::Error);
+  EXPECT_THROW(ServiceConfig::from(util::Config::from_string(
+                   "service.tenant.alice.weight = -1\n")),
+               util::Error);
+  EXPECT_THROW(ServiceConfig::from(util::Config::from_string(
+                   "service.tenant..weight = 1\n")),
+               util::Error);
+  EXPECT_THROW(ServiceConfig::from(
+                   util::Config::from_string("service.port = nine\n")),
+               util::Error);
+}
+
+TEST(ServiceConfig, EnvironmentOverrides) {
+  ::setenv("PSDNS_SVC_PORT", "7777", 1);
+  ::setenv("PSDNS_SVC_MAX_CONCURRENT", "2", 1);
+  ::setenv("PSDNS_SVC_CACHE_DIR", "/tmp/env_cache", 1);
+  const ServiceConfig cfg = ServiceConfig::with_env(ServiceConfig{});
+  ::unsetenv("PSDNS_SVC_PORT");
+  ::unsetenv("PSDNS_SVC_MAX_CONCURRENT");
+  ::unsetenv("PSDNS_SVC_CACHE_DIR");
+  EXPECT_EQ(cfg.port, 7777);
+  EXPECT_EQ(cfg.max_concurrent, 2);
+  EXPECT_EQ(cfg.cache_dir, "/tmp/env_cache");
+
+  ::setenv("PSDNS_SVC_CACHE_KEEP", "0", 1);
+  EXPECT_THROW(ServiceConfig::with_env(ServiceConfig{}), util::Error);
+  ::unsetenv("PSDNS_SVC_CACHE_KEEP");
+}
+
+// --- result store --------------------------------------------------------
+
+TEST(ResultStore, RoundTripPersistenceAndCounters) {
+  const std::string dir = tmp_dir("psdns_store_roundtrip");
+  const std::string hash = small_request().hash();
+  {
+    ResultStore store({dir, 4});
+    EXPECT_FALSE(store.lookup(hash).has_value());
+    EXPECT_EQ(store.misses(), 1);
+    store.insert(hash, "{\"x\":1}");
+    const auto back = store.lookup(hash);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, "{\"x\":1}");
+    EXPECT_EQ(store.hits(), 1);
+  }
+  // A fresh instance over the same directory serves the persisted entry.
+  ResultStore reopened({dir, 4});
+  EXPECT_EQ(reopened.size(), 1u);
+  const auto back = reopened.lookup(hash);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, "{\"x\":1}");
+  fs::remove_all(dir);
+}
+
+TEST(ResultStore, CorruptEntryIsDroppedAsMiss) {
+  const std::string dir = tmp_dir("psdns_store_corrupt");
+  ResultStore store({dir, 4});
+  const std::string hash = small_request().hash();
+  store.insert(hash, "the result payload, CRC protected");
+  // Flip one payload byte behind the store's back.
+  {
+    std::fstream f(store.path_for(hash),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(30);
+    f.put('X');
+  }
+  EXPECT_FALSE(store.lookup(hash).has_value());
+  EXPECT_FALSE(fs::exists(store.path_for(hash)));
+  EXPECT_EQ(store.misses(), 1);
+  EXPECT_EQ(obs::registry().counter("svc.cache.corrupt") > 0, true);
+  fs::remove_all(dir);
+}
+
+TEST(ResultStore, KeepKEvictsLeastRecentlyUsed) {
+  const std::string dir = tmp_dir("psdns_store_evict");
+  ResultStore store({dir, 2});
+  const std::string h1 = small_request(1).hash();
+  const std::string h2 = small_request(2).hash();
+  const std::string h3 = small_request(3).hash();
+  store.insert(h1, "one");
+  store.insert(h2, "two");
+  EXPECT_TRUE(store.lookup(h1).has_value());  // refresh h1; h2 is now LRU
+  store.insert(h3, "three");
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.evictions(), 1);
+  EXPECT_TRUE(store.contains(h1));
+  EXPECT_FALSE(store.contains(h2));
+  EXPECT_TRUE(store.contains(h3));
+  EXPECT_FALSE(fs::exists(store.path_for(h2)));
+  fs::remove_all(dir);
+}
+
+// --- scheduler -----------------------------------------------------------
+
+ServiceConfig test_config(const std::string& tag, int max_concurrent = 1) {
+  ServiceConfig cfg;
+  cfg.max_concurrent = max_concurrent;
+  cfg.cache_dir = tmp_dir("psdns_svc_cache_" + tag);
+  cfg.workdir = tmp_dir("psdns_svc_work_" + tag);
+  return cfg;
+}
+
+TEST(Scheduler, FairShareDispatchOrderIsDeterministic) {
+  ServiceConfig cfg = test_config("fairshare");
+  cfg.tenant_weights["alice"] = 1.0;
+  cfg.tenant_weights["bob"] = 2.0;
+  ResultStore store({cfg.cache_dir, cfg.cache_keep});
+  Scheduler sched(cfg, store, /*autostart=*/false);
+
+  // Distinct seeds -> no cache hits; all jobs queued before any dispatch.
+  std::vector<std::int64_t> alice_ids, bob_ids;
+  for (int j = 0; j < 4; ++j) {
+    alice_ids.push_back(
+        sched.submit(small_request(100 + static_cast<std::uint64_t>(j),
+                                   "alice")).id);
+    bob_ids.push_back(
+        sched.submit(small_request(200 + static_cast<std::uint64_t>(j),
+                                   "bob")).id);
+  }
+  EXPECT_EQ(sched.queue_depth(), 8u);
+  sched.start();
+  sched.drain();
+
+  // Stride order with weights {alice:1, bob:2} and the name tie-break:
+  // A B B A B B A A (bob is dispatched twice as often under contention).
+  std::map<int, char> order;
+  for (const std::int64_t id : alice_ids) {
+    order[sched.job(id)->dispatch_index] = 'A';
+  }
+  for (const std::int64_t id : bob_ids) {
+    order[sched.job(id)->dispatch_index] = 'B';
+  }
+  std::string sequence;
+  for (const auto& [index, who] : order) {
+    EXPECT_GE(index, 0);
+    sequence += who;
+  }
+  EXPECT_EQ(sequence, "ABBABBAA");
+  for (const std::int64_t id : alice_ids) {
+    EXPECT_EQ(sched.job(id)->state, JobState::Done);
+  }
+  fs::remove_all(cfg.cache_dir);
+  fs::remove_all(cfg.workdir);
+}
+
+TEST(Scheduler, IdenticalResubmissionIsACacheHitWithIdenticalBytes) {
+  ServiceConfig cfg = test_config("cachehit");
+  ResultStore store({cfg.cache_dir, cfg.cache_keep});
+  Scheduler sched(cfg, store);
+
+  const auto first = sched.submit(small_request(7, "alice"));
+  ASSERT_TRUE(first.accepted);
+  EXPECT_FALSE(first.cached);
+  sched.drain();  // run it
+  const auto cold = sched.result(first.id);
+  ASSERT_TRUE(cold.has_value());
+
+  // Note drain() stopped admission; a fresh scheduler over the same store
+  // is the "service restarted" case - the cache must still answer.
+  Scheduler again(cfg, store);
+  const auto second = again.submit(small_request(7, "bob"));
+  ASSERT_TRUE(second.accepted);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(again.job(second.id)->state, JobState::Done);
+  const auto hit = again.result(second.id);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*cold, *hit);  // bitwise-identical document, no re-run
+  EXPECT_EQ(store.hits(), 1);
+  fs::remove_all(cfg.cache_dir);
+  fs::remove_all(cfg.workdir);
+}
+
+TEST(Scheduler, BoundedQueueRejectsOverflow) {
+  ServiceConfig cfg = test_config("overflow");
+  cfg.queue_capacity = 2;
+  ResultStore store({cfg.cache_dir, cfg.cache_keep});
+  Scheduler sched(cfg, store, /*autostart=*/false);
+  const auto first = sched.submit(small_request(1));
+  EXPECT_TRUE(first.accepted);
+  EXPECT_TRUE(sched.submit(small_request(2)).accepted);
+  const auto rejected = sched.submit(small_request(3));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.error, "admission queue full");
+  // Cancel one queued job, freeing a slot.
+  EXPECT_TRUE(sched.cancel(first.id));
+  EXPECT_TRUE(sched.submit(small_request(3)).accepted);
+  sched.shutdown();
+  fs::remove_all(cfg.cache_dir);
+  fs::remove_all(cfg.workdir);
+}
+
+TEST(Scheduler, FaultedJobRecoversAndMatchesCleanResult) {
+  // Same shape as the driver's supervised drill: 16^3, 2 ranks, 4 steps,
+  // so the @5 fault lands mid-run with a checkpoint behind it.
+  JobRequest drill = small_request(11, "alice");
+  drill.ranks = 2;
+  drill.steps = 4;
+
+  // Clean reference run.
+  ServiceConfig clean_cfg = test_config("drill_clean");
+  ResultStore clean_store({clean_cfg.cache_dir, clean_cfg.cache_keep});
+  Scheduler clean(clean_cfg, clean_store);
+  const auto clean_sub = clean.submit(drill);
+  clean.drain();
+  const auto clean_result = clean.result(clean_sub.id);
+  ASSERT_TRUE(clean_result.has_value());
+  EXPECT_EQ(clean.job(clean_sub.id)->recoveries, 0);
+
+  // Same request with a mid-job comm fault: the supervisor rolls back and
+  // replays; the job still completes and stores the identical bytes.
+  ServiceConfig faulted_cfg = test_config("drill_faulted");
+  ResultStore faulted_store({faulted_cfg.cache_dir, faulted_cfg.cache_keep});
+  std::int64_t id = -1;
+  {
+    resilience::ScopedPlan plan("comm.alltoall@5=throw");
+    Scheduler faulted(faulted_cfg, faulted_store);
+    id = faulted.submit(drill).id;
+    faulted.drain();
+    const auto record = faulted.job(id);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->state, JobState::Done);
+    EXPECT_EQ(record->recoveries, 1);  // reported in GET /jobs/<id>
+    const auto faulted_result = faulted.result(id);
+    ASSERT_TRUE(faulted_result.has_value());
+    EXPECT_EQ(*faulted_result, *clean_result);
+  }
+  fs::remove_all(clean_cfg.cache_dir);
+  fs::remove_all(clean_cfg.workdir);
+  fs::remove_all(faulted_cfg.cache_dir);
+  fs::remove_all(faulted_cfg.workdir);
+}
+
+TEST(Scheduler, UnrecoverableJobIsReportedFailed) {
+  // Pencil jobs run unsupervised, so a single injected fault fails the job
+  // (and must not take the service down with it).
+  ServiceConfig cfg = test_config("failed");
+  ResultStore store({cfg.cache_dir, cfg.cache_keep});
+  resilience::ScopedPlan plan("comm.alltoall@3=throw");
+  Scheduler sched(cfg, store);
+  JobRequest req = small_request(5);
+  req.decomposition = Decomposition::Pencil;
+  req.ranks = 2;
+  const auto sub = sched.submit(req);
+  sched.drain();
+  const auto record = sched.job(sub.id);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->state, JobState::Failed);
+  EXPECT_NE(record->error.find("injected fault"), std::string::npos);
+  EXPECT_FALSE(sched.result(sub.id).has_value());
+  // The scheduler keeps serving after the failure.
+  EXPECT_GT(obs::registry().counter("svc.jobs.failed"), 0);
+  fs::remove_all(cfg.cache_dir);
+  fs::remove_all(cfg.workdir);
+}
+
+TEST(Runner, SlabAndPencilDecompositionsCacheSeparately) {
+  JobRequest slab = small_request(3);
+  JobRequest pencil = small_request(3);
+  pencil.decomposition = Decomposition::Pencil;
+  EXPECT_NE(slab.hash(), pencil.hash());
+
+  const std::string workdir = tmp_dir("psdns_runner_pencil");
+  const JobOutcome outcome = run_job(pencil, workdir);
+  const obs::JsonValue doc = obs::json_parse(outcome.result_json);
+  EXPECT_EQ(doc.at("schema").string, "psdns.svc.result.v1");
+  EXPECT_EQ(doc.at("hash").string, pencil.hash());
+  EXPECT_EQ(static_cast<std::int64_t>(doc.at("steps_run").number), 2);
+  EXPECT_GT(doc.at("diagnostics").at("energy").number, 0.0);
+  EXPECT_FALSE(doc.at("spectrum").array.empty());
+  fs::remove_all(workdir);
+}
+
+// --- HTTP front end ------------------------------------------------------
+
+TEST(Service, EndToEndSubmitPollResultAndMetrics) {
+  ServiceConfig cfg = test_config("http", /*max_concurrent=*/2);
+  Service service(cfg);
+  const int port = service.port();
+
+  // Invalid request -> 400 naming the problem.
+  int status = 0;
+  net::http_post("127.0.0.1", port, "/jobs", "{\"grid\":16}", &status);
+  EXPECT_EQ(status, 400);
+
+  // Submit two tenants' jobs over HTTP.
+  const std::string a = net::http_post(
+      "127.0.0.1", port, "/jobs", small_request(21, "alice").to_json(),
+      &status);
+  EXPECT_EQ(status, 202);
+  const std::string b = net::http_post(
+      "127.0.0.1", port, "/jobs", small_request(22, "bob").to_json(),
+      &status);
+  EXPECT_EQ(status, 202);
+  const auto id_a =
+      static_cast<std::int64_t>(obs::json_parse(a).at("id").number);
+  const auto id_b =
+      static_cast<std::int64_t>(obs::json_parse(b).at("id").number);
+
+  const auto wait_done = [&](std::int64_t id) {
+    for (;;) {
+      const std::string record = net::http_get(
+          "127.0.0.1", port, "/jobs/" + std::to_string(id), &status);
+      const std::string state = obs::json_parse(record).at("state").string;
+      if (state == "done" || state == "failed") return state;
+    }
+  };
+  EXPECT_EQ(wait_done(id_a), "done");
+  EXPECT_EQ(wait_done(id_b), "done");
+
+  // Result route serves the stored document.
+  const std::string result = net::http_get(
+      "127.0.0.1", port, "/jobs/" + std::to_string(id_a) + "/result",
+      &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(obs::json_parse(result).at("schema").string,
+            "psdns.svc.result.v1");
+
+  // Identical resubmission -> cache hit without a re-run.
+  const std::string again = net::http_post(
+      "127.0.0.1", port, "/jobs", small_request(21, "bob").to_json(),
+      &status);
+  EXPECT_EQ(status, 202);
+  EXPECT_TRUE(obs::json_parse(again).at("cached").boolean);
+
+  // Observability routes.
+  const std::string queue =
+      net::http_get("127.0.0.1", port, "/queue", &status);
+  EXPECT_EQ(status, 200);
+  const obs::JsonValue qdoc = obs::json_parse(queue);
+  EXPECT_GE(qdoc.at("completed").number, 2.0);
+  EXPECT_GE(qdoc.at("cache").at("hits").number, 1.0);
+  const std::string metrics =
+      net::http_get("127.0.0.1", port, "/metrics", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(metrics.find("psdns_svc_cache_hits{stat=\"sum\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("psdns_svc_jobs_completed"), std::string::npos);
+
+  net::http_get("127.0.0.1", port, "/jobs/9999", &status);
+  EXPECT_EQ(status, 404);
+  net::http_get("127.0.0.1", port, "/nope", &status);
+  EXPECT_EQ(status, 404);
+
+  // Graceful drain: health flips to 503 and new submissions are refused.
+  net::http_post("127.0.0.1", port, "/shutdown", "", &status);
+  EXPECT_EQ(status, 202);
+  service.wait_shutdown();
+  net::http_get("127.0.0.1", port, "/health", &status);
+  EXPECT_EQ(status, 503);
+  net::http_post("127.0.0.1", port, "/jobs",
+                 small_request(23, "alice").to_json(), &status);
+  EXPECT_EQ(status, 503);
+  fs::remove_all(cfg.cache_dir);
+  fs::remove_all(cfg.workdir);
+}
+
+// --- client timeout + retry (the hardened http_get) ----------------------
+
+TEST(HttpClient, TimesOutOnSilentPeer) {
+  // A listening socket that never answers: accept backlog lets connect()
+  // succeed, then the exchange must hit the deadline instead of blocking
+  // forever (the seed behavior).
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  const util::Stopwatch watch;
+  EXPECT_THROW(net::http_get("127.0.0.1", port, "/", nullptr, 0.3),
+               util::Error);
+  EXPECT_LT(watch.seconds(), 5.0);
+  ::close(listener);
+}
+
+TEST(HttpClient, FetchRetriesPerPolicy) {
+  // Find a port that is certainly closed by binding then closing it.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  FetchOptions options;
+  options.timeout_s = 0.2;
+  options.retry.max_attempts = 3;
+  options.retry.base_delay_s = 1e-4;
+  const std::int64_t before =
+      obs::registry().counter("resilience.retries");
+  EXPECT_THROW(fetch("127.0.0.1", port, "/metrics", nullptr, options),
+               util::Error);
+  EXPECT_EQ(obs::registry().counter("resilience.retries"), before + 2);
+}
+
+}  // namespace
+}  // namespace psdns::svc

@@ -1,0 +1,109 @@
+// psdns_serve: the campaign-service daemon. Binds the HTTP front end,
+// prints the bound port (parseable by scripts: "listening on port N"),
+// then serves until SIGINT/SIGTERM or POST /shutdown, at which point it
+// drains - every admitted job finishes, new submissions are refused -
+// and exits 0.
+//
+//   psdns_serve [--config FILE] [--port N] [--max-concurrent N]
+//               [--queue-capacity N] [--cache-dir DIR] [--cache-keep K]
+//               [--workdir DIR]
+//
+// Precedence: built-in defaults < --config file (service.* keys) <
+// PSDNS_SVC_* environment < command-line flags. --port 0 binds an
+// ephemeral port (CI runs several services in parallel).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "svc/service.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--config FILE] [--port N] [--max-concurrent N]\n"
+               "          [--queue-capacity N] [--cache-dir DIR]\n"
+               "          [--cache-keep K] [--workdir DIR]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using psdns::svc::ServiceConfig;
+  std::string config_path;
+  // Flags are applied after the config file and environment, so collect
+  // them first.
+  struct {
+    const char* name;
+    std::string value;
+    bool set = false;
+  } flags[] = {{"--port", "", false},       {"--max-concurrent", "", false},
+               {"--queue-capacity", "", false}, {"--cache-dir", "", false},
+               {"--cache-keep", "", false}, {"--workdir", "", false}};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i + 1 >= argc) return usage(argv[0]);
+    const std::string value = argv[++i];
+    if (arg == "--config") {
+      config_path = value;
+      continue;
+    }
+    bool known = false;
+    for (auto& flag : flags) {
+      if (arg == flag.name) {
+        flag.value = value;
+        flag.set = true;
+        known = true;
+        break;
+      }
+    }
+    if (!known) return usage(argv[0]);
+  }
+
+  try {
+    ServiceConfig cfg;
+    if (!config_path.empty()) {
+      cfg = ServiceConfig::from(psdns::util::Config::from_file(config_path));
+    }
+    cfg = ServiceConfig::with_env(cfg);
+    if (flags[0].set) cfg.port = std::atoi(flags[0].value.c_str());
+    if (flags[1].set) cfg.max_concurrent = std::atoi(flags[1].value.c_str());
+    if (flags[2].set) cfg.queue_capacity = std::atoi(flags[2].value.c_str());
+    if (flags[3].set) cfg.cache_dir = flags[3].value;
+    if (flags[4].set) cfg.cache_keep = std::atoi(flags[4].value.c_str());
+    if (flags[5].set) cfg.workdir = flags[5].value;
+    cfg.validate();
+
+    psdns::svc::Service service(cfg);
+    std::printf("psdns_serve: listening on port %d\n", service.port());
+    std::printf("psdns_serve: cache %s (keep %d), workdir %s, %d worker%s\n",
+                cfg.cache_dir.c_str(), cfg.cache_keep, cfg.workdir.c_str(),
+                cfg.max_concurrent, cfg.max_concurrent == 1 ? "" : "s");
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (g_signalled == 0 && !service.shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("psdns_serve: draining...\n");
+    std::fflush(stdout);
+    service.scheduler().drain();
+    std::printf("psdns_serve: drained, shutting down\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psdns_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -10,6 +10,10 @@
 //       then the full table for the final row. The same rendering path as
 //       live mode - the series is the endpoint's flight recorder.
 //
+// --json switches both modes to machine-readable output: live mode prints
+// the endpoint's /json document verbatim (one line per poll), series mode
+// one ReducedSnapshot JSON object per row. Exit codes are unchanged.
+//
 // Exit codes: 0 healthy/degraded, 2 when the latest verdict is abort,
 // 1 on usage or fetch errors (lets CI scripts gate on campaign health).
 
@@ -36,12 +40,13 @@ struct Options {
   int port = -1;
   std::string series;
   double watch_seconds = 0.0;  // 0 = single shot
+  bool json = false;           // raw JSON instead of the rendered table
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --port N [--host H] [--watch SECS]\n"
-               "       %s --series FILE.jsonl\n",
+               "usage: %s --port N [--host H] [--watch SECS] [--json]\n"
+               "       %s --series FILE.jsonl [--json]\n",
                argv0, argv0);
   return 1;
 }
@@ -130,12 +135,16 @@ int run_live(const Options& opt) {
     const JsonValue doc = psdns::obs::json_parse(body);
     fetched_any = true;
     last_verdict = verdict_of(doc);
-    if (opt.watch_seconds > 0.0) std::printf("\x1b[2J\x1b[H");
-    if (const JsonValue* snap = find(doc, "snapshot")) {
-      render_snapshot(*snap, last_verdict);
-    }
-    if (const JsonValue* health = find(doc, "health")) {
-      render_health_events(*health);
+    if (opt.json) {
+      std::printf("%s\n", body.c_str());
+    } else {
+      if (opt.watch_seconds > 0.0) std::printf("\x1b[2J\x1b[H");
+      if (const JsonValue* snap = find(doc, "snapshot")) {
+        render_snapshot(*snap, last_verdict);
+      }
+      if (const JsonValue* health = find(doc, "health")) {
+        render_health_events(*health);
+      }
     }
     if (opt.watch_seconds <= 0.0) break;
     std::fflush(stdout);
@@ -150,6 +159,12 @@ int run_series(const Options& opt) {
   if (rows.empty()) {
     std::fprintf(stderr, "%s: empty series\n", opt.series.c_str());
     return 1;
+  }
+  if (opt.json) {
+    for (const auto& row : rows) {
+      std::printf("%s\n", row.to_json().c_str());
+    }
+    return rows.back().health_verdict == "abort" ? 2 : 0;
   }
   std::printf("%s: %zu rows\n", opt.series.c_str(), rows.size());
   for (const auto& row : rows) {
@@ -185,7 +200,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--port") {
+    if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--port") {
       opt.port = std::atoi(value());
     } else if (arg == "--host") {
       opt.host = value();
