@@ -7,7 +7,10 @@
 //
 // Emits BENCH_service_throughput.json (schema v2, perf-gate compatible;
 // "throughput"/"speedup" metric names are higher-is-better to perfdiff).
+// Besides the means, both passes report p50/p95/p99 per-job latency - the
+// SLO view: a mean hides the straggler jobs a tenant actually notices.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -66,13 +69,27 @@ int main() {
     return watch.seconds();
   };
 
-  double cold_s = 0.0;
-  for (int j = 0; j < kJobs; ++j) cold_s += submit_wait(j);
-  double hit_s = 0.0;
-  for (int j = 0; j < kJobs; ++j) hit_s += submit_wait(j);
+  std::vector<double> cold;
+  for (int j = 0; j < kJobs; ++j) cold.push_back(submit_wait(j));
+  std::vector<double> hit;
+  for (int j = 0; j < kJobs; ++j) hit.push_back(submit_wait(j));
 
-  const double cold_latency = cold_s / kJobs;
-  const double hit_latency = hit_s / kJobs;
+  const auto sum = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (const double x : v) s += x;
+    return s;
+  };
+  // Nearest-rank percentile over the sorted per-job latencies (same rule
+  // as obs::Registry histograms).
+  const auto quantile = [](std::vector<double> v, double q) {
+    std::sort(v.begin(), v.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(rank, v.size() - 1)];
+  };
+
+  const double cold_latency = sum(cold) / kJobs;
+  const double hit_latency = sum(hit) / kJobs;
   const double cold_per_hour = 3600.0 / cold_latency;
   const double hit_per_hour = 3600.0 / hit_latency;
   const double speedup = cold_latency / hit_latency;
@@ -82,6 +99,10 @@ int main() {
   std::printf("%-28s %12s %12s\n", "", "cold run", "cache hit");
   std::printf("%-28s %12.4f %12.6f\n", "latency per job [s]", cold_latency,
               hit_latency);
+  std::printf("%-28s %12.4f %12.6f\n", "latency p50 [s]",
+              quantile(cold, 0.50), quantile(hit, 0.50));
+  std::printf("%-28s %12.4f %12.6f\n", "latency p95 [s]",
+              quantile(cold, 0.95), quantile(hit, 0.95));
   std::printf("%-28s %12.0f %12.0f\n", "throughput [jobs/hour]",
               cold_per_hour, hit_per_hour);
   std::printf("cache-hit speedup: %.0fx (acceptance bar: >= 100x)\n",
@@ -93,6 +114,12 @@ int main() {
   report.meta("grid", "16^3, 2 ranks, 4 steps");
   report.metric("cold_latency_seconds", cold_latency);
   report.metric("cache_hit_latency_seconds", hit_latency);
+  report.metric("cold_latency_p50_seconds", quantile(cold, 0.50));
+  report.metric("cold_latency_p95_seconds", quantile(cold, 0.95));
+  report.metric("cold_latency_p99_seconds", quantile(cold, 0.99));
+  report.metric("cache_hit_latency_p50_seconds", quantile(hit, 0.50));
+  report.metric("cache_hit_latency_p95_seconds", quantile(hit, 0.95));
+  report.metric("cache_hit_latency_p99_seconds", quantile(hit, 0.99));
   report.metric("cold_throughput_jobs_per_hour", cold_per_hour);
   report.metric("cache_hit_throughput_jobs_per_hour", hit_per_hour);
   report.metric("cache_hit_speedup", speedup);

@@ -383,7 +383,9 @@ CampaignResult run_campaign(comm::Communicator& comm,
   }
   // One rank writes the collected trace (spans of every rank thread are in
   // the same process-wide buffer, so rank 0 owns the file).
-  if (comm.rank() == 0) obs::write_trace_if_configured();
+  if (cfg.write_trace_at_end && comm.rank() == 0) {
+    obs::write_trace_if_configured();
+  }
   return result;
 }
 

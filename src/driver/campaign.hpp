@@ -53,6 +53,10 @@ struct CampaignConfig {
   int metrics_port = -1;        // -1 off, 0 ephemeral, >0 fixed (rank 0)
   std::string telemetry_path;   // reduced-snapshot JSONL (rank 0)
   obs::HealthConfig health;     // per-step invariant thresholds + mode
+  // Whether run completion writes PSDNS_TRACE_FILE. An embedding process
+  // that runs many campaigns in one trace (the campaign service) turns
+  // this off and writes once, at its own end of life.
+  bool write_trace_at_end = true;
   // Set by run_campaign_supervised so replayed segments report the
   // rollback count to the health monitor; not a config-file key.
   int recoveries_so_far = 0;

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cstring>
 #include <sstream>
+#include <string_view>
 
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
@@ -51,39 +52,76 @@ const char* reason_of(int status) {
   }
 }
 
-/// Case-insensitive search for a header in the request head; returns its
-/// value with surrounding whitespace trimmed, or "" when absent.
-std::string header_value(const std::string& head, const std::string& name) {
-  std::size_t pos = 0;
-  while (pos < head.size()) {
-    std::size_t eol = head.find("\r\n", pos);
-    if (eol == std::string::npos) eol = head.size();
-    const std::size_t colon = head.find(':', pos);
-    if (colon != std::string::npos && colon < eol &&
-        colon - pos == name.size()) {
-      bool match = true;
-      for (std::size_t i = 0; i < name.size(); ++i) {
-        if (std::tolower(static_cast<unsigned char>(head[pos + i])) !=
-            std::tolower(static_cast<unsigned char>(name[i]))) {
-          match = false;
-          break;
-        }
-      }
-      if (match) {
-        std::size_t b = colon + 1;
-        while (b < eol && std::isspace(static_cast<unsigned char>(head[b]))) {
-          ++b;
-        }
-        std::size_t e = eol;
-        while (e > b && std::isspace(static_cast<unsigned char>(head[e - 1]))) {
-          --e;
-        }
-        return head.substr(b, e - b);
-      }
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
     }
+  }
+  return true;
+}
+
+std::string trimmed(const std::string& text, std::size_t b, std::size_t e) {
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+constexpr std::size_t kMaxHeadBytes = 8192;
+constexpr std::size_t kMaxHeaderCount = 100;
+
+/// Parses the "Name: value" lines of `head` between `pos` and `end`
+/// (exclusive; lines are \r\n-terminated, the terminator of the last line
+/// may be absent). Folded continuations (lines starting with SP/HT, the
+/// deprecated RFC 9112 obs-fold) are joined onto the previous header's
+/// value with a single space. Returns false (naming the problem in
+/// *error) on a line without a colon, an empty or whitespace-carrying
+/// name, a continuation with no header to continue, or too many headers.
+bool parse_header_lines(const std::string& head, std::size_t pos,
+                        std::size_t end, HttpHeaders* out,
+                        std::string* error) {
+  while (pos < end) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos || eol > end) eol = end;
+    if (eol == pos) {  // blank line inside the head
+      pos = eol + 2;
+      continue;
+    }
+    if (head[pos] == ' ' || head[pos] == '\t') {
+      if (out->empty()) {
+        *error = "folded header line with nothing to continue";
+        return false;
+      }
+      const std::string continuation = trimmed(head, pos, eol);
+      if (!continuation.empty()) {
+        std::string& value = out->back().second;
+        if (!value.empty()) value += ' ';
+        value += continuation;
+      }
+      pos = eol + 2;
+      continue;
+    }
+    const std::size_t colon = head.find(':', pos);
+    if (colon == std::string::npos || colon >= eol) {
+      *error = "malformed header line (no colon)";
+      return false;
+    }
+    const std::string name = head.substr(pos, colon - pos);
+    if (name.empty() ||
+        name.find_first_of(" \t") != std::string::npos) {
+      *error = "malformed header name";
+      return false;
+    }
+    if (out->size() >= kMaxHeaderCount) {
+      *error = "too many headers";
+      return false;
+    }
+    out->emplace_back(name, trimmed(head, colon + 1, eol));
     pos = eol + 2;
   }
-  return "";
+  return true;
 }
 
 /// Remaining budget in milliseconds for poll(); -1 when unbounded.
@@ -133,7 +171,8 @@ int connect_with_timeout(const std::string& host, int port, double timeout_s,
 
 std::string exchange(const std::string& host, int port,
                      const std::string& request, int* status,
-                     double timeout_s) {
+                     double timeout_s,
+                     HttpHeaders* response_headers = nullptr) {
   const util::Stopwatch watch;
   const int fd = connect_with_timeout(host, port, timeout_s, watch);
   if (!write_all(fd, request.data(), request.size())) {
@@ -181,19 +220,57 @@ std::string exchange(const std::string& host, int port,
       *status = std::atoi(response.c_str() + sp + 1);
     }
   }
+  if (response_headers != nullptr) {
+    response_headers->clear();
+    const std::size_t line_end = response.find("\r\n");
+    if (line_end != std::string::npos && line_end < head_end) {
+      std::string error;
+      if (!parse_header_lines(response, line_end + 2, head_end,
+                              response_headers, &error)) {
+        util::raise("http client: " + error + " in response from " + host +
+                    ":" + std::to_string(port));
+      }
+    }
+  }
   return response.substr(head_end + 4);
 }
 
+std::string render_request(const std::string& method, const std::string& host,
+                           const std::string& path, const HttpHeaders& headers,
+                           const std::string* body) {
+  std::ostringstream os;
+  os << method << " " << path << " HTTP/1.1\r\nHost: " << host << "\r\n";
+  for (const auto& [name, value] : headers) {
+    os << name << ": " << value << "\r\n";
+  }
+  if (body != nullptr) {
+    os << "Content-Type: application/json\r\nContent-Length: " << body->size()
+       << "\r\n";
+  }
+  os << "Connection: close\r\n\r\n";
+  if (body != nullptr) os << *body;
+  return os.str();
+}
+
 }  // namespace
+
+std::string header_get(const HttpHeaders& headers, std::string_view name) {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return "";
+}
 
 std::string render_response(const HttpResponse& response) {
   std::ostringstream os;
   os << "HTTP/1.1 " << response.status << " " << reason_of(response.status)
      << "\r\n"
      << "Content-Type: " << response.content_type << "\r\n"
-     << "Content-Length: " << response.body.size() << "\r\n"
-     << "Connection: close\r\n\r\n"
-     << response.body;
+     << "Content-Length: " << response.body.size() << "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    os << name << ": " << value << "\r\n";
+  }
+  os << "Connection: close\r\n\r\n" << response.body;
   return os.str();
 }
 
@@ -266,7 +343,7 @@ void HttpServer::handle(int client_fd) {
   std::string raw;
   char buf[1024];
   std::size_t head_end = std::string::npos;
-  while (raw.size() < 8192) {
+  while (raw.size() < kMaxHeadBytes) {
     head_end = raw.find("\r\n\r\n");
     if (head_end != std::string::npos) break;
     const ssize_t n = ::read(client_fd, buf, sizeof(buf));
@@ -274,25 +351,45 @@ void HttpServer::handle(int client_fd) {
     raw.append(buf, static_cast<std::size_t>(n));
   }
   requests_.fetch_add(1);
-  if (head_end == std::string::npos) return;  // never got a full head
+  const auto refuse = [&](const std::string& why) {
+    const HttpResponse bad{400, "text/plain", why + "\n", {}};
+    const std::string wire = render_response(bad);
+    write_all(client_fd, wire.data(), wire.size());
+  };
+  if (head_end == std::string::npos) {
+    // A head that filled the whole budget without terminating is a peer
+    // problem worth a diagnosis; a short read is just a dead connection.
+    if (raw.size() >= kMaxHeadBytes) refuse("request head too large");
+    return;
+  }
 
   HttpRequest request;
   const std::string head = raw.substr(0, head_end);
   const std::size_t sp1 = head.find(' ');
   const std::size_t sp2 =
       sp1 == std::string::npos ? std::string::npos : head.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) return;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    refuse("malformed request line");
+    return;
+  }
   request.method = head.substr(0, sp1);
   request.path = head.substr(sp1 + 1, sp2 - sp1 - 1);
 
-  const std::string length_text = header_value(head, "Content-Length");
+  std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) line_end = head.size();
+  std::string header_error;
+  if (!parse_header_lines(head, std::min(line_end + 2, head.size()),
+                          head.size(), &request.headers, &header_error)) {
+    refuse(header_error);
+    return;
+  }
+
+  const std::string length_text = request.header("Content-Length");
   std::size_t body_size = 0;
   if (!length_text.empty()) {
     body_size = static_cast<std::size_t>(std::atoll(length_text.c_str()));
     if (body_size > (1u << 20)) {
-      const HttpResponse too_big{400, "text/plain", "body too large\n"};
-      const std::string wire = render_response(too_big);
-      write_all(client_fd, wire.data(), wire.size());
+      refuse("body too large");
       return;
     }
   }
@@ -316,20 +413,22 @@ void HttpServer::handle(int client_fd) {
 }
 
 std::string http_get(const std::string& host, int port,
-                     const std::string& path, int* status, double timeout_s) {
-  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
-  return exchange(host, port, request, status, timeout_s);
+                     const std::string& path, int* status, double timeout_s,
+                     const HttpHeaders& headers,
+                     HttpHeaders* response_headers) {
+  const std::string request =
+      render_request("GET", host, path, headers, nullptr);
+  return exchange(host, port, request, status, timeout_s, response_headers);
 }
 
 std::string http_post(const std::string& host, int port,
                       const std::string& path, const std::string& body,
-                      int* status, double timeout_s) {
+                      int* status, double timeout_s,
+                      const HttpHeaders& headers,
+                      HttpHeaders* response_headers) {
   const std::string request =
-      "POST " + path + " HTTP/1.1\r\nHost: " + host +
-      "\r\nContent-Type: application/json\r\nContent-Length: " +
-      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
-  return exchange(host, port, request, status, timeout_s);
+      render_request("POST", host, path, headers, &body);
+  return exchange(host, port, request, status, timeout_s, response_headers);
 }
 
 }  // namespace psdns::net

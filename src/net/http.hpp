@@ -14,34 +14,57 @@
 // Client: blocking GET/POST with a wall-clock timeout covering connect,
 // request write and response read (the seed implementation blocked forever
 // on a stalled peer). timeout_s <= 0 restores the unbounded behaviour.
+//
+// Headers: request headers are parsed into HttpRequest::headers (folded
+// obs-fold continuations joined with one space), and responses may carry
+// custom headers - the trace-id propagation path (X-Psdns-Trace) rides on
+// both. The whole request head is bounded (8 KiB, 100 headers); an
+// oversized or malformed head is answered with 400, never a hang.
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace psdns::net {
 
+/// Ordered header name/value pairs, as received/emitted. Lookups are
+/// case-insensitive (RFC 9110); duplicate names keep every occurrence.
+using HttpHeaders = std::vector<std::pair<std::string, std::string>>;
+
+/// Case-insensitive lookup in `headers`; "" when absent (first match wins).
+std::string header_get(const HttpHeaders& headers, std::string_view name);
+
 struct HttpRequest {
-  std::string method;  // "GET", "POST", ... (uppercase as received)
-  std::string path;    // request target, e.g. "/jobs/3/result"
-  std::string body;    // present on POST/PUT when Content-Length says so
+  std::string method;   // "GET", "POST", ... (uppercase as received)
+  std::string path;     // request target, e.g. "/jobs/3/result"
+  std::string body;     // present on POST/PUT when Content-Length says so
+  HttpHeaders headers;  // parsed request headers (folded lines joined)
+
+  /// Case-insensitive header lookup; "" when absent.
+  std::string header(std::string_view name) const {
+    return header_get(headers, name);
+  }
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain";
   std::string body;
+  HttpHeaders headers;  // extra response headers, emitted verbatim
 
   static HttpResponse json(std::string body, int status = 200) {
-    return HttpResponse{status, "application/json", std::move(body)};
+    return HttpResponse{status, "application/json", std::move(body), {}};
   }
   static HttpResponse text(std::string body, int status = 200) {
-    return HttpResponse{status, "text/plain", std::move(body)};
+    return HttpResponse{status, "text/plain", std::move(body), {}};
   }
   static HttpResponse not_found() {
-    return HttpResponse{404, "text/plain", "not found\n"};
+    return HttpResponse{404, "text/plain", "not found\n", {}};
   }
 };
 
@@ -85,16 +108,21 @@ class HttpServer {
 
 /// Blocking HTTP GET: returns the response body; `status` (optional)
 /// receives the HTTP status code. `timeout_s` bounds the whole exchange
-/// (connect + write + read); <= 0 waits forever. Throws util::Error on
-/// connect/IO failure or timeout (naming host:port).
+/// (connect + write + read); <= 0 waits forever. `headers` are emitted
+/// verbatim after Host; `response_headers` (optional) receives the parsed
+/// response headers. Throws util::Error on connect/IO failure or timeout
+/// (naming host:port).
 std::string http_get(const std::string& host, int port,
                      const std::string& path, int* status = nullptr,
-                     double timeout_s = 30.0);
+                     double timeout_s = 30.0, const HttpHeaders& headers = {},
+                     HttpHeaders* response_headers = nullptr);
 
 /// Blocking HTTP POST of `body` (Content-Type: application/json). Same
-/// timeout and error contract as http_get.
+/// timeout, header and error contract as http_get.
 std::string http_post(const std::string& host, int port,
                       const std::string& path, const std::string& body,
-                      int* status = nullptr, double timeout_s = 30.0);
+                      int* status = nullptr, double timeout_s = 30.0,
+                      const HttpHeaders& headers = {},
+                      HttpHeaders* response_headers = nullptr);
 
 }  // namespace psdns::net

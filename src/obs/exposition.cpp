@@ -13,6 +13,23 @@ bool prom_ok(char c) {
          (c >= '0' && c <= '9') || c == '_' || c == ':';
 }
 
+/// One histogram summary as a Prometheus summary family: quantile-labeled
+/// lines plus the standard _sum/_count pair and _min/_max gauges.
+void write_summary(std::ostringstream& os, const std::string& key,
+                   const HistogramSummary& h) {
+  const std::string name = prometheus_name(key);
+  os << "# TYPE " << name << " summary\n";
+  os << name << "{quantile=\"0.5\"} " << json_number(h.p50) << "\n";
+  os << name << "{quantile=\"0.95\"} " << json_number(h.p95) << "\n";
+  os << name << "{quantile=\"0.99\"} " << json_number(h.p99) << "\n";
+  os << name << "_sum " << json_number(h.sum) << "\n";
+  os << name << "_count " << h.count << "\n";
+  os << "# TYPE " << name << "_min gauge\n"
+     << name << "_min " << json_number(h.min) << "\n";
+  os << "# TYPE " << name << "_max gauge\n"
+     << name << "_max " << json_number(h.max) << "\n";
+}
+
 void write_family(std::ostringstream& os, const std::string& key,
                   const ReducedValue& v, const char* type) {
   const std::string name = prometheus_name(key);
@@ -54,6 +71,9 @@ std::string to_prometheus(const ReducedSnapshot& snap,
   }
   for (const auto& [key, v] : snap.gauges) {
     write_family(os, key, v, "gauge");
+  }
+  for (const auto& [key, h] : snap.histograms) {
+    write_summary(os, key, h);
   }
   return os.str();
 }

@@ -9,7 +9,8 @@
 // statistics ride on a {stat="sum|min|max|mean"} label and the straggler
 // ranks on psdns_..._extreme_rank{stat="min|max"}. Counters keep counter
 // semantics (the reduced sum of monotonic per-rank counters is
-// monotonic); gauges are gauges.
+// monotonic); gauges are gauges; histogram summaries render as Prometheus
+// summaries ({quantile="0.5|0.95|0.99"} plus _sum/_count and _min/_max).
 
 #include <string>
 #include <string_view>

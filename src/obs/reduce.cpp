@@ -1,5 +1,6 @@
 #include "obs/reduce.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "obs/json.hpp"
@@ -54,6 +55,63 @@ void write_reduced_map(std::ostringstream& os, const char* section,
   os << "}";
 }
 
+/// Count-weighted merge of one rank's histogram summary into the union.
+/// Quantiles average weighted by observation count; min/max take the
+/// extremes; count and sum add.
+void merge_histogram(std::map<std::string, HistogramSummary>& out,
+                     const std::string& key, const HistogramSummary& h) {
+  auto [it, inserted] = out.try_emplace(key, h);
+  if (inserted) return;
+  HistogramSummary& m = it->second;
+  const double total = static_cast<double>(m.count + h.count);
+  if (total > 0.0) {
+    const double wm = static_cast<double>(m.count) / total;
+    const double wh = static_cast<double>(h.count) / total;
+    m.p50 = wm * m.p50 + wh * h.p50;
+    m.p95 = wm * m.p95 + wh * h.p95;
+    m.p99 = wm * m.p99 + wh * h.p99;
+  }
+  if (h.count > 0) {
+    m.min = m.count > 0 ? std::min(m.min, h.min) : h.min;
+    m.max = m.count > 0 ? std::max(m.max, h.max) : h.max;
+  }
+  m.count += h.count;
+  m.sum += h.sum;
+  m.p50 = std::clamp(m.p50, m.min, m.max);
+  m.p95 = std::clamp(m.p95, m.min, m.max);
+  m.p99 = std::clamp(m.p99, m.min, m.max);
+}
+
+void write_histogram_map(std::ostringstream& os,
+                         const std::map<std::string, HistogramSummary>& map) {
+  os << "\"histograms\":{";
+  bool first = true;
+  for (const auto& [key, h] : map) {
+    if (!first) os << ",";
+    first = false;
+    os << json_quote(key) << ":{\"count\":" << h.count
+       << ",\"sum\":" << json_number(h.sum)
+       << ",\"min\":" << json_number(h.min)
+       << ",\"max\":" << json_number(h.max)
+       << ",\"p50\":" << json_number(h.p50)
+       << ",\"p95\":" << json_number(h.p95)
+       << ",\"p99\":" << json_number(h.p99) << "}";
+  }
+  os << "}";
+}
+
+HistogramSummary parse_histogram(const JsonValue& val) {
+  HistogramSummary h;
+  h.count = static_cast<std::int64_t>(val.at("count").number);
+  h.sum = val.at("sum").number;
+  h.min = val.at("min").number;
+  h.max = val.at("max").number;
+  h.p50 = val.at("p50").number;
+  h.p95 = val.at("p95").number;
+  h.p99 = val.at("p99").number;
+  return h;
+}
+
 std::map<std::string, ReducedValue> parse_reduced_map(const JsonValue& obj) {
   std::map<std::string, ReducedValue> out;
   for (const auto& [key, val] : obj.object) {
@@ -79,6 +137,8 @@ std::string ReducedSnapshot::to_json() const {
   write_reduced_map(os, "counters", counters);
   os << ",";
   write_reduced_map(os, "gauges", gauges);
+  os << ",";
+  write_histogram_map(os, histograms);
   if (!health_verdict.empty()) {
     os << ",\"health\":{\"verdict\":" << json_quote(health_verdict)
        << ",\"events\":[";
@@ -100,6 +160,11 @@ ReducedSnapshot ReducedSnapshot::parse(const std::string& json) {
   snap.ranks = static_cast<int>(doc.at("ranks").number);
   snap.counters = parse_reduced_map(doc.at("counters"));
   snap.gauges = parse_reduced_map(doc.at("gauges"));
+  if (doc.has("histograms")) {
+    for (const auto& [key, val] : doc.at("histograms").object) {
+      snap.histograms.emplace(key, parse_histogram(val));
+    }
+  }
   if (doc.has("health")) {
     const JsonValue& h = doc.at("health");
     snap.health_verdict = h.at("verdict").string;
@@ -120,6 +185,12 @@ const ReducedValue* ReducedSnapshot::gauge(const std::string& name) const {
   return it == gauges.end() ? nullptr : &it->second;
 }
 
+const HistogramSummary* ReducedSnapshot::histogram(
+    const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
 std::string serialize_snapshot(const MetricsSnapshot& local) {
   std::ostringstream os;
   os << "{\"counters\":{";
@@ -136,7 +207,9 @@ std::string serialize_snapshot(const MetricsSnapshot& local) {
     first = false;
     os << json_quote(key) << ":" << json_number(value);
   }
-  os << "}}";
+  os << "},";
+  write_histogram_map(os, local.histograms);
+  os << "}";
   return os.str();
 }
 
@@ -152,6 +225,11 @@ ReducedSnapshot merge_snapshots(const std::vector<std::string>& per_rank) {
     }
     for (const auto& [key, value] : doc.at("gauges").object) {
       merge_value(out.gauges, key, value.number, rank);
+    }
+    if (doc.has("histograms")) {
+      for (const auto& [key, value] : doc.at("histograms").object) {
+        merge_histogram(out.histograms, key, parse_histogram(value));
+      }
     }
   }
   finalize_means(out.counters);

@@ -2,9 +2,11 @@
 // Cross-rank metric reduction: turns each rank's local MetricsSnapshot
 // into one ReducedSnapshot per step - sum/min/max/mean for every counter
 // and gauge, plus the rank holding the min and max so stragglers are
-// identified by name, not hunted through per-rank dumps. This is the data
-// plane the live metrics endpoint, the step-series JSONL and the health
-// monitor all consume.
+// identified by name, not hunted through per-rank dumps, plus a
+// count-weighted merge of every histogram summary (the per-tenant SLO
+// latency distributions ride here). This is the data plane the live
+// metrics endpoint, the step-series JSONL and the health monitor all
+// consume.
 //
 // The reduction is collective and returns the identical ReducedSnapshot
 // on every rank (serialize local -> gather to rank 0 -> merge -> broadcast
@@ -42,15 +44,19 @@ struct ReducedValue {
 };
 
 /// The per-step cross-rank view: every counter and gauge of the union of
-/// all ranks' snapshots, reduced. Histograms are deliberately not reduced
-/// (their per-rank percentile summaries do not compose); their counts are
-/// visible through the counters they shadow.
+/// all ranks' snapshots, reduced, plus every histogram's summary merged
+/// across ranks. count/sum/min/max merge exactly; the quantiles are the
+/// count-weighted mean of the per-rank quantiles - an approximation (rank
+/// summaries carry no raw samples), exact when one rank holds the data
+/// (the campaign-service case) and clamped to the merged [min, max]
+/// otherwise.
 struct ReducedSnapshot {
   std::int64_t step = -1;
   double time = 0.0;
   int ranks = 0;
   std::map<std::string, ReducedValue> counters;
   std::map<std::string, ReducedValue> gauges;
+  std::map<std::string, HistogramSummary> histograms;
   // Health annotation stamped by the campaign driver (empty = health
   // monitoring off for this row).
   std::string health_verdict;
@@ -59,15 +65,20 @@ struct ReducedSnapshot {
   /// One JSON object (single line, JSONL-ready):
   ///   {"step":N,"time":T,"ranks":R,
   ///    "counters":{name:{sum,min,max,mean,min_rank,max_rank,count}},
-  ///    "gauges":{...}[,"health":{"verdict":v,"events":[...]}]}
+  ///    "gauges":{...},
+  ///    "histograms":{name:{count,sum,min,max,p50,p95,p99}}
+  ///    [,"health":{"verdict":v,"events":[...]}]}
   std::string to_json() const;
 
-  /// Inverse of to_json(); throws util::Error on malformed input.
+  /// Inverse of to_json(); throws util::Error on malformed input. Rows
+  /// written before histograms were reduced (no "histograms" key) parse
+  /// with an empty histogram map.
   static ReducedSnapshot parse(const std::string& json);
 
   /// Convenience lookups; nullptr when the key is absent.
   const ReducedValue* counter(const std::string& name) const;
   const ReducedValue* gauge(const std::string& name) const;
+  const HistogramSummary* histogram(const std::string& name) const;
 };
 
 /// Serializes one rank's local snapshot for the gather leg.

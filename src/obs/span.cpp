@@ -155,7 +155,11 @@ void init_tracing_from_env() {
   if (const char* v = std::getenv("PSDNS_TRACE")) {
     const std::string s(v);
     if (s == "1" || s == "true" || s == "on") {
-      set_tracing(true);
+      // Leave already-enabled tracing undisturbed: set_tracing(true) is a
+      // restart (rings cleared, clock origin reset), and callers like the
+      // campaign driver re-apply the environment on every run - inside
+      // the service that would wipe the journey spans of earlier jobs.
+      if (!st.enabled.load(std::memory_order_acquire)) set_tracing(true);
     } else if (s == "0" || s == "false" || s == "off") {
       set_tracing(false);
     } else {
@@ -251,6 +255,41 @@ SpanId current_span() {
   auto& tl = tl_trace();
   if (tl.epoch != trace_state().epoch || tl.stack.empty()) return 0;
   return tl.stack.back().id;
+}
+
+double trace_clock() {
+  if (!tracing()) return 0.0;
+  return trace_state().origin.seconds();
+}
+
+SpanId record_span(std::string_view name, SpanKind kind, double start_s,
+                   double end_s, SpanId parent) {
+  if (!tracing()) return 0;
+  auto& st = trace_state();
+  SpanRecord rec;
+  const SpanId id = st.next_span.fetch_add(1, std::memory_order_relaxed);
+  rec.id = id;
+  rec.parent = parent;
+  rec.name = std::string(name);
+  rec.kind = kind;
+  rec.thread = thread_index();
+  rec.rank = rank_tag();
+  rec.start_s = start_s;
+  rec.end_s = end_s;
+  auto& ring = my_ring();
+  std::lock_guard lock(ring.mutex);
+  ring.ring[ring.next] = std::move(rec);
+  ring.next = (ring.next + 1) % ring.capacity;
+  ++ring.written;
+  return id;
+}
+
+void link_spans(SpanId src, SpanId dst) {
+  if (!tracing() || src == 0 || dst == 0 || src == dst) return;
+  auto& st = trace_state();
+  const FlowId flow = st.next_flow.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(st.mutex);
+  st.edges.push_back(FlowEdge{flow, src, dst});
 }
 
 FlowId new_flow() {

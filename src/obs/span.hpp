@@ -110,6 +110,25 @@ void write_trace_if_configured();
 /// Innermost open span of this thread (0 when none or tracing is off).
 SpanId current_span();
 
+/// Seconds since tracing was (re)enabled - the clock SpanRecord start/end
+/// times are on. 0.0 while tracing is off.
+double trace_clock();
+
+/// Appends an already-completed span with explicit trace-clock times to
+/// this thread's ring - the escape hatch for intervals that no single
+/// thread was inside (e.g. the campaign service's queue-wait, which
+/// starts on the HTTP handler thread and ends on the worker that
+/// dispatches the job). Returns the new span's id, 0 while tracing is
+/// off.
+SpanId record_span(std::string_view name, SpanKind kind, double start_s,
+                   double end_s, SpanId parent = 0);
+
+/// Appends a causal edge src -> dst between two known span ids (a fresh
+/// FlowId is minted). The explicit-id sibling of flow_emit/flow_consume
+/// for call sites that hold both ends; no-op when either id is 0 or
+/// tracing is off.
+void link_spans(SpanId src, SpanId dst);
+
 /// Process-unique flow id for hand-rolled post/wait pairs.
 FlowId new_flow();
 

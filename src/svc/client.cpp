@@ -8,7 +8,11 @@ std::string fetch(const std::string& host, int port, const std::string& path,
                   int* status, const FetchOptions& options) {
   return resilience::with_retry(
       options.retry, "svc.fetch " + path, [&] {
-        return net::http_get(host, port, path, status, options.timeout_s);
+        if (options.response_headers != nullptr) {
+          options.response_headers->clear();
+        }
+        return net::http_get(host, port, path, status, options.timeout_s,
+                             options.headers, options.response_headers);
       });
 }
 
@@ -17,8 +21,12 @@ std::string post(const std::string& host, int port, const std::string& path,
                  const FetchOptions& options) {
   return resilience::with_retry(
       options.retry, "svc.post " + path, [&] {
+        if (options.response_headers != nullptr) {
+          options.response_headers->clear();
+        }
         return net::http_post(host, port, path, body, status,
-                              options.timeout_s);
+                              options.timeout_s, options.headers,
+                              options.response_headers);
       });
 }
 

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "net/http.hpp"
 #include "resilience/retry.hpp"
 
 namespace psdns::svc {
@@ -15,6 +16,10 @@ namespace psdns::svc {
 struct FetchOptions {
   double timeout_s = 10.0;            // per-attempt exchange budget
   resilience::RetryPolicy retry{};    // attempts across timeouts/refusals
+  net::HttpHeaders headers{};         // extra request headers (every attempt)
+  // When non-null, receives the response headers of the successful
+  // attempt (e.g. the X-Psdns-Trace echo). Cleared per attempt.
+  net::HttpHeaders* response_headers = nullptr;
 };
 
 /// GET http://host:port/path with per-attempt timeout and bounded retry.

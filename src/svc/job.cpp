@@ -221,6 +221,7 @@ std::string JobRecord::to_json() const {
   std::ostringstream os;
   os << "{\"id\":" << id
      << ",\"hash\":" << obs::json_quote(hash)
+     << ",\"trace\":" << obs::json_quote(trace)
      << ",\"state\":\"" << svc::to_string(state) << "\""
      << ",\"tenant\":" << obs::json_quote(request.tenant)
      << ",\"cached\":" << (cached ? "true" : "false")

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/span.hpp"
 #include "util/config.hpp"
 
 namespace psdns::svc {
@@ -91,6 +92,13 @@ struct JobRecord {
   double queued_s = 0.0;      // seconds since service start, per phase
   double started_s = 0.0;
   double finished_s = 0.0;
+  // Job-journey tracing (empty/zero when tracing is off). The trace id is
+  // client-supplied via X-Psdns-Trace or minted deterministically from
+  // (hash, id); it is NOT part of the canonical form - identity of a
+  // result never depends on how it was observed.
+  std::string trace;             // journey trace id
+  obs::SpanId root_span = 0;     // the job's svc.admit span
+  double trace_queued_s = 0.0;   // trace-clock time of admission
 
   /// The GET /jobs/<id> document.
   std::string to_json() const;

@@ -72,7 +72,8 @@ dns::SolverConfig solver_config(const JobRequest& request) {
 }
 
 JobOutcome run_slab_job(const JobRequest& request, const std::string& workdir,
-                        const std::string& checkpoint_path) {
+                        const std::string& checkpoint_path,
+                        obs::FlowId flow) {
   driver::CampaignConfig cfg;
   cfg.solver = solver_config(request);
   cfg.seed = request.seed;
@@ -83,10 +84,14 @@ JobOutcome run_slab_job(const JobRequest& request, const std::string& workdir,
   cfg.checkpoint_every = 2;    // fault-recovery granularity
   cfg.checkpoint_path = checkpoint_path;
   cfg.metrics_port = -1;       // jobs share the service's endpoint
+  cfg.write_trace_at_end = false;  // the service owns the trace lifetime
   (void)workdir;
 
   JobOutcome outcome;
   comm::run_ranks(request.ranks, [&](comm::Communicator& comm) {
+    // Each rank thread roots its solver spans under the job journey.
+    obs::TraceSpan rank_span("svc.run", obs::SpanKind::Compute);
+    obs::flow_consume(flow);
     const driver::CampaignResult r =
         driver::run_campaign_supervised(comm, cfg);
     if (comm.rank() == 0) {
@@ -100,7 +105,7 @@ JobOutcome run_slab_job(const JobRequest& request, const std::string& workdir,
   return outcome;
 }
 
-JobOutcome run_pencil_job(const JobRequest& request) {
+JobOutcome run_pencil_job(const JobRequest& request, obs::FlowId flow) {
   // Most square process grid with pr <= pc.
   int pr = 1;
   for (int r = 1; r * r <= request.ranks; ++r) {
@@ -121,6 +126,8 @@ JobOutcome run_pencil_job(const JobRequest& request) {
 
   JobOutcome outcome;
   comm::run_ranks(request.ranks, [&](comm::Communicator& comm) {
+    obs::TraceSpan rank_span("svc.run", obs::SpanKind::Compute);
+    obs::flow_consume(flow);
     dns::PencilSolver solver(comm, pcfg);
     solver.init_isotropic(request.seed, 3.0, 0.5);
     for (int s = 0; s < solver.scalar_count(); ++s) {
@@ -145,14 +152,15 @@ JobOutcome run_pencil_job(const JobRequest& request) {
 
 }  // namespace
 
-JobOutcome run_job(const JobRequest& request, const std::string& workdir) {
+JobOutcome run_job(const JobRequest& request, const std::string& workdir,
+                   obs::FlowId flow) {
   request.validate();
   std::error_code ec;
   fs::create_directories(workdir, ec);
   PSDNS_REQUIRE(!ec, "cannot create service workdir " + workdir);
 
   if (request.decomposition == Decomposition::Pencil) {
-    return run_pencil_job(request);
+    return run_pencil_job(request, flow);
   }
 
   const std::string checkpoint_path =
@@ -163,7 +171,7 @@ JobOutcome run_job(const JobRequest& request, const std::string& workdir) {
   for (const std::string& link : io::checkpoint_chain(checkpoint_path)) {
     fs::remove(link, ec);
   }
-  return run_slab_job(request, workdir, checkpoint_path);
+  return run_slab_job(request, workdir, checkpoint_path, flow);
 }
 
 }  // namespace psdns::svc

@@ -22,6 +22,7 @@
 
 #include <string>
 
+#include "obs/span.hpp"
 #include "svc/job.hpp"
 
 namespace psdns::svc {
@@ -35,7 +36,11 @@ struct JobOutcome {
 /// Runs `request` (validated by the caller) with scratch space under
 /// `workdir` (created if missing). Throws on unrecoverable failure - an
 /// exhausted recovery budget, an unserviceable request - and the scheduler
-/// marks the job Failed with the message.
-JobOutcome run_job(const JobRequest& request, const std::string& workdir);
+/// marks the job Failed with the message. When `flow` is non-zero each
+/// rank thread opens an svc.run span consuming it, so with tracing on the
+/// solver's driver.step spans hang off the scheduler's job journey (the
+/// trace is unaffected when tracing is off - spans and flows are no-ops).
+JobOutcome run_job(const JobRequest& request, const std::string& workdir,
+                   obs::FlowId flow = 0);
 
 }  // namespace psdns::svc

@@ -7,12 +7,26 @@
 
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "svc/runner.hpp"
 #include "util/check.hpp"
 
 namespace psdns::svc {
 
 namespace {
+
+/// Deterministic journey id for submissions that did not bring their own:
+/// "t" + 16-hex FNV-1a64 of "<hash>:<job id>", a pure function of the
+/// submission sequence.
+std::string mint_trace(const std::string& hash, std::int64_t id) {
+  const std::uint64_t h = fnv1a64(hash + ":" + std::to_string(id));
+  static const char* digits = "0123456789abcdef";
+  std::string out = "t";
+  for (int i = 15; i >= 0; --i) {
+    out.push_back(digits[(h >> (4 * i)) & 0xF]);
+  }
+  return out;
+}
 
 int env_int(const char* name, int fallback) {
   const char* value = std::getenv(name);
@@ -29,6 +43,15 @@ std::string env_str(const char* name, const std::string& fallback) {
   return (value == nullptr || *value == '\0') ? fallback : value;
 }
 
+bool env_bool(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const std::string s(value);
+  if (s == "1" || s == "true" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "off") return false;
+  util::raise(std::string(name) + " must be 1|true|on|0|false|off");
+}
+
 }  // namespace
 
 ServiceConfig ServiceConfig::from(const util::Config& file) {
@@ -42,6 +65,8 @@ ServiceConfig ServiceConfig::from(const util::Config& file) {
   cfg.cache_keep =
       static_cast<int>(file.get_int("service.cache_keep", cfg.cache_keep));
   cfg.workdir = file.get("service.workdir", cfg.workdir);
+  cfg.trace = file.get_bool("service.trace", cfg.trace);
+  cfg.audit_file = file.get("service.audit_file", cfg.audit_file);
 
   // Everything left must be a tenant weight: service.tenant.<name>.weight.
   const std::string prefix = "service.tenant.";
@@ -73,6 +98,8 @@ ServiceConfig ServiceConfig::with_env(ServiceConfig base) {
   base.cache_dir = env_str("PSDNS_SVC_CACHE_DIR", base.cache_dir);
   base.cache_keep = env_int("PSDNS_SVC_CACHE_KEEP", base.cache_keep);
   base.workdir = env_str("PSDNS_SVC_WORKDIR", base.workdir);
+  base.trace = env_bool("PSDNS_SVC_TRACE", base.trace);
+  base.audit_file = env_str("PSDNS_SVC_AUDIT_FILE", base.audit_file);
   base.validate();
   return base;
 }
@@ -96,6 +123,13 @@ void ServiceConfig::validate() const {
 Scheduler::Scheduler(ServiceConfig config, ResultStore& store, bool autostart)
     : config_(std::move(config)), store_(store) {
   config_.validate();
+  // Enable-without-restart: set_tracing(true) wipes rings and resets the
+  // clock origin, which would destroy spans an embedding process (or an
+  // earlier PSDNS_TRACE=1) already captured.
+  if (config_.trace && !obs::tracing()) obs::set_tracing(true);
+  if (!config_.audit_file.empty()) {
+    audit_ = std::make_unique<AuditLog>(config_.audit_file);
+  }
   if (autostart) start();
 }
 
@@ -131,15 +165,62 @@ void Scheduler::publish_gauges_locked() {
   auto& reg = obs::registry();
   reg.gauge_set("svc.queue.depth", static_cast<double>(queue_.size()));
   reg.gauge_set("svc.jobs.running", static_cast<double>(running_));
+  double weight_total = 0.0;
+  for (const auto& [name, state] : tenants_) weight_total += state.weight;
   for (const auto& [name, state] : tenants_) {
-    reg.gauge_set("svc.tenant." + name + ".completed",
-                  static_cast<double>(state.completed));
+    const std::string prefix = "svc.tenant." + name + ".";
+    reg.gauge_set(prefix + "completed", static_cast<double>(state.completed));
+    reg.gauge_set(prefix + "weight", state.weight);
+    // Target share is the tenant's weight fraction among tenants seen so
+    // far; achieved share is its fraction of contended dispatches (see
+    // TenantState::contended_dispatched). Under sustained contention the
+    // two converge - the fairness tests assert exact equality on a
+    // pinned interleaving.
+    reg.gauge_set(prefix + "target_share",
+                  weight_total > 0.0 ? state.weight / weight_total : 0.0);
+    const double achieved =
+        contended_total_ > 0
+            ? static_cast<double>(state.contended_dispatched) /
+                  static_cast<double>(contended_total_)
+            : (dispatch_counter_ > 0
+                   ? static_cast<double>(state.dispatched) /
+                         static_cast<double>(dispatch_counter_)
+                   : 0.0);
+    reg.gauge_set(prefix + "achieved_share", achieved);
+    reg.gauge_set(prefix + "cache_hit_rate",
+                  state.submitted > 0
+                      ? static_cast<double>(state.cache_hits) /
+                            static_cast<double>(state.submitted)
+                      : 0.0);
   }
 }
 
-Scheduler::Submission Scheduler::submit(const JobRequest& request) {
+void Scheduler::audit_locked(const std::string& event, std::int64_t job,
+                             const std::string& trace,
+                             const std::string& tenant,
+                             const std::string& hash, bool cached,
+                             const std::string& detail) {
+  if (audit_ == nullptr) return;
+  AuditEvent e;
+  e.seq = audit_seq_++;
+  e.t_s = now();
+  e.event = event;
+  e.job = job;
+  e.trace = trace;
+  e.tenant = tenant;
+  e.hash = hash;
+  e.cached = cached;
+  e.detail = detail;
+  audit_->append(e);
+}
+
+Scheduler::Submission Scheduler::submit(const JobRequest& request,
+                                        const std::string& trace_id) {
   request.validate();
   const std::string hash = request.hash();
+  // The admission leg of the journey runs on the submitting (HTTP
+  // handler) thread; the worker side links back to this span's id.
+  obs::TraceSpan admit_span("svc.admit", obs::SpanKind::Other);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   Submission out;
@@ -147,11 +228,19 @@ Scheduler::Submission Scheduler::submit(const JobRequest& request) {
     ++rejected_;
     obs::registry().counter_add("svc.jobs.rejected");
     out.error = "service is draining";
+    audit_locked("submitted", -1, trace_id, request.tenant, hash, false, "");
+    audit_locked("rejected", -1, trace_id, request.tenant, hash, false,
+                 out.error);
     return out;
   }
 
   TenantState& tenant = tenant_locked(request.tenant);
-  if (const auto cached = store_.lookup(hash)) {
+  std::optional<std::string> cached;
+  {
+    obs::TraceSpan store_span("svc.store", obs::SpanKind::Io);
+    cached = store_.lookup(hash);
+  }
+  if (cached) {
     // Born Done: the stored bytes are exactly what a fresh run would
     // produce, so there is nothing to schedule.
     JobRecord rec;
@@ -161,11 +250,20 @@ Scheduler::Submission Scheduler::submit(const JobRequest& request) {
     rec.state = JobState::Done;
     rec.cached = true;
     rec.queued_s = rec.started_s = rec.finished_s = now();
+    rec.trace = trace_id.empty() ? mint_trace(hash, rec.id) : trace_id;
+    rec.root_span = admit_span.id();
     ++tenant.submitted;
+    ++tenant.cache_hits;
     jobs_.emplace(rec.id, rec);
+    audit_locked("submitted", rec.id, rec.trace, request.tenant, hash, true,
+                 "");
+    audit_locked("cache_hit", rec.id, rec.trace, request.tenant, hash, true,
+                 "");
+    publish_gauges_locked();
     out.accepted = true;
     out.id = rec.id;
     out.cached = true;
+    out.trace = rec.trace;
     return out;
   }
 
@@ -173,6 +271,9 @@ Scheduler::Submission Scheduler::submit(const JobRequest& request) {
     ++rejected_;
     obs::registry().counter_add("svc.jobs.rejected");
     out.error = "admission queue full";
+    audit_locked("submitted", -1, trace_id, request.tenant, hash, false, "");
+    audit_locked("rejected", -1, trace_id, request.tenant, hash, false,
+                 out.error);
     return out;
   }
 
@@ -181,13 +282,21 @@ Scheduler::Submission Scheduler::submit(const JobRequest& request) {
   rec.request = request;
   rec.hash = hash;
   rec.queued_s = now();
+  rec.trace = trace_id.empty() ? mint_trace(hash, rec.id) : trace_id;
+  rec.root_span = admit_span.id();
+  rec.trace_queued_s = obs::trace_clock();
   ++tenant.submitted;
   jobs_.emplace(rec.id, rec);
   queue_.push_back(rec.id);
+  audit_locked("submitted", rec.id, rec.trace, request.tenant, hash, false,
+               "");
+  audit_locked("admitted", rec.id, rec.trace, request.tenant, hash, false,
+               "");
   publish_gauges_locked();
   work_cv_.notify_one();
   out.accepted = true;
   out.id = rec.id;
+  out.trace = rec.trace;
   return out;
 }
 
@@ -224,6 +333,18 @@ void Scheduler::worker_loop() {
       if (stopping_) return;
       continue;
     }
+    // A dispatch is "contended" when fair share actually had a choice:
+    // at least two distinct tenants queued at pick time.
+    std::vector<std::string> seen;
+    for (const std::int64_t queued : queue_) {
+      const std::string& name = jobs_.at(queued).request.tenant;
+      if (std::find(seen.begin(), seen.end(), name) == seen.end()) {
+        seen.push_back(name);
+      }
+      if (seen.size() >= 2) break;
+    }
+    const bool contended = seen.size() >= 2;
+    obs::TraceSpan schedule_span("svc.schedule", obs::SpanKind::Other);
     const std::int64_t id = pick_next_locked();
     JobRecord& rec = jobs_.at(id);
     rec.state = JobState::Running;
@@ -231,19 +352,54 @@ void Scheduler::worker_loop() {
     rec.dispatch_index = dispatch_counter_++;
     TenantState& tenant = tenant_locked(rec.request.tenant);
     tenant.pass += 1.0 / tenant.weight;
+    ++tenant.dispatched;
+    if (contended) {
+      ++tenant.contended_dispatched;
+      ++contended_total_;
+    }
+    // SLO: queue wait is observed at dispatch (cache hits never reach
+    // here, so they cannot distort the latency distributions).
+    obs::registry().observe(
+        "svc.tenant." + rec.request.tenant + ".queue_wait_seconds",
+        rec.started_s - rec.queued_s);
+    // Journey: materialize the cross-thread wait as a svc.queue span
+    // (admitted on the handler thread, dispatched here) and link
+    // admit -> queue -> schedule.
+    if (rec.root_span != 0) {
+      const obs::SpanId queue_span =
+          obs::record_span("svc.queue", obs::SpanKind::Other,
+                           rec.trace_queued_s, obs::trace_clock());
+      obs::link_spans(rec.root_span, queue_span);
+      obs::link_spans(queue_span, schedule_span.id());
+    }
+    audit_locked("scheduled", id, rec.trace, rec.request.tenant, rec.hash,
+                 false, "");
     ++running_;
     publish_gauges_locked();
     const JobRequest request = rec.request;
     const std::string hash = rec.hash;
+    const std::string trace = rec.trace;
+    audit_locked("started", id, trace, request.tenant, hash, false, "");
     lock.unlock();
 
+    const obs::SpanId sched_id = schedule_span.id();
+    schedule_span.end();
     JobOutcome outcome;
     std::string error;
-    try {
-      outcome = run_job(request, config_.workdir);
-      store_.insert(hash, outcome.result_json);
-    } catch (const std::exception& e) {
-      error = e.what();
+    {
+      obs::TraceSpan run_span("svc.run", obs::SpanKind::Compute);
+      obs::link_spans(sched_id, run_span.id());
+      // The rank threads the runner spawns consume this flow, nesting the
+      // solver's driver.step spans under the job's journey.
+      const obs::FlowId run_flow = obs::new_flow();
+      obs::flow_emit(run_flow);
+      try {
+        outcome = run_job(request, config_.workdir, run_flow);
+        obs::TraceSpan store_span("svc.store", obs::SpanKind::Io);
+        store_.insert(hash, outcome.result_json);
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
     }
 
     lock.lock();
@@ -256,11 +412,18 @@ void Scheduler::worker_loop() {
       ++completed_;
       ++tenant_locked(request.tenant).completed;
       obs::registry().counter_add("svc.jobs.completed");
+      const std::string prefix = "svc.tenant." + request.tenant + ".";
+      obs::registry().observe(prefix + "run_seconds",
+                              done.finished_s - done.started_s);
+      obs::registry().observe(prefix + "e2e_seconds",
+                              done.finished_s - done.queued_s);
+      audit_locked("completed", id, trace, request.tenant, hash, false, "");
     } else {
       done.state = JobState::Failed;
       done.error = error;
       ++failed_;
       obs::registry().counter_add("svc.jobs.failed");
+      audit_locked("failed", id, trace, request.tenant, hash, false, error);
     }
     --running_;
     publish_gauges_locked();
@@ -296,6 +459,8 @@ bool Scheduler::cancel(std::int64_t id) {
   JobRecord& rec = jobs_.at(id);
   rec.state = JobState::Cancelled;
   rec.finished_s = now();
+  audit_locked("cancelled", id, rec.trace, rec.request.tenant, rec.hash,
+               false, "");
   publish_gauges_locked();
   if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
   return true;
@@ -314,6 +479,8 @@ std::string Scheduler::queue_json() const {
      << ",\"misses\":" << store_.misses()
      << ",\"evictions\":" << store_.evictions()
      << ",\"entries\":" << store_.size() << "}";
+  double weight_total = 0.0;
+  for (const auto& [name, state] : tenants_) weight_total += state.weight;
   os << ",\"tenants\":{";
   bool first = true;
   for (const auto& [name, state] : tenants_) {
@@ -322,7 +489,22 @@ std::string Scheduler::queue_json() const {
     os << obs::json_quote(name) << ":{\"weight\":"
        << obs::json_number(state.weight)
        << ",\"submitted\":" << state.submitted
-       << ",\"completed\":" << state.completed << "}";
+       << ",\"completed\":" << state.completed
+       << ",\"dispatched\":" << state.dispatched
+       << ",\"cache_hits\":" << state.cache_hits
+       << ",\"target_share\":"
+       << obs::json_number(weight_total > 0.0 ? state.weight / weight_total
+                                              : 0.0)
+       << ",\"achieved_share\":"
+       << obs::json_number(
+              contended_total_ > 0
+                  ? static_cast<double>(state.contended_dispatched) /
+                        static_cast<double>(contended_total_)
+                  : (dispatch_counter_ > 0
+                         ? static_cast<double>(state.dispatched) /
+                               static_cast<double>(dispatch_counter_)
+                         : 0.0))
+       << "}";
   }
   os << "},\"jobs\":[";
   first = true;

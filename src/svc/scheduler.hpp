@@ -19,16 +19,30 @@
 // queued job to cancelled. drain() stops admission and waits until the
 // queue and all workers are idle - the graceful-shutdown path the serve
 // daemon runs on SIGTERM.
+//
+// Observability: with tracing on, every job gets a journey of causally
+// linked spans - svc.admit (handler thread) -> svc.queue (the cross-
+// thread wait interval) -> svc.schedule -> svc.run (worker thread, with
+// the solver's driver.step spans nested below via a flow edge) ->
+// svc.store - keyed by a trace id that is client-supplied or minted
+// deterministically from (hash, job id). Per-tenant SLO histograms
+// (queue_wait/run/e2e seconds) and fair-share gauges are published into
+// the metrics registry; cache hits bump hit counters but never the
+// latency histograms, so one tenant's hit-heavy traffic cannot distort
+// another's distributions. Every lifecycle transition is appended to the
+// JSONL audit log when configured (svc/audit.hpp).
 
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "svc/audit.hpp"
 #include "svc/job.hpp"
 #include "svc/result_store.hpp"
 #include "util/config.hpp"
@@ -43,17 +57,21 @@ struct ServiceConfig {
   std::string cache_dir = "psdns_svc_cache";
   int cache_keep = 32;          // ResultStore keep-K
   std::string workdir = "psdns_svc_work";
+  bool trace = false;           // job-journey span tracing (obs/span)
+  std::string audit_file;       // JSONL lifecycle audit log ("" = off)
   // Fair-share weights; tenants absent here weigh 1.0.
   std::map<std::string, double> tenant_weights;
 
   /// Parses the service.* schema: service.port, service.max_concurrent,
   /// service.queue_capacity, service.cache_dir, service.cache_keep,
-  /// service.workdir and service.tenant.<name>.weight. Unknown keys and
-  /// out-of-range values are rejected.
+  /// service.workdir, service.trace, service.audit_file and
+  /// service.tenant.<name>.weight. Unknown keys and out-of-range values
+  /// are rejected.
   static ServiceConfig from(const util::Config& file);
 
   /// PSDNS_SVC_{PORT,MAX_CONCURRENT,QUEUE_CAPACITY,CACHE_DIR,CACHE_KEEP,
-  /// WORKDIR} override the corresponding fields of `base`.
+  /// WORKDIR,TRACE,AUDIT_FILE} override the corresponding fields of
+  /// `base`.
   static ServiceConfig with_env(ServiceConfig base);
 
   void validate() const;
@@ -75,13 +93,17 @@ class Scheduler {
     bool accepted = false;
     std::int64_t id = -1;
     bool cached = false;   // answered from the result store
+    std::string trace;     // journey trace id of the accepted job
     std::string error;     // why a rejected submission was refused
   };
 
   /// Validates, consults the cache, then either answers instantly
   /// (cached), enqueues, or rejects (queue full / draining). Throws
-  /// util::Error only on an invalid request.
-  Submission submit(const JobRequest& request);
+  /// util::Error only on an invalid request. `trace_id` (the POST's
+  /// X-Psdns-Trace) names the job's journey; when empty a deterministic
+  /// id is minted from (hash, job id). Every outcome is audited.
+  Submission submit(const JobRequest& request,
+                    const std::string& trace_id = "");
 
   /// Snapshot of one job's record; nullopt for unknown ids.
   std::optional<JobRecord> job(std::int64_t id) const;
@@ -114,6 +136,13 @@ class Scheduler {
     double pass = 0.0;
     std::int64_t submitted = 0;
     std::int64_t completed = 0;
+    std::int64_t dispatched = 0;
+    // Dispatches picked while >= 2 distinct tenants were queued: the only
+    // moments fair share had a choice to make, so achieved-vs-target
+    // share is measured over these (an uncontended queue trivially gets
+    // 100% regardless of weights).
+    std::int64_t contended_dispatched = 0;
+    std::int64_t cache_hits = 0;
   };
 
   void worker_loop();
@@ -122,11 +151,18 @@ class Scheduler {
   std::int64_t pick_next_locked();
   TenantState& tenant_locked(const std::string& name);
   void publish_gauges_locked();
+  /// Appends one lifecycle event to the audit log (no-op when off).
+  /// Caller holds mutex_ so seq numbers follow dispatch order.
+  void audit_locked(const std::string& event, std::int64_t job,
+                    const std::string& trace, const std::string& tenant,
+                    const std::string& hash, bool cached,
+                    const std::string& detail);
   double now() const { return uptime_.seconds(); }
 
   ServiceConfig config_;
   ResultStore& store_;
   util::Stopwatch uptime_;
+  std::unique_ptr<AuditLog> audit_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // workers: queue non-empty / stopping
@@ -136,6 +172,8 @@ class Scheduler {
   std::map<std::string, TenantState> tenants_;
   std::vector<std::thread> workers_;
   std::int64_t next_id_ = 1;
+  std::int64_t audit_seq_ = 0;
+  std::int64_t contended_total_ = 0;
   int dispatch_counter_ = 0;
   int running_ = 0;
   std::int64_t completed_ = 0;

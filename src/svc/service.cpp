@@ -3,12 +3,15 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 
 #include "obs/exposition.hpp"
 #include "obs/health.hpp"
 #include "obs/json.hpp"
 #include "obs/reduce.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
 #include "util/check.hpp"
 
 namespace psdns::svc {
@@ -32,6 +35,44 @@ bool parse_job_path(const std::string& path, std::int64_t* id,
                      nullptr, 10);
   *rest = path.substr(end);
   return true;
+}
+
+/// The subgraph of the process trace reachable from the job's svc.admit
+/// span - over parent -> child nesting and flow edges - rendered as
+/// Chrome trace JSON. This is the merged submit-to-result journey: the
+/// admit/store spans on the handler thread, the queue/schedule/run spans
+/// on the worker, and the solver's driver.step spans the run flow fans
+/// out to.
+std::string job_trace_json(obs::SpanId root) {
+  const obs::SpanTrace full = obs::collect_trace();
+  std::unordered_set<obs::SpanId> reachable{root};
+  // Fixpoint over the two edge kinds; the graph is acyclic in time but
+  // the span list is unordered, so iterate until no growth.
+  for (bool grew = true; grew;) {
+    grew = false;
+    for (const auto& span : full.spans) {
+      if (span.parent != 0 && reachable.count(span.parent) != 0 &&
+          reachable.insert(span.id).second) {
+        grew = true;
+      }
+    }
+    for (const auto& edge : full.edges) {
+      if (reachable.count(edge.src) != 0 &&
+          reachable.insert(edge.dst).second) {
+        grew = true;
+      }
+    }
+  }
+  obs::SpanTrace job;
+  for (const auto& span : full.spans) {
+    if (reachable.count(span.id) != 0) job.spans.push_back(span);
+  }
+  for (const auto& edge : full.edges) {
+    if (reachable.count(edge.src) != 0 && reachable.count(edge.dst) != 0) {
+      job.edges.push_back(edge);
+    }
+  }
+  return obs::to_chrome_trace(job);
 }
 
 }  // namespace
@@ -89,14 +130,20 @@ net::HttpResponse Service::handle(const net::HttpRequest& request) {
     } catch (const std::exception& e) {
       return net::HttpResponse::json(error_json(e.what()), 400);
     }
-    const Scheduler::Submission sub = scheduler_.submit(job);
+    const Scheduler::Submission sub =
+        scheduler_.submit(job, request.header("X-Psdns-Trace"));
     if (!sub.accepted) {
       return net::HttpResponse::json(error_json(sub.error), 503);
     }
     std::ostringstream os;
     os << "{\"id\":" << sub.id << ",\"hash\":\"" << job.hash() << "\""
+       << ",\"trace\":" << obs::json_quote(sub.trace)
        << ",\"cached\":" << (sub.cached ? "true" : "false") << "}";
-    return net::HttpResponse::json(os.str(), 202);
+    net::HttpResponse response = net::HttpResponse::json(os.str(), 202);
+    if (!sub.trace.empty()) {
+      response.headers.emplace_back("X-Psdns-Trace", sub.trace);
+    }
+    return response;
   }
   if (request.path.rfind("/jobs/", 0) == 0 && request.method == "GET") {
     return handle_jobs_route(request);
@@ -107,7 +154,15 @@ net::HttpResponse Service::handle(const net::HttpRequest& request) {
   if (request.path == "/metrics" && request.method == "GET") {
     return net::HttpResponse{200,
                              "text/plain; version=0.0.4; charset=utf-8",
-                             metrics_text()};
+                             metrics_text(),
+                             {}};
+  }
+  if (request.path == "/json" && request.method == "GET") {
+    const obs::MetricsSnapshot local = obs::registry().snapshot();
+    const obs::ReducedSnapshot reduced =
+        obs::merge_snapshots({obs::serialize_snapshot(local)});
+    return net::HttpResponse::json(
+        obs::to_exposition_json(reduced, obs::HealthReport{}));
   }
   if (request.path == "/health" && request.method == "GET") {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -151,6 +206,19 @@ net::HttpResponse Service::handle_jobs_route(const net::HttpRequest& request) {
           404);
     }
     return net::HttpResponse::json(*result);
+  }
+  if (rest == "/trace") {
+    const auto record = scheduler_.job(id);
+    if (!record) {
+      return net::HttpResponse::json(error_json("unknown job id"), 404);
+    }
+    if (record->root_span == 0 || !obs::tracing()) {
+      return net::HttpResponse::json(
+          error_json("no trace for this job (enable service.trace or "
+                     "PSDNS_SVC_TRACE=1 before submitting)"),
+          404);
+    }
+    return net::HttpResponse::json(job_trace_json(record->root_span));
   }
   return net::HttpResponse::not_found();
 }

@@ -5,13 +5,25 @@
 //
 // Routes:
 //   POST /jobs              submit (body: JobRequest JSON) ->
-//                           202 {"id":n,"hash":h,"cached":b},
-//                           400 invalid request, 503 queue full/draining
+//                           202 {"id":n,"hash":h,"trace":t,"cached":b},
+//                           400 invalid request, 503 queue full/draining.
+//                           An X-Psdns-Trace request header names the
+//                           job's journey trace; the response echoes the
+//                           effective (possibly minted) id in the same
+//                           header.
 //   GET  /jobs/<id>         the JobRecord document (404 unknown id)
 //   GET  /jobs/<id>/result  the stored result JSON (404 until Done)
+//   GET  /jobs/<id>/trace   the job's merged journey as Chrome trace JSON
+//                           (svc.admit -> svc.queue -> svc.schedule ->
+//                           svc.run -> svc.store with the solver's
+//                           driver.step spans flow-linked below); 404
+//                           while tracing is off
 //   GET  /queue             depths, tenants, cache counters, live jobs
 //   GET  /metrics           Prometheus exposition of the process registry
-//                           (svc.* counters and gauges included)
+//                           (svc.* counters, gauges and per-tenant SLO
+//                           summary quantiles included)
+//   GET  /json              the same reduced snapshot + health as JSON
+//                           (what psdns_top --service reads)
 //   GET  /health            200 {"status":"ok",...} while accepting,
 //                           503 once draining
 //   POST /shutdown          starts a graceful drain; wait_shutdown()

@@ -143,6 +143,45 @@ TEST_F(SpanTest, FlowEdgeTiesEmitterToConsumer) {
   EXPECT_EQ(trace.edges[0].dst, dst);
 }
 
+TEST_F(SpanTest, RecordSpanAppendsExplicitIntervalsAndLinks) {
+  // The campaign service's queue-wait span: no single thread was inside
+  // the interval, so it is recorded after the fact with explicit
+  // trace-clock times and linked to its neighbours by id.
+  obs::set_tracing(true);
+  const double t0 = obs::trace_clock();
+  obs::SpanId admit = 0;
+  {
+    TraceSpan span("svc.admit", SpanKind::Other);
+    admit = span.id();
+  }
+  const double t1 = obs::trace_clock();
+  EXPECT_GE(t1, t0);
+  const obs::SpanId queue =
+      obs::record_span("svc.queue", SpanKind::Other, t0, t1);
+  ASSERT_NE(queue, 0u);
+  obs::link_spans(admit, queue);
+  obs::link_spans(0, queue);  // zero endpoint: silent no-op
+
+  const auto trace = obs::collect_trace();
+  const auto* rec = find_span(trace, "svc.queue");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->id, queue);
+  EXPECT_DOUBLE_EQ(rec->start_s, t0);
+  EXPECT_DOUBLE_EQ(rec->end_s, t1);
+  ASSERT_EQ(trace.edges.size(), 1u);
+  EXPECT_EQ(trace.edges[0].src, admit);
+  EXPECT_EQ(trace.edges[0].dst, queue);
+}
+
+TEST_F(SpanTest, RecordSpanAndClockAreNoOpsWhileTracingIsOff) {
+  EXPECT_DOUBLE_EQ(obs::trace_clock(), 0.0);
+  EXPECT_EQ(obs::record_span("off", SpanKind::Other, 0.0, 1.0), 0u);
+  obs::link_spans(1, 2);  // ids from a disabled world: nothing to link
+  const auto trace = obs::collect_trace();
+  EXPECT_TRUE(trace.spans.empty());
+  EXPECT_TRUE(trace.edges.empty());
+}
+
 TEST_F(SpanTest, SelfEdgesAreNotRecorded) {
   obs::set_tracing(true);
   const obs::FlowId flow = obs::new_flow();

@@ -5,17 +5,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/http.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "resilience/fault.hpp"
+#include "svc/audit.hpp"
 #include "svc/client.hpp"
 #include "svc/job.hpp"
 #include "svc/result_store.hpp"
@@ -217,6 +221,30 @@ TEST(ServiceConfig, EnvironmentOverrides) {
   ::unsetenv("PSDNS_SVC_CACHE_KEEP");
 }
 
+TEST(ServiceConfig, ParsesTraceAndAuditKeys) {
+  const auto file = util::Config::from_string(R"(
+service.trace = true
+service.audit_file = /tmp/psdns_audit.jsonl
+)");
+  const ServiceConfig cfg = ServiceConfig::from(file);
+  EXPECT_TRUE(cfg.trace);
+  EXPECT_EQ(cfg.audit_file, "/tmp/psdns_audit.jsonl");
+  EXPECT_FALSE(ServiceConfig{}.trace);  // off unless asked for
+
+  ::setenv("PSDNS_SVC_TRACE", "on", 1);
+  ::setenv("PSDNS_SVC_AUDIT_FILE", "/tmp/psdns_env_audit.jsonl", 1);
+  const ServiceConfig env_cfg = ServiceConfig::with_env(ServiceConfig{});
+  ::unsetenv("PSDNS_SVC_TRACE");
+  ::unsetenv("PSDNS_SVC_AUDIT_FILE");
+  EXPECT_TRUE(env_cfg.trace);
+  EXPECT_EQ(env_cfg.audit_file, "/tmp/psdns_env_audit.jsonl");
+
+  // Unknown boolean spellings are errors, not silent defaults.
+  ::setenv("PSDNS_SVC_TRACE", "maybe", 1);
+  EXPECT_THROW(ServiceConfig::with_env(ServiceConfig{}), util::Error);
+  ::unsetenv("PSDNS_SVC_TRACE");
+}
+
 // --- result store --------------------------------------------------------
 
 TEST(ResultStore, RoundTripPersistenceAndCounters) {
@@ -328,6 +356,29 @@ TEST(Scheduler, FairShareDispatchOrderIsDeterministic) {
   for (const std::int64_t id : alice_ids) {
     EXPECT_EQ(sched.job(id)->state, JobState::Done);
   }
+
+  // Fairness SLO gauges on the same pinned interleaving: the first six
+  // dispatches are contended (both tenants queued at pick time) and split
+  // alice 2 : bob 4, so the achieved contended share equals the 1:2
+  // weight target exactly. The trailing two uncontended A dispatches must
+  // not count against alice.
+  auto& reg = obs::registry();
+  EXPECT_DOUBLE_EQ(reg.gauge("svc.tenant.alice.target_share"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("svc.tenant.bob.target_share"), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("svc.tenant.alice.achieved_share"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("svc.tenant.bob.achieved_share"), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("svc.tenant.alice.completed"), 4.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("svc.tenant.bob.weight"), 2.0);
+
+  // /queue reports the same shares (the psdns_top --service view).
+  const obs::JsonValue qdoc = obs::json_parse(sched.queue_json());
+  const obs::JsonValue& alice = qdoc.at("tenants").at("alice");
+  const obs::JsonValue& bob = qdoc.at("tenants").at("bob");
+  EXPECT_DOUBLE_EQ(alice.at("target_share").number, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(alice.at("achieved_share").number, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(bob.at("achieved_share").number, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(alice.at("dispatched").number, 4.0);
+  EXPECT_DOUBLE_EQ(bob.at("dispatched").number, 4.0);
   fs::remove_all(cfg.cache_dir);
   fs::remove_all(cfg.workdir);
 }
@@ -357,6 +408,180 @@ TEST(Scheduler, IdenticalResubmissionIsACacheHitWithIdenticalBytes) {
   EXPECT_EQ(store.hits(), 1);
   fs::remove_all(cfg.cache_dir);
   fs::remove_all(cfg.workdir);
+}
+
+TEST(Scheduler, CacheHitsDoNotDistortLatencySlos) {
+  ServiceConfig cfg = test_config("sloiso");
+  ResultStore store({cfg.cache_dir, cfg.cache_keep});
+  {
+    Scheduler cold(cfg, store);
+    ASSERT_TRUE(cold.submit(small_request(31, "victim")).accepted);
+    cold.drain();
+  }
+  const auto before =
+      obs::registry().histogram("svc.tenant.victim.queue_wait_seconds");
+  EXPECT_GE(before.count, 1);
+
+  // A hit-heavy tenant replays the same content over and over. Hits never
+  // reach the dispatch path, so they must not add samples to any latency
+  // histogram - neither its own nor the victim's.
+  Scheduler hot(cfg, store);
+  for (int i = 0; i < 5; ++i) {
+    const auto hit = hot.submit(small_request(31, "hog"));
+    ASSERT_TRUE(hit.accepted);
+    EXPECT_TRUE(hit.cached);
+  }
+  const auto after =
+      obs::registry().histogram("svc.tenant.victim.queue_wait_seconds");
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_DOUBLE_EQ(after.sum, before.sum);
+  EXPECT_EQ(
+      obs::registry().histogram("svc.tenant.hog.queue_wait_seconds").count,
+      0);
+  EXPECT_EQ(obs::registry().histogram("svc.tenant.hog.e2e_seconds").count, 0);
+  // The hits land in the hit-rate gauge instead.
+  EXPECT_DOUBLE_EQ(obs::registry().gauge("svc.tenant.hog.cache_hit_rate"),
+                   1.0);
+  fs::remove_all(cfg.cache_dir);
+  fs::remove_all(cfg.workdir);
+}
+
+// --- audit log -----------------------------------------------------------
+
+TEST(Audit, EventJsonRoundTripsAndReplayDropsTime) {
+  AuditEvent e;
+  e.seq = 3;
+  e.t_s = 1.5;
+  e.event = "completed";
+  e.job = 7;
+  e.trace = "tdeadbeefdeadbeef";
+  e.tenant = "alice";
+  e.hash = "0123456789abcdef";
+  e.cached = true;
+  e.detail = "with \"quotes\"";
+  const AuditEvent back = AuditEvent::parse(e.to_json());
+  EXPECT_EQ(back.to_json(), e.to_json());
+  EXPECT_EQ(back.seq, 3);
+  EXPECT_EQ(back.event, "completed");
+  EXPECT_EQ(back.job, 7);
+  EXPECT_EQ(back.trace, "tdeadbeefdeadbeef");
+  EXPECT_TRUE(back.cached);
+  EXPECT_EQ(back.detail, "with \"quotes\"");
+  // The replay form is the event minus its wall-clock stamp.
+  EXPECT_EQ(e.replay_json().find("t_s"), std::string::npos);
+  EXPECT_NE(e.replay_json().find("\"seq\":3"), std::string::npos);
+  EXPECT_THROW(AuditEvent::parse("not json"), util::Error);
+}
+
+/// Submits seed `s` for "alice", waits for the run, then resubmits the
+/// identical content as "bob" (a cache hit), against a scheduler logging
+/// to `audit_path`. The fixed sequence the lifecycle tests key on.
+void run_audited_workload(ServiceConfig cfg, const std::string& audit_path,
+                          std::uint64_t s) {
+  cfg.audit_file = audit_path;
+  ResultStore store({cfg.cache_dir, cfg.cache_keep});
+  Scheduler sched(cfg, store);
+  const auto first = sched.submit(small_request(s, "alice"));
+  ASSERT_TRUE(first.accepted);
+  while (sched.job(first.id)->state != JobState::Done) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto second = sched.submit(small_request(s, "bob"));
+  ASSERT_TRUE(second.accepted);
+  EXPECT_TRUE(second.cached);
+  sched.drain();
+}
+
+TEST(Audit, SchedulerLogsLifecycleEventsInOrder) {
+  ServiceConfig cfg = test_config("audit");
+  const std::string path =
+      (fs::temp_directory_path() / "psdns_audit_events.jsonl").string();
+  run_audited_workload(cfg, path, 41);
+
+  const auto events = read_audit_jsonl(path);
+  std::vector<std::string> names;
+  for (const auto& e : events) names.push_back(e.event);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"submitted", "admitted", "scheduled",
+                                      "started", "completed", "submitted",
+                                      "cache_hit"}));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<std::int64_t>(i));
+  }
+  // The cold job's events share one trace id and job id end to end.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].job, events[0].job);
+    EXPECT_EQ(events[i].trace, events[0].trace);
+    EXPECT_EQ(events[i].tenant, "alice");
+    EXPECT_FALSE(events[i].cached);
+  }
+  EXPECT_FALSE(events[0].trace.empty());
+  // The hit is marked as served from cache, under its own trace.
+  EXPECT_EQ(events[6].tenant, "bob");
+  EXPECT_TRUE(events[5].cached);
+  EXPECT_TRUE(events[6].cached);
+  EXPECT_NE(events[6].trace, events[0].trace);
+  EXPECT_EQ(events[5].hash, events[0].hash);  // same content address
+
+  // The file round-trips exactly: each row is its event's to_json().
+  std::ifstream in(path);
+  std::string line;
+  std::size_t row = 0;
+  while (std::getline(in, line)) {
+    ASSERT_LT(row, events.size());
+    EXPECT_EQ(line, events[row].to_json());
+    ++row;
+  }
+  EXPECT_EQ(row, events.size());
+  fs::remove(path);
+  fs::remove_all(cfg.cache_dir);
+  fs::remove_all(cfg.workdir);
+}
+
+TEST(Audit, ReplayIsBitwiseDeterministicAcrossFreshRuns) {
+  // Two identical submission sequences against fresh services: the replay
+  // documents (events minus wall-clock stamps) must match byte for byte -
+  // trace ids are minted from (content hash, job id), so the journeys
+  // align too.
+  const auto replay_of = [](const std::string& tag) {
+    ServiceConfig cfg = test_config("replay_" + tag);
+    const std::string path =
+        (fs::temp_directory_path() / ("psdns_audit_replay_" + tag + ".jsonl"))
+            .string();
+    run_audited_workload(cfg, path, 51);
+    const std::string replay = audit_replay(read_audit_jsonl(path));
+    fs::remove(path);
+    fs::remove_all(cfg.cache_dir);
+    fs::remove_all(cfg.workdir);
+    return replay;
+  };
+  const std::string a = replay_of("a");
+  const std::string b = replay_of("b");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"event\":\"cache_hit\""), std::string::npos);
+  EXPECT_NE(a.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(a.find("t_s"), std::string::npos);
+}
+
+TEST(Audit, ReaderNamesTheBadLineAndMissingFile) {
+  const std::string path =
+      (fs::temp_directory_path() / "psdns_audit_bad.jsonl").string();
+  {
+    AuditLog log(path);
+    log.append(AuditEvent{});
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "garbage\n";
+  }
+  try {
+    read_audit_jsonl(path);
+    FAIL() << "malformed row must throw";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos);
+  }
+  fs::remove(path);
+  EXPECT_THROW(read_audit_jsonl(path), util::Error);
 }
 
 TEST(Scheduler, BoundedQueueRejectsOverflow) {
@@ -541,6 +766,240 @@ TEST(Service, EndToEndSubmitPollResultAndMetrics) {
   EXPECT_EQ(status, 503);
   fs::remove_all(cfg.cache_dir);
   fs::remove_all(cfg.workdir);
+}
+
+TEST(Service, JobJourneyTraceIsServedAsChromeJson) {
+  // Tracing is process-global state; start clean and restore at the end.
+  obs::set_tracing(false);
+  obs::clear_trace();
+  ServiceConfig cfg = test_config("journey");
+  cfg.trace = true;  // the ctor enables span capture
+  {
+    Service service(cfg);
+    const int port = service.port();
+    ASSERT_TRUE(obs::tracing());
+
+    // The client names the journey via X-Psdns-Trace; the id is echoed in
+    // both the response document and the response header.
+    int status = 0;
+    net::HttpHeaders response_headers;
+    const std::string body = net::http_post(
+        "127.0.0.1", port, "/jobs", small_request(61, "alice").to_json(),
+        &status, 30.0, {{"X-Psdns-Trace", "tjourney61"}}, &response_headers);
+    ASSERT_EQ(status, 202);
+    const obs::JsonValue sub = obs::json_parse(body);
+    EXPECT_EQ(sub.at("trace").string, "tjourney61");
+    EXPECT_EQ(net::header_get(response_headers, "x-psdns-trace"),
+              "tjourney61");
+    const auto id = static_cast<std::int64_t>(sub.at("id").number);
+
+    for (;;) {
+      const std::string record = net::http_get(
+          "127.0.0.1", port, "/jobs/" + std::to_string(id), &status);
+      const std::string state = obs::json_parse(record).at("state").string;
+      if (state == "done") break;
+      ASSERT_NE(state, "failed");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // GET /jobs/<id>/trace returns the merged journey: the service lanes
+    // (admit/queue/schedule/run/store) plus the solver's driver.step spans
+    // reached through the run flow, with Chrome flow events linking them.
+    const std::string trace_json = net::http_get(
+        "127.0.0.1", port, "/jobs/" + std::to_string(id) + "/trace",
+        &status);
+    ASSERT_EQ(status, 200);
+    const obs::JsonValue doc = obs::json_parse(trace_json);
+    ASSERT_TRUE(doc.is_array());
+    std::map<std::string, int> names;
+    int flow_starts = 0, flow_finishes = 0;
+    for (const auto& ev : doc.array) {
+      const std::string ph = ev.at("ph").string;
+      if (ph == "X") ++names[ev.at("name").string];
+      if (ph == "s") ++flow_starts;
+      if (ph == "f") ++flow_finishes;
+    }
+    for (const char* lane : {"svc.admit", "svc.queue", "svc.schedule",
+                             "svc.run", "svc.store", "driver.step"}) {
+      EXPECT_GE(names[lane], 1) << "missing journey span " << lane;
+    }
+    EXPECT_EQ(names["driver.step"], 2);  // steps = 2, nothing else's steps
+    EXPECT_GE(flow_starts, 1);
+    EXPECT_EQ(flow_starts, flow_finishes);
+
+    // A second job's trace id is minted deterministically: "t" + 16 hex.
+    const std::string other = net::http_post(
+        "127.0.0.1", port, "/jobs", small_request(62, "alice").to_json(),
+        &status);
+    ASSERT_EQ(status, 202);
+    const std::string minted = obs::json_parse(other).at("trace").string;
+    ASSERT_EQ(minted.size(), 17u);
+    EXPECT_EQ(minted[0], 't');
+    for (std::size_t i = 1; i < minted.size(); ++i) {
+      EXPECT_TRUE((minted[i] >= '0' && minted[i] <= '9') ||
+                  (minted[i] >= 'a' && minted[i] <= 'f'));
+    }
+
+    net::http_get("127.0.0.1", port, "/jobs/9999/trace", &status);
+    EXPECT_EQ(status, 404);
+  }
+  obs::set_tracing(false);
+  obs::clear_trace();
+  fs::remove_all(cfg.cache_dir);
+  fs::remove_all(cfg.workdir);
+}
+
+TEST(Service, TraceRouteExplainsWhenTracingIsOff) {
+  ServiceConfig cfg = test_config("notrace");
+  ASSERT_FALSE(obs::tracing());
+  Service service(cfg);
+  int status = 0;
+  const std::string body = net::http_post(
+      "127.0.0.1", service.port(), "/jobs",
+      small_request(63, "alice").to_json(), &status);
+  ASSERT_EQ(status, 202);
+  const auto id =
+      static_cast<std::int64_t>(obs::json_parse(body).at("id").number);
+  const std::string trace = net::http_get(
+      "127.0.0.1", service.port(), "/jobs/" + std::to_string(id) + "/trace",
+      &status);
+  EXPECT_EQ(status, 404);
+  EXPECT_NE(trace.find("PSDNS_SVC_TRACE"), std::string::npos);
+  fs::remove_all(cfg.cache_dir);
+  fs::remove_all(cfg.workdir);
+}
+
+// --- header parsing and propagation (net/http) ---------------------------
+
+/// Writes raw bytes to the server and returns the raw response - the only
+/// way to exercise malformed heads the client renderer refuses to emit.
+std::string raw_http(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t done = 0;
+  while (done < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + done,
+                              request.size() - done);
+    if (n <= 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpHeaders, CustomRequestAndResponseHeadersRoundTrip) {
+  net::HttpServer server({}, [](const net::HttpRequest& req) {
+    // Case-insensitive lookup server-side, custom header on the way back.
+    net::HttpResponse resp =
+        net::HttpResponse::text(req.header("x-psdns-trace"));
+    resp.headers.emplace_back("X-Echo", req.header("X-Psdns-Trace"));
+    return resp;
+  });
+  int status = 0;
+  net::HttpHeaders response_headers;
+  const std::string body = net::http_get(
+      "127.0.0.1", server.port(), "/", &status, 30.0,
+      {{"X-Psdns-Trace", "tjourney42"}}, &response_headers);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "tjourney42");
+  EXPECT_EQ(net::header_get(response_headers, "x-echo"), "tjourney42");
+  EXPECT_NE(net::header_get(response_headers, "content-length"), "");
+  // Absent header -> "", not a throw.
+  EXPECT_EQ(net::header_get(response_headers, "x-missing"), "");
+}
+
+TEST(HttpHeaders, FetchOptionsForwardHeadersAndCaptureResponse) {
+  // The retrying svc client rides the same header plumbing (psdns_submit
+  // sends X-Psdns-Trace through it).
+  net::HttpServer server({}, [](const net::HttpRequest& req) {
+    net::HttpResponse resp = net::HttpResponse::text("ok");
+    resp.headers.emplace_back("X-Echo", req.header("X-Psdns-Trace"));
+    return resp;
+  });
+  FetchOptions options;
+  options.headers.emplace_back("X-Psdns-Trace", "tclient1");
+  net::HttpHeaders response_headers;
+  options.response_headers = &response_headers;
+  int status = 0;
+  const std::string body =
+      fetch("127.0.0.1", server.port(), "/", &status, options);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok");
+  EXPECT_EQ(net::header_get(response_headers, "x-echo"), "tclient1");
+}
+
+TEST(HttpHeaders, FoldedContinuationJoinsWithOneSpace) {
+  net::HttpServer server({}, [](const net::HttpRequest& req) {
+    return net::HttpResponse::text(req.header("X-Long"));
+  });
+  const std::string response = raw_http(
+      server.port(),
+      "GET / HTTP/1.1\r\nHost: t\r\nX-Long: part one\r\n\t and two\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("part one and two"), std::string::npos);
+}
+
+TEST(HttpHeaders, MalformedHeaderLinesAreRefusedWith400) {
+  net::HttpServer server({}, [](const net::HttpRequest&) {
+    return net::HttpResponse::text("handler must not run");
+  });
+  const std::string no_colon = raw_http(
+      server.port(), "GET / HTTP/1.1\r\nHost no colon here\r\n\r\n");
+  EXPECT_NE(no_colon.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(no_colon.find("no colon"), std::string::npos);
+
+  const std::string bad_name = raw_http(
+      server.port(), "GET / HTTP/1.1\r\nBad Name: value\r\n\r\n");
+  EXPECT_NE(bad_name.find("HTTP/1.1 400"), std::string::npos);
+
+  const std::string orphan_fold = raw_http(
+      server.port(), "GET / HTTP/1.1\r\n continued-from-nothing\r\n\r\n");
+  EXPECT_NE(orphan_fold.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_EQ(orphan_fold.find("handler must not run"), std::string::npos);
+}
+
+TEST(HttpHeaders, OversizedHeadIsRefusedNotHung) {
+  net::HttpServer server({}, [](const net::HttpRequest&) {
+    return net::HttpResponse::text("handler must not run");
+  });
+  const util::Stopwatch watch;
+  // 16 KiB of head without a terminator in the first 8 KiB: the server
+  // must answer 400 after its bounded read, never buffer without limit.
+  const std::string response = raw_http(
+      server.port(),
+      "GET / HTTP/1.1\r\nX-Big: " + std::string(16 * 1024, 'x') + "\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(response.find("request head too large"), std::string::npos);
+  EXPECT_LT(watch.seconds(), 5.0);
+}
+
+TEST(HttpHeaders, TooManyHeadersAreRefused) {
+  net::HttpServer server({}, [](const net::HttpRequest&) {
+    return net::HttpResponse::text("handler must not run");
+  });
+  std::string head = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 120; ++i) {
+    head += "X-H" + std::to_string(i) + ": v\r\n";  // stays under 8 KiB
+  }
+  head += "\r\n";
+  const std::string response = raw_http(server.port(), head);
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(response.find("too many headers"), std::string::npos);
 }
 
 // --- client timeout + retry (the hardened http_get) ----------------------

@@ -91,6 +91,68 @@ TEST(ReduceTest, MergesCountersAndGaugesAcrossRanks) {
   EXPECT_DOUBLE_EQ(solo->mean, 7.0);
 }
 
+TEST(ReduceTest, MergesHistogramsCountWeighted) {
+  MetricsSnapshot r0, r1, r2;
+  r0.histograms["svc.tenant.alice.queue_wait_seconds"] =
+      HistogramSummary{1, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0};
+  r1.histograms["svc.tenant.alice.queue_wait_seconds"] =
+      HistogramSummary{3, 12.0, 1.0, 6.0, 4.0, 6.0, 6.0};
+  r2.gauges["unrelated"] = 1.0;  // a rank with no histograms still merges
+
+  const ReducedSnapshot merged = merge_snapshots(
+      {serialize_snapshot(r0), serialize_snapshot(r1),
+       serialize_snapshot(r2)});
+  const HistogramSummary* h =
+      merged.histogram("svc.tenant.alice.queue_wait_seconds");
+  ASSERT_NE(h, nullptr);
+  // count/sum/min/max merge exactly; the quantiles are the count-weighted
+  // mean of the per-rank quantiles (1:3 weighting here).
+  EXPECT_EQ(h->count, 4);
+  EXPECT_DOUBLE_EQ(h->sum, 14.0);
+  EXPECT_DOUBLE_EQ(h->min, 1.0);
+  EXPECT_DOUBLE_EQ(h->max, 6.0);
+  EXPECT_DOUBLE_EQ(h->p50, 0.25 * 2.0 + 0.75 * 4.0);
+  EXPECT_DOUBLE_EQ(h->p95, 0.25 * 2.0 + 0.75 * 6.0);
+  EXPECT_DOUBLE_EQ(h->p99, 0.25 * 2.0 + 0.75 * 6.0);
+  EXPECT_EQ(merged.histogram("missing"), nullptr);
+}
+
+TEST(ReduceTest, SingleRankHistogramPassesThroughExactly) {
+  // The campaign-service case: one process holds all the samples, so the
+  // "approximate" merge must be the identity.
+  MetricsSnapshot local;
+  local.histograms["lat"] = HistogramSummary{7, 3.5, 0.1, 1.0, 0.4, 0.9, 1.0};
+  const ReducedSnapshot merged = merge_snapshots({serialize_snapshot(local)});
+  const HistogramSummary* h = merged.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 7);
+  EXPECT_DOUBLE_EQ(h->sum, 3.5);
+  EXPECT_DOUBLE_EQ(h->min, 0.1);
+  EXPECT_DOUBLE_EQ(h->max, 1.0);
+  EXPECT_DOUBLE_EQ(h->p50, 0.4);
+  EXPECT_DOUBLE_EQ(h->p95, 0.9);
+  EXPECT_DOUBLE_EQ(h->p99, 1.0);
+}
+
+TEST(ReduceTest, HistogramsSurviveJsonRoundTrip) {
+  MetricsSnapshot local;
+  local.histograms["lat"] = HistogramSummary{5, 2.5, 0.1, 0.9, 0.5, 0.8, 0.9};
+  ReducedSnapshot snap = merge_snapshots({serialize_snapshot(local)});
+  snap.step = 9;
+  const std::string json = snap.to_json();
+  const ReducedSnapshot back = ReducedSnapshot::parse(json);
+  const HistogramSummary* h = back.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 5);
+  EXPECT_DOUBLE_EQ(h->p95, 0.8);
+  EXPECT_EQ(back.to_json(), json);
+
+  // Rows written before histograms were reduced still parse.
+  const ReducedSnapshot old = ReducedSnapshot::parse(
+      "{\"step\":1,\"time\":0,\"ranks\":1,\"counters\":{},\"gauges\":{}}");
+  EXPECT_TRUE(old.histograms.empty());
+}
+
 TEST(ReduceTest, TiesResolveToLowestRank) {
   MetricsSnapshot a, b, c;
   a.gauges["g"] = 5.0;
@@ -339,6 +401,23 @@ TEST(ExpositionTest, RendersStatLabelsAndHealthStatus) {
   EXPECT_NE(text.find("psdns_step 7"), std::string::npos);
   EXPECT_NE(text.find("psdns_g{stat=\"mean\"}"), std::string::npos);
   EXPECT_NE(text.find("psdns_health_status 1"), std::string::npos);
+}
+
+TEST(ExpositionTest, HistogramsRenderAsPrometheusSummaries) {
+  MetricsSnapshot local;
+  local.histograms["svc.tenant.alice.queue_wait_seconds"] =
+      HistogramSummary{4, 2.0, 0.1, 0.9, 0.5, 0.8, 0.9};
+  const ReducedSnapshot snap = merge_snapshots({serialize_snapshot(local)});
+  const std::string text = to_prometheus(snap, HealthReport{});
+  const std::string name = "psdns_svc_tenant_alice_queue_wait_seconds";
+  EXPECT_NE(text.find("# TYPE " + name + " summary"), std::string::npos);
+  EXPECT_NE(text.find(name + "{quantile=\"0.5\"} 0.5"), std::string::npos);
+  EXPECT_NE(text.find(name + "{quantile=\"0.95\"} 0.8"), std::string::npos);
+  EXPECT_NE(text.find(name + "{quantile=\"0.99\"} 0.9"), std::string::npos);
+  EXPECT_NE(text.find(name + "_sum 2"), std::string::npos);
+  EXPECT_NE(text.find(name + "_count 4"), std::string::npos);
+  EXPECT_NE(text.find(name + "_min 0.1"), std::string::npos);
+  EXPECT_NE(text.find(name + "_max 0.9"), std::string::npos);
 }
 
 TEST(ExpositionTest, JsonDocumentCarriesSnapshotAndHealth) {

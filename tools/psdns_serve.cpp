@@ -6,11 +6,13 @@
 //
 //   psdns_serve [--config FILE] [--port N] [--max-concurrent N]
 //               [--queue-capacity N] [--cache-dir DIR] [--cache-keep K]
-//               [--workdir DIR]
+//               [--workdir DIR] [--trace 0|1] [--audit-file PATH]
 //
 // Precedence: built-in defaults < --config file (service.* keys) <
 // PSDNS_SVC_* environment < command-line flags. --port 0 binds an
-// ephemeral port (CI runs several services in parallel).
+// ephemeral port (CI runs several services in parallel). --trace 1 turns
+// on job-journey span tracing (GET /jobs/<id>/trace); --audit-file
+// appends one JSONL lifecycle event per job transition.
 
 #include <csignal>
 #include <cstdio>
@@ -32,7 +34,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--config FILE] [--port N] [--max-concurrent N]\n"
                "          [--queue-capacity N] [--cache-dir DIR]\n"
-               "          [--cache-keep K] [--workdir DIR]\n",
+               "          [--cache-keep K] [--workdir DIR] [--trace 0|1]\n"
+               "          [--audit-file PATH]\n",
                argv0);
   return 1;
 }
@@ -50,7 +53,8 @@ int main(int argc, char** argv) {
     bool set = false;
   } flags[] = {{"--port", "", false},       {"--max-concurrent", "", false},
                {"--queue-capacity", "", false}, {"--cache-dir", "", false},
-               {"--cache-keep", "", false}, {"--workdir", "", false}};
+               {"--cache-keep", "", false}, {"--workdir", "", false},
+               {"--trace", "", false},      {"--audit-file", "", false}};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (i + 1 >= argc) return usage(argv[0]);
@@ -83,6 +87,8 @@ int main(int argc, char** argv) {
     if (flags[3].set) cfg.cache_dir = flags[3].value;
     if (flags[4].set) cfg.cache_keep = std::atoi(flags[4].value.c_str());
     if (flags[5].set) cfg.workdir = flags[5].value;
+    if (flags[6].set) cfg.trace = std::atoi(flags[6].value.c_str()) != 0;
+    if (flags[7].set) cfg.audit_file = flags[7].value;
     cfg.validate();
 
     psdns::svc::Service service(cfg);
@@ -90,6 +96,9 @@ int main(int argc, char** argv) {
     std::printf("psdns_serve: cache %s (keep %d), workdir %s, %d worker%s\n",
                 cfg.cache_dir.c_str(), cfg.cache_keep, cfg.workdir.c_str(),
                 cfg.max_concurrent, cfg.max_concurrent == 1 ? "" : "s");
+    std::printf("psdns_serve: trace %s, audit %s\n",
+                cfg.trace ? "on" : "off",
+                cfg.audit_file.empty() ? "off" : cfg.audit_file.c_str());
     std::fflush(stdout);
 
     std::signal(SIGINT, on_signal);

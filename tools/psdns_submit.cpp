@@ -14,6 +14,12 @@
 // the base; --tenant --n --ranks --steps --seed --scheme --decomposition
 // --dealias --viscosity --scalars --forcing 0|1 override the file.
 //
+// Journey tracing: --trace ID names the job's journey (sent as the
+// X-Psdns-Trace request header; without it the service mints a
+// deterministic id, echoed in the response). --save-trace FILE fetches
+// GET /jobs/<id>/trace once the job is done and writes the merged Chrome
+// trace JSON (implies --wait; needs the service started with tracing on).
+//
 // Transport: every request runs through svc::fetch/post - per-attempt
 // timeout (--timeout SECS, default 10) plus bounded retry (--retries N,
 // default 3 attempts total).
@@ -48,6 +54,7 @@ int usage(const char* argv0) {
       "          [--decomposition slab|pencil]\n"
       "          [--dealias truncation|phase_shift] [--viscosity V]\n"
       "          [--scalars M] [--forcing 0|1] [--wait] [--json]\n"
+      "          [--trace ID] [--save-trace FILE]\n"
       "          [--timeout SECS] [--retries N]\n"
       "       %s --port N --fetch PATH\n"
       "       %s --port N --shutdown\n",
@@ -100,6 +107,8 @@ int main(int argc, char** argv) {
   bool do_shutdown = false;
   bool wait = false;
   bool json_output = false;
+  std::string trace_id;
+  std::string save_trace_path;
   FetchOptions net;
   // Field flags are collected and applied after the --job file loads, so
   // command-line values override the file regardless of flag order.
@@ -129,6 +138,11 @@ int main(int argc, char** argv) {
       fetch_path = value;
     } else if (arg == "--job") {
       job_file = value;
+    } else if (arg == "--trace") {
+      trace_id = value;
+    } else if (arg == "--save-trace") {
+      save_trace_path = value;
+      wait = true;  // the trace is only complete once the job is
     } else if (arg == "--timeout") {
       net.timeout_s = std::atof(value.c_str());
     } else if (arg == "--retries") {
@@ -168,9 +182,13 @@ int main(int argc, char** argv) {
     }
     request.validate();
 
+    if (!trace_id.empty()) {
+      net.headers.emplace_back("X-Psdns-Trace", trace_id);
+    }
     int status = 0;
     const std::string submit_body = psdns::svc::post(
         host, port, "/jobs", request.to_json(), &status, net);
+    net.headers.clear();  // only the submission carries the trace header
     if (status >= 400) {
       std::fprintf(stderr, "psdns_submit: HTTP %d: %s\n", status,
                    submit_body.c_str());
@@ -181,12 +199,19 @@ int main(int argc, char** argv) {
         static_cast<std::int64_t>(submitted.at("id").number);
     const bool cached =
         submitted.has("cached") && submitted.at("cached").boolean;
+    const std::string trace =
+        submitted.has("trace") ? submitted.at("trace").string : "";
     if (json_output) {
       std::printf("%s\n", submit_body.c_str());
-    } else {
+    } else if (trace.empty()) {
       std::printf("job %lld %s (hash %s)\n", static_cast<long long>(id),
                   cached ? "served from cache" : "queued",
                   submitted.at("hash").string.c_str());
+    } else {
+      std::printf("job %lld %s (hash %s, trace %s)\n",
+                  static_cast<long long>(id),
+                  cached ? "served from cache" : "queued",
+                  submitted.at("hash").string.c_str(), trace.c_str());
     }
     if (!wait && !cached) return 0;
 
@@ -210,7 +235,29 @@ int main(int argc, char** argv) {
     const std::string result = psdns::svc::fetch(
         host, port, "/jobs/" + std::to_string(id) + "/result", &status, net);
     std::printf("%s\n", result.c_str());
-    return status == 200 ? 0 : 1;
+    if (status != 200) return 1;
+    if (!save_trace_path.empty()) {
+      int trace_status = 0;
+      const std::string trace_json = psdns::svc::fetch(
+          host, port, "/jobs/" + std::to_string(id) + "/trace",
+          &trace_status, net);
+      if (trace_status != 200) {
+        std::fprintf(stderr, "psdns_submit: no trace for job %lld: %s\n",
+                     static_cast<long long>(id), trace_json.c_str());
+        return 1;
+      }
+      std::FILE* f = std::fopen(save_trace_path.c_str(), "w");
+      if (f == nullptr ||
+          std::fwrite(trace_json.data(), 1, trace_json.size(), f) !=
+              trace_json.size() ||
+          std::fclose(f) != 0) {
+        std::fprintf(stderr, "psdns_submit: cannot write %s\n",
+                     save_trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace written to %s\n", save_trace_path.c_str());
+    }
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psdns_submit: %s\n", e.what());
     return 1;

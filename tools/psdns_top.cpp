@@ -10,6 +10,13 @@
 //       then the full table for the final row. The same rendering path as
 //       live mode - the series is the endpoint's flight recorder.
 //
+//   psdns_top --service --port N [--host H] [--watch SECS]
+//       the campaign-service view: scrapes GET /queue and GET /json and
+//       renders a per-tenant table - weight, target vs achieved fair
+//       share, submissions, completions, cache-hit rate, and the SLO
+//       latency quantiles (queue-wait / run / end-to-end p50 and p95)
+//       from the per-tenant summary histograms.
+//
 // --json switches both modes to machine-readable output: live mode prints
 // the endpoint's /json document verbatim (one line per poll), series mode
 // one ReducedSnapshot JSON object per row. Exit codes are unchanged.
@@ -41,13 +48,16 @@ struct Options {
   std::string series;
   double watch_seconds = 0.0;  // 0 = single shot
   bool json = false;           // raw JSON instead of the rendered table
+  bool service = false;        // campaign-service tenant/SLO view
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --port N [--host H] [--watch SECS] [--json]\n"
+               "       %s --service --port N [--host H] [--watch SECS]"
+               " [--json]\n"
                "       %s --series FILE.jsonl [--json]\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 1;
 }
 
@@ -112,6 +122,101 @@ void render_health_events(const JsonValue& health) {
                 number_or(e, "step", -1),
                 find(e, "message") ? e.at("message").string.c_str() : "");
   }
+}
+
+/// p50/p95 of one per-tenant SLO histogram from the /json snapshot,
+/// rendered "p50/p95" in seconds ("-" while the histogram is empty).
+std::string slo_cell(const JsonValue* snap, const std::string& tenant,
+                     const char* metric) {
+  if (snap == nullptr) return "-";
+  const JsonValue* hists = find(*snap, "histograms");
+  if (hists == nullptr) return "-";
+  const std::string key = "svc.tenant." + tenant + "." + metric;
+  if (!hists->has(key)) return "-";
+  const JsonValue& h = hists->at(key);
+  if (number_or(h, "count", 0.0) <= 0.0) return "-";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3g/%.3g", number_or(h, "p50", 0.0),
+                number_or(h, "p95", 0.0));
+  return buf;
+}
+
+int run_service(const Options& opt) {
+  for (;;) {
+    std::string queue_body;
+    std::string metrics_body;
+    try {
+      int status = 0;
+      queue_body = psdns::obs::http_get(opt.host, opt.port, "/queue",
+                                        &status);
+      if (status != 200) {
+        std::fprintf(stderr, "GET /queue returned HTTP %d\n", status);
+        return 1;
+      }
+      metrics_body = psdns::obs::http_get(opt.host, opt.port, "/json",
+                                          &status);
+      if (status != 200) {
+        std::fprintf(stderr, "GET /json returned HTTP %d\n", status);
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot reach %s:%d: %s\n", opt.host.c_str(),
+                   opt.port, e.what());
+      return 1;
+    }
+    if (opt.json) {
+      std::printf("{\"queue\":%s,\"metrics\":%s}\n", queue_body.c_str(),
+                  metrics_body.c_str());
+    } else {
+      if (opt.watch_seconds > 0.0) std::printf("\x1b[2J\x1b[H");
+      const JsonValue queue = psdns::obs::json_parse(queue_body);
+      const JsonValue metrics = psdns::obs::json_parse(metrics_body);
+      const JsonValue* snap = find(metrics, "snapshot");
+      std::printf(
+          "service %s:%d  queued %.0f running %.0f completed %.0f "
+          "failed %.0f rejected %.0f  %s\n",
+          opt.host.c_str(), opt.port, number_or(queue, "queued", 0.0),
+          number_or(queue, "running", 0.0),
+          number_or(queue, "completed", 0.0),
+          number_or(queue, "failed", 0.0),
+          number_or(queue, "rejected", 0.0),
+          find(queue, "accepting") != nullptr &&
+                  queue.at("accepting").boolean
+              ? "accepting"
+              : "draining");
+      if (const JsonValue* cache = find(queue, "cache")) {
+        std::printf("cache: hits %.0f misses %.0f entries %.0f "
+                    "evictions %.0f\n",
+                    number_or(*cache, "hits", 0.0),
+                    number_or(*cache, "misses", 0.0),
+                    number_or(*cache, "entries", 0.0),
+                    number_or(*cache, "evictions", 0.0));
+      }
+      std::printf("%-14s %6s %7s %7s %5s %5s %5s %12s %12s %12s\n",
+                  "tenant", "weight", "target", "achiev", "sub", "done",
+                  "hits", "wait p50/95", "run p50/95", "e2e p50/95");
+      if (const JsonValue* tenants = find(queue, "tenants")) {
+        for (const auto& [name, t] : tenants->object) {
+          std::printf(
+              "%-14s %6.3g %7.3f %7.3f %5.0f %5.0f %5.0f %12s %12s %12s\n",
+              name.c_str(), number_or(t, "weight", 1.0),
+              number_or(t, "target_share", 0.0),
+              number_or(t, "achieved_share", 0.0),
+              number_or(t, "submitted", 0.0),
+              number_or(t, "completed", 0.0),
+              number_or(t, "cache_hits", 0.0),
+              slo_cell(snap, name, "queue_wait_seconds").c_str(),
+              slo_cell(snap, name, "run_seconds").c_str(),
+              slo_cell(snap, name, "e2e_seconds").c_str());
+        }
+      }
+    }
+    if (opt.watch_seconds <= 0.0) break;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opt.watch_seconds));
+  }
+  return 0;
 }
 
 int run_live(const Options& opt) {
@@ -202,6 +307,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--service") {
+      opt.service = true;
     } else if (arg == "--port") {
       opt.port = std::atoi(value());
     } else if (arg == "--host") {
@@ -215,7 +322,9 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.series.empty() == (opt.port < 0)) return usage(argv[0]);
+  if (opt.service && opt.port < 0) return usage(argv[0]);
   try {
+    if (opt.service) return run_service(opt);
     return opt.series.empty() ? run_live(opt) : run_series(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psdns_top: %s\n", e.what());
