@@ -3,6 +3,8 @@
 // baseline, with speedups relative to the CPU code.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "model/paper.hpp"
 #include "obs/bench_report.hpp"
@@ -59,6 +61,51 @@ int main() {
                util::format_fixed(cpu / best, 1) + "x"});
   }
   std::printf("%s\n", t.to_string().c_str());
+
+  // Per-equation-system step cost under production config C. Each system
+  // changes only the transpose traffic: rotation folds the Coriolis term
+  // into the integrating factor (no extra variables), Boussinesq carries
+  // the buoyancy scalar (1 inverse + 3 forward flux transposes), and MHD
+  // carries 3 magnetic components and forms 9 Elsasser products instead of
+  // the 6 symmetric velocity products (3 extra forward transposes).
+  struct SystemCost {
+    const char* name;
+    int extra_fields;
+    int extra_products;
+  };
+  constexpr SystemCost kSystems[] = {
+      {"navier_stokes", 0, 0},
+      {"rotating", 0, 0},
+      {"boussinesq", 1, 3},
+      {"mhd", 3, 3},
+  };
+  std::printf(
+      "Seconds per RK2 step by equation system (config C: 2 t/n, 1 slab)\n\n");
+  util::Table ts({"Nodes", "Problem", "navier_stokes", "rotating",
+                  "boussinesq", "mhd"});
+  for (std::size_t i = 0; i < std::size(model::paper::kTable3); ++i) {
+    const auto& row = model::paper::kTable3[i];
+    const auto& c = model::paper::kCases[i];
+    const std::string case_key =
+        std::to_string(row.n) + "_" + std::to_string(row.nodes) + "n";
+    std::vector<std::string> cells = {std::to_string(row.nodes),
+                                      util::format_problem(row.n)};
+    for (const SystemCost& sys : kSystems) {
+      pipeline::PipelineConfig cfg;
+      cfg.n = c.n;
+      cfg.nodes = c.nodes;
+      cfg.pencils = c.pencils;
+      cfg.mpi = MpiConfig::C;
+      cfg.extra_fields = sys.extra_fields;
+      cfg.extra_products = sys.extra_products;
+      const double secs = model.simulate_gpu_step(cfg).seconds;
+      report.metric(
+          "system_step_seconds." + case_key + "." + sys.name, secs);
+      cells.push_back(util::format_fixed(secs, 2));
+    }
+    ts.add_row(cells);
+  }
+  std::printf("%s\n", ts.to_string().c_str());
   std::printf(
       "Shapes reproduced: GPU speedup of order 3-5x; B fastest at 16 nodes;\n"
       "whole-slab messages (C) fastest beyond 16 nodes; speedup shrinks at\n"

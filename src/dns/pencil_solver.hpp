@@ -22,6 +22,10 @@ struct PencilSolverConfig {
   bool phase_shift_dealias = false;
   ForcingConfig forcing;
   std::vector<ScalarConfig> scalars;
+  SystemType system = SystemType::NavierStokes;
+  double rotation_omega = 0.0;
+  double brunt_vaisala = 1.0;
+  double resistivity = 0.0;
 };
 
 namespace detail {
@@ -73,6 +77,10 @@ class PencilSolver : private detail::PencilFftMember, public SpectralNSCore {
     sc.pencils_per_a2a = 1;
     sc.forcing = pc.forcing;
     sc.scalars = pc.scalars;
+    sc.system = pc.system;
+    sc.rotation_omega = pc.rotation_omega;
+    sc.brunt_vaisala = pc.brunt_vaisala;
+    sc.resistivity = pc.resistivity;
     return sc;
   }
 

@@ -30,7 +30,7 @@ double noise(std::uint64_t seed, std::size_t i, std::size_t j, std::size_t k,
 }
 }  // namespace
 
-SpectralNSCore::SpectralNSCore(comm::Communicator& comm,
+SpectralEngine::SpectralEngine(comm::Communicator& comm,
                                transpose::DistFft3d& fft, SolverConfig config)
     : comm_(comm), config_(std::move(config)), fft_(fft) {
   PSDNS_REQUIRE(config_.n >= 4, "grid too small for a DNS");
@@ -38,16 +38,25 @@ SpectralNSCore::SpectralNSCore(comm::Communicator& comm,
   PSDNS_REQUIRE(config_.viscosity > 0.0, "viscosity must be positive");
   PSDNS_REQUIRE(config_.pencils >= 1 && config_.pencils_per_a2a >= 1,
                 "bad pencil batching");
+  validate_forcing(config_.forcing);
+  // Boussinesq's buoyancy field rides in the scalar slot: materialize it
+  // (Pr = 1, no mean gradient - the stratification is brunt_vaisala's job)
+  // when the caller did not configure scalars explicitly.
+  if (config_.system == SystemType::Boussinesq && config_.scalars.empty()) {
+    config_.scalars.push_back(ScalarConfig{1.0, 0.0});
+  }
   for (const auto& sc : config_.scalars) {
     PSDNS_REQUIRE(sc.schmidt > 0.0, "Schmidt number must be positive");
   }
+  system_ = make_equation_system(config_);
+
   fft_.set_batching(config_.pencils, config_.pencils_per_a2a);
   view_ = fft_.mode_view();
   pview_ = fft_.phys_view();
   spec_ = fft_.spectral_elems();
   phys_elems_ = fft_.physical_elems();
   const std::size_t nf = field_count();
-  nprod_ = 6 + 3 * config_.scalars.size();
+  nprod_ = system_->product_count();
 
   state_.resize(nf);
   for (auto& c : state_) c.assign(spec_, Complex{0.0, 0.0});
@@ -62,17 +71,23 @@ SpectralNSCore::SpectralNSCore(comm::Communicator& comm,
   phys_.ensure((nf + nprod_) * phys_elems_);
 
   state_ptrs_.resize(nf);
+  state_mut_.resize(nf);
   stage_ptrs_.resize(nf);
+  stage_mut_.resize(nf);
   spec_in_.resize(nf);
   rhs_a_ptrs_.resize(nf);
   rhs_b_ptrs_.resize(nf);
   phys_out_.resize(nf);
+  field_phys_.resize(nf);
   for (std::size_t f = 0; f < nf; ++f) {
     state_ptrs_[f] = state_[f].data();
+    state_mut_[f] = state_[f].data();
     stage_ptrs_[f] = block(stage_, f);
+    stage_mut_[f] = block(stage_, f);
     rhs_a_ptrs_[f] = block(rhs_a_, f);
     rhs_b_ptrs_[f] = block(rhs_b_, f);
     phys_out_[f] = phys_block(f);
+    field_phys_[f] = phys_block(f);
   }
   if (config_.scheme == TimeScheme::RK4) {
     k_ptrs_.resize(4 * nf);
@@ -83,14 +98,18 @@ SpectralNSCore::SpectralNSCore(comm::Communicator& comm,
     }
   }
   prod_in_.resize(nprod_);
+  prod_out_.resize(nprod_);
   prod_spec_.resize(nprod_);
+  prod_spec_const_.resize(nprod_);
   for (std::size_t t = 0; t < nprod_; ++t) {
     prod_in_[t] = phys_block(nf + t);
+    prod_out_[t] = phys_block(nf + t);
     prod_spec_[t] = block(prod_hat_, t);
+    prod_spec_const_[t] = block(prod_hat_, t);
   }
 }
 
-void SpectralNSCore::apply_dealias(Complex* field) {
+void SpectralEngine::apply_dealias(Complex* field) {
   if (config_.phase_shift_dealias) {
     dealias_spherical(view_, field,
                       std::sqrt(2.0) * static_cast<double>(config_.n) / 3.0);
@@ -99,26 +118,27 @@ void SpectralNSCore::apply_dealias(Complex* field) {
   }
 }
 
-void SpectralNSCore::apply_if(std::size_t f, Complex* field, double dt) {
-  apply_integrating_factor(view_, field, diffusivity(f), dt);
-}
-
-void SpectralNSCore::finalize_velocity_ic() {
+void SpectralEngine::finalize_vector_ic(std::size_t base) {
   const std::size_t n = config_.n;
   const double scale = 1.0 / (static_cast<double>(n) * n * n);
-  for (int c = 0; c < 3; ++c) {
-    Complex* s = state_[static_cast<std::size_t>(c)].data();
+  for (std::size_t c = 0; c < 3; ++c) {
+    Complex* s = state_[base + c].data();
     for (std::size_t i = 0; i < spec_; ++i) s[i] *= scale;
   }
-  project(view_, state_[0].data(), state_[1].data(), state_[2].data());
-  for (int c = 0; c < 3; ++c) {
-    apply_dealias(state_[static_cast<std::size_t>(c)].data());
+  project(view_, state_[base].data(), state_[base + 1].data(),
+          state_[base + 2].data());
+  for (std::size_t c = 0; c < 3; ++c) {
+    apply_dealias(state_[base + c].data());
   }
+}
+
+void SpectralEngine::finalize_velocity_ic() {
+  finalize_vector_ic(0);
   time_ = 0.0;
   steps_ = 0;
 }
 
-void SpectralNSCore::init_from_function(
+void SpectralEngine::init_from_function(
     const std::function<std::array<double, 3>(double, double, double)>& f) {
   const double cell = kTwoPi / static_cast<double>(config_.n);
   Real* px = phys_block(0);
@@ -140,14 +160,41 @@ void SpectralNSCore::init_from_function(
   finalize_velocity_ic();
 }
 
-void SpectralNSCore::init_taylor_green() {
+void SpectralEngine::init_taylor_green() {
   init_from_function([](double x, double y, double) {
     return std::array<double, 3>{std::sin(x) * std::cos(y),
                                  -std::cos(x) * std::sin(y), 0.0};
   });
 }
 
-void SpectralNSCore::init_isotropic(std::uint64_t seed, double k_peak,
+void SpectralEngine::shape_vector_spectrum(std::size_t base, double k_peak,
+                                           double energy) {
+  // Shape the shell spectrum to E(k) ~ (k/k0)^4 exp(-2 (k/k0)^2).
+  const auto current =
+      energy_spectrum(view_, comm_, state_[base].data(),
+                      state_[base + 1].data(), state_[base + 2].data());
+  std::vector<double> gain(current.size(), 0.0);
+  double target_total = 0.0;
+  for (std::size_t s = 1; s < current.size(); ++s) {
+    const double kr = static_cast<double>(s) / k_peak;
+    const double target = std::pow(kr, 4.0) * std::exp(-2.0 * kr * kr);
+    target_total += target;
+    if (current[s] > 1e-300) gain[s] = std::sqrt(target / current[s]);
+  }
+  const double norm = std::sqrt(energy / target_total);
+  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
+    const double kmag = std::sqrt(static_cast<double>(kx) * kx +
+                                  static_cast<double>(ky) * ky +
+                                  static_cast<double>(kz) * kz);
+    const auto shell = static_cast<std::size_t>(std::lround(kmag));
+    const double g = shell < gain.size() ? gain[shell] * norm : 0.0;
+    state_[base][idx] *= g;
+    state_[base + 1][idx] *= g;
+    state_[base + 2][idx] *= g;
+  });
+}
+
+void SpectralEngine::init_isotropic(std::uint64_t seed, double k_peak,
                                     double energy) {
   PSDNS_REQUIRE(k_peak > 0.0 && energy > 0.0, "bad isotropic IC parameters");
   // White noise per component, keyed on global indices: identical physics
@@ -166,32 +213,10 @@ void SpectralNSCore::init_isotropic(std::uint64_t seed, double k_peak,
   fft_.forward(std::span<const Real* const>(phys3, 3),
                std::span<Complex* const>(spec3, 3));
   finalize_velocity_ic();
-
-  // Shape the shell spectrum to E(k) ~ (k/k0)^4 exp(-2 (k/k0)^2).
-  const auto current = energy_spectrum(view_, comm_, state_[0].data(),
-                                       state_[1].data(), state_[2].data());
-  std::vector<double> gain(current.size(), 0.0);
-  double target_total = 0.0;
-  for (std::size_t s = 1; s < current.size(); ++s) {
-    const double kr = static_cast<double>(s) / k_peak;
-    const double target = std::pow(kr, 4.0) * std::exp(-2.0 * kr * kr);
-    target_total += target;
-    if (current[s] > 1e-300) gain[s] = std::sqrt(target / current[s]);
-  }
-  const double norm = std::sqrt(energy / target_total);
-  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
-    const double kmag = std::sqrt(static_cast<double>(kx) * kx +
-                                  static_cast<double>(ky) * ky +
-                                  static_cast<double>(kz) * kz);
-    const auto shell = static_cast<std::size_t>(std::lround(kmag));
-    const double g = shell < gain.size() ? gain[shell] * norm : 0.0;
-    state_[0][idx] *= g;
-    state_[1][idx] *= g;
-    state_[2][idx] *= g;
-  });
+  shape_vector_spectrum(0, k_peak, energy);
 }
 
-void SpectralNSCore::init_scalar_from_function(
+void SpectralEngine::init_scalar_from_function(
     int s, const std::function<double(double, double, double)>& f) {
   PSDNS_REQUIRE(s >= 0 && s < scalar_count(), "scalar index out of range");
   const std::size_t n = config_.n;
@@ -211,7 +236,7 @@ void SpectralNSCore::init_scalar_from_function(
   apply_dealias(theta.data());
 }
 
-void SpectralNSCore::init_scalar_isotropic(int s, std::uint64_t seed,
+void SpectralEngine::init_scalar_isotropic(int s, std::uint64_t seed,
                                            double k_peak, double variance) {
   PSDNS_REQUIRE(s >= 0 && s < scalar_count(), "scalar index out of range");
   PSDNS_REQUIRE(k_peak > 0.0 && variance > 0.0, "bad scalar IC parameters");
@@ -251,10 +276,89 @@ void SpectralNSCore::init_scalar_isotropic(int s, std::uint64_t seed,
   });
 }
 
-void SpectralNSCore::restore(std::span<const Complex* const> fields, double t,
+void SpectralEngine::init_magnetic_isotropic(std::uint64_t seed, double k_peak,
+                                             double energy) {
+  const int mb = magnetic_base();
+  PSDNS_REQUIRE(mb >= 0, "system carries no magnetic field");
+  PSDNS_REQUIRE(k_peak > 0.0 && energy > 0.0, "bad magnetic IC parameters");
+  const auto base = static_cast<std::size_t>(mb);
+
+  // Preserve any previously imposed uniform mean field across the refill.
+  Complex b0[3] = {};
+  std::size_t zero_idx = spec_;  // sentinel: this rank may not own k = 0
+  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
+    if (kx == 0 && ky == 0 && kz == 0) zero_idx = idx;
+  });
+  if (zero_idx < spec_) {
+    for (std::size_t c = 0; c < 3; ++c) b0[c] = state_[base + c][zero_idx];
+  }
+
+  Real* px = phys_block(0);
+  Real* py = phys_block(1);
+  Real* pz = phys_block(2);
+  for_each_point(pview_, [&](std::size_t idx, std::size_t xi, std::size_t yi,
+                             std::size_t zi) {
+    px[idx] = noise(seed, xi, yi, zi, 200);
+    py[idx] = noise(seed, xi, yi, zi, 201);
+    pz[idx] = noise(seed, xi, yi, zi, 202);
+  });
+  const Real* phys3[3] = {px, py, pz};
+  Complex* spec3[3] = {state_[base].data(), state_[base + 1].data(),
+                       state_[base + 2].data()};
+  fft_.forward(std::span<const Real* const>(phys3, 3),
+               std::span<Complex* const>(spec3, 3));
+  finalize_vector_ic(base);
+  shape_vector_spectrum(base, k_peak, energy);
+
+  if (zero_idx < spec_) {
+    for (std::size_t c = 0; c < 3; ++c) state_[base + c][zero_idx] = b0[c];
+  }
+}
+
+void SpectralEngine::init_magnetic_from_function(
+    const std::function<std::array<double, 3>(double, double, double)>& f) {
+  const int mb = magnetic_base();
+  PSDNS_REQUIRE(mb >= 0, "system carries no magnetic field");
+  const auto base = static_cast<std::size_t>(mb);
+  const double cell = kTwoPi / static_cast<double>(config_.n);
+  Real* px = phys_block(0);
+  Real* py = phys_block(1);
+  Real* pz = phys_block(2);
+  for_each_point(pview_, [&](std::size_t idx, std::size_t xi, std::size_t yi,
+                             std::size_t zi) {
+    const auto b = f(cell * static_cast<double>(xi),
+                     cell * static_cast<double>(yi),
+                     cell * static_cast<double>(zi));
+    px[idx] = b[0];
+    py[idx] = b[1];
+    pz[idx] = b[2];
+  });
+  const Real* phys3[3] = {px, py, pz};
+  Complex* spec3[3] = {state_[base].data(), state_[base + 1].data(),
+                       state_[base + 2].data()};
+  fft_.forward(std::span<const Real* const>(phys3, 3),
+               std::span<Complex* const>(spec3, 3));
+  finalize_vector_ic(base);
+}
+
+void SpectralEngine::set_uniform_magnetic_field(
+    const std::array<double, 3>& b0) {
+  const int mb = magnetic_base();
+  PSDNS_REQUIRE(mb >= 0, "system carries no magnetic field");
+  const auto base = static_cast<std::size_t>(mb);
+  for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
+    if (kx == 0 && ky == 0 && kz == 0) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        state_[base + c][idx] = Complex{b0[c], 0.0};
+      }
+    }
+  });
+}
+
+void SpectralEngine::restore(std::span<const Complex* const> fields, double t,
                              std::int64_t steps) {
   PSDNS_REQUIRE(fields.size() == field_count(),
-                "restore needs 3 velocity components plus every scalar");
+                "restore needs 3 velocity components plus every extra field");
   for (std::size_t f = 0; f < field_count(); ++f) {
     std::copy(fields[f], fields[f] + spec_, state_[f].begin());
   }
@@ -263,11 +367,10 @@ void SpectralNSCore::restore(std::span<const Complex* const> fields, double t,
   last_umax_ = 0.0;
 }
 
-void SpectralNSCore::compute_rhs(const Complex* const* in,
-                                 Complex* const* rhs, bool with_forcing) {
+void SpectralEngine::compute_rhs(const Complex* const* in, Complex* const* rhs,
+                                 bool with_forcing) {
   const std::size_t n = config_.n;
   const std::size_t nf = field_count();
-  const std::size_t nscalars = config_.scalars.size();
   const double inv_n3 = 1.0 / (static_cast<double>(n) * n * n);
 
   // Optional Rogallo phase shift: alternate RK substages between the
@@ -296,7 +399,9 @@ void SpectralNSCore::compute_rhs(const Complex* const* in,
   fft_.inverse(std::span<const Complex* const>(spec_in_.data(), nf),
                std::span<Real* const>(phys_out_.data(), nf));
 
-  // 2. Pointwise max velocity (CFL bookkeeping).
+  // 2. Pointwise max signal speed (CFL bookkeeping): the velocity, plus the
+  //    magnetic field for MHD (b is in Alfven-velocity units, so this keeps
+  //    the estimate honest for Alfven waves too).
   double umax = 0.0;
   for (int c = 0; c < 3; ++c) {
     const Real* p = phys_block(static_cast<std::size_t>(c));
@@ -304,39 +409,18 @@ void SpectralNSCore::compute_rhs(const Complex* const* in,
       umax = std::max(umax, std::abs(p[idx]));
     }
   }
-  last_umax_ = comm_.allreduce_max(umax);
-
-  // 3. Products in physical space: the six symmetric velocity products,
-  //    then the three flux components per scalar.
-  const Real* u = phys_block(0);
-  const Real* v = phys_block(1);
-  const Real* w = phys_block(2);
-  const std::size_t m = phys_elems_;
-  Real* t11 = phys_block(nf + 0);
-  Real* t22 = phys_block(nf + 1);
-  Real* t33 = phys_block(nf + 2);
-  Real* t12 = phys_block(nf + 3);
-  Real* t13 = phys_block(nf + 4);
-  Real* t23 = phys_block(nf + 5);
-  for (std::size_t idx = 0; idx < m; ++idx) {
-    t11[idx] = u[idx] * u[idx];
-    t22[idx] = v[idx] * v[idx];
-    t33[idx] = w[idx] * w[idx];
-    t12[idx] = u[idx] * v[idx];
-    t13[idx] = u[idx] * w[idx];
-    t23[idx] = v[idx] * w[idx];
-  }
-  for (std::size_t s = 0; s < nscalars; ++s) {
-    const Real* theta = phys_block(3 + s);
-    Real* fx = phys_block(nf + 6 + 3 * s + 0);
-    Real* fy = phys_block(nf + 6 + 3 * s + 1);
-    Real* fz = phys_block(nf + 6 + 3 * s + 2);
-    for (std::size_t idx = 0; idx < m; ++idx) {
-      fx[idx] = u[idx] * theta[idx];
-      fy[idx] = v[idx] * theta[idx];
-      fz[idx] = w[idx] * theta[idx];
+  if (const int mb = magnetic_base(); mb >= 0) {
+    for (int c = 0; c < 3; ++c) {
+      const Real* p = phys_block(static_cast<std::size_t>(mb + c));
+      for (std::size_t idx = 0; idx < phys_elems_; ++idx) {
+        umax = std::max(umax, std::abs(p[idx]));
+      }
     }
   }
+  last_umax_ = comm_.allreduce_max(umax);
+
+  // 3. The system's products in physical space.
+  system_->form_products(field_phys_.data(), prod_out_.data(), phys_elems_);
 
   // 4. Products to spectral space (one multi-variable transform).
   fft_.forward(std::span<const Real* const>(prod_in_.data(), nprod_),
@@ -348,29 +432,10 @@ void SpectralNSCore::compute_rhs(const Complex* const* in,
     apply_dealias(p);
   }
 
-  // 5. Projected conservative-form momentum RHS.
-  nonlinear_rhs(view_,
-                ProductSet{block(prod_hat_, 0), block(prod_hat_, 1),
-                           block(prod_hat_, 2), block(prod_hat_, 3),
-                           block(prod_hat_, 4), block(prod_hat_, 5)},
-                rhs[0], rhs[1], rhs[2]);
+  // 5. The system's spectral RHS from the dealiased product spectra.
+  system_->assemble_rhs(view_, in, prod_spec_const_.data(), rhs);
 
-  // 6. Scalar flux-divergence RHS plus the mean-gradient source -G v.
-  for (std::size_t s = 0; s < nscalars; ++s) {
-    scalar_rhs(view_, block(prod_hat_, 6 + 3 * s + 0),
-               block(prod_hat_, 6 + 3 * s + 1),
-               block(prod_hat_, 6 + 3 * s + 2), rhs[3 + s]);
-    const double g = config_.scalars[s].mean_gradient;
-    if (g != 0.0) {
-      Complex* out = rhs[3 + s];
-      const Complex* vv = in[1];
-      for (std::size_t idx = 0; idx < spec_; ++idx) {
-        out[idx] -= g * vv[idx];
-      }
-    }
-  }
-
-  // 7. Velocity-proportional band forcing with fixed injection power.
+  // 6. Velocity-proportional band forcing with fixed injection power.
   if (with_forcing && config_.forcing.enabled) {
     const double eband =
         band_energy(view_, comm_, in[0], in[1], in[2], config_.forcing.klo,
@@ -383,13 +448,16 @@ void SpectralNSCore::compute_rhs(const Complex* const* in,
   }
 }
 
-void SpectralNSCore::step(double dt) {
+void SpectralEngine::step(double dt) {
   PSDNS_REQUIRE(dt > 0.0, "dt must be positive");
   const double h = dt / 2.0;
   const std::size_t nf = field_count();
 
+  // The linear propagator E (viscous/diffusive decay plus any system terms
+  // such as the Coriolis rotation) is applied to whole field *sets* so
+  // systems whose linear operator couples components stay exact.
   if (config_.scheme == TimeScheme::RK2) {
-    // Midpoint RK2 with exact diffusion:
+    // Midpoint RK2 with exact linear terms:
     //   u_mid = E_h (u + dt/2 N(u));  u_new = E_f u + dt E_h N(u_mid).
     compute_rhs(state_ptrs_.data(), rhs_a_ptrs_.data());
     for (std::size_t f = 0; f < nf; ++f) {
@@ -397,18 +465,18 @@ void SpectralNSCore::step(double dt) {
       const Complex* ra = block(rhs_a_, f);
       Complex* st = block(stage_, f);
       for (std::size_t i = 0; i < spec_; ++i) st[i] = s[i] + h * ra[i];
-      apply_if(f, st, h);
     }
+    apply_linear(stage_mut_.data(), h);
     compute_rhs(stage_ptrs_.data(), rhs_b_ptrs_.data());
+    apply_linear(state_mut_.data(), dt);   // E_f u
+    apply_linear(rhs_b_ptrs_.data(), h);   // E_h N(u_mid)
     for (std::size_t f = 0; f < nf; ++f) {
-      apply_if(f, state_[f].data(), dt);  // E_f u
-      Complex* rb = block(rhs_b_, f);
-      apply_if(f, rb, h);                 // E_h N(u_mid)
+      const Complex* rb = block(rhs_b_, f);
       Complex* s = state_[f].data();
       for (std::size_t i = 0; i < spec_; ++i) s[i] += dt * rb[i];
     }
   } else {
-    // Integrating-factor RK4 (classical RK4 on v = exp(kappa k^2 t) u):
+    // Integrating-factor RK4 (classical RK4 on v = E(-t) u):
     //   k1 = N(u)
     //   u1 = E_h (u + dt/2 k1);      k2 = N(u1)
     //   u2 = E_h u + dt/2 k2;        k3 = N(u2)
@@ -423,28 +491,32 @@ void SpectralNSCore::step(double dt) {
       const Complex* s = state_[f].data();
       Complex* st = block(stage_, f);
       for (std::size_t i = 0; i < spec_; ++i) st[i] = s[i] + h * k1[f][i];
-      apply_if(f, st, h);
     }
+    apply_linear(stage_mut_.data(), h);
     compute_rhs(stage_ptrs_.data(), k2);
     for (std::size_t f = 0; f < nf; ++f) {
+      std::copy(state_[f].begin(), state_[f].end(), block(stage_, f));
+    }
+    apply_linear(stage_mut_.data(), h);  // E_h u
+    for (std::size_t f = 0; f < nf; ++f) {
       Complex* st = block(stage_, f);
-      std::copy(state_[f].begin(), state_[f].end(), st);
-      apply_if(f, st, h);  // E_h u
       for (std::size_t i = 0; i < spec_; ++i) st[i] += h * k2[f][i];
     }
     compute_rhs(stage_ptrs_.data(), k3);
     for (std::size_t f = 0; f < nf; ++f) {
+      std::copy(state_[f].begin(), state_[f].end(), block(stage_, f));
+    }
+    apply_linear(stage_mut_.data(), dt);  // E_f u
+    apply_linear(k3, h);                  // k3 <- E_h k3
+    for (std::size_t f = 0; f < nf; ++f) {
       Complex* st = block(stage_, f);
-      std::copy(state_[f].begin(), state_[f].end(), st);
-      apply_if(f, st, dt);     // E_f u
-      apply_if(f, k3[f], h);   // k3 <- E_h k3
       for (std::size_t i = 0; i < spec_; ++i) st[i] += dt * k3[f][i];
     }
     compute_rhs(stage_ptrs_.data(), k4);
+    apply_linear(k1, dt);  // E_f k1
+    apply_linear(k2, h);   // E_h k2
+    apply_linear(state_mut_.data(), dt);
     for (std::size_t f = 0; f < nf; ++f) {
-      apply_if(f, k1[f], dt);  // E_f k1
-      apply_if(f, k2[f], h);   // E_h k2
-      apply_if(f, state_[f].data(), dt);
       Complex* s = state_[f].data();
       for (std::size_t i = 0; i < spec_; ++i) {
         s[i] += dt / 6.0 *
@@ -457,7 +529,7 @@ void SpectralNSCore::step(double dt) {
   ++steps_;
 }
 
-double SpectralNSCore::cfl_dt(double cfl) {
+double SpectralEngine::cfl_dt(double cfl) {
   if (last_umax_ <= 0.0) {
     // No RHS evaluated yet: measure once via a throwaway evaluation.
     compute_rhs(state_ptrs_.data(), rhs_a_ptrs_.data());
@@ -466,7 +538,7 @@ double SpectralNSCore::cfl_dt(double cfl) {
   return last_umax_ > 0.0 ? cfl * dx / last_umax_ : 1e9;
 }
 
-Diagnostics SpectralNSCore::diagnostics() {
+Diagnostics SpectralEngine::diagnostics() {
   Diagnostics d;
   d.energy = kinetic_energy(view_, comm_, state_[0].data(), state_[1].data(),
                             state_[2].data());
@@ -490,7 +562,7 @@ Diagnostics SpectralNSCore::diagnostics() {
   return d;
 }
 
-ScalarDiagnostics SpectralNSCore::scalar_diagnostics(int s) {
+ScalarDiagnostics SpectralEngine::scalar_diagnostics(int s) {
   PSDNS_REQUIRE(s >= 0 && s < scalar_count(), "scalar index out of range");
   const auto si = static_cast<std::size_t>(3 + s);
   ScalarDiagnostics d;
@@ -502,18 +574,43 @@ ScalarDiagnostics SpectralNSCore::scalar_diagnostics(int s) {
   return d;
 }
 
-std::vector<double> SpectralNSCore::spectrum() {
+std::vector<NamedValue> SpectralEngine::system_diagnostics() {
+  return system_->diagnostics(view_, comm_, state_ptrs_.data());
+}
+
+std::vector<double> SpectralEngine::spectrum() {
   return energy_spectrum(view_, comm_, state_[0].data(), state_[1].data(),
                          state_[2].data());
 }
 
-std::vector<double> SpectralNSCore::scalar_spectrum(int s) {
+std::vector<double> SpectralEngine::scalar_spectrum(int s) {
   PSDNS_REQUIRE(s >= 0 && s < scalar_count(), "scalar index out of range");
   return field_spectrum(view_, comm_,
                         state_[static_cast<std::size_t>(3 + s)].data());
 }
 
-std::vector<double> SpectralNSCore::transfer_spectrum() {
+std::vector<std::pair<std::string, std::vector<double>>>
+SpectralEngine::named_spectra() {
+  std::vector<std::pair<std::string, std::vector<double>>> out;
+  for (const auto& group : system_->spectra()) {
+    std::vector<double> sum;
+    for (const int f : group.fields) {
+      PSDNS_REQUIRE(f >= 0 && static_cast<std::size_t>(f) < field_count(),
+                    "spectrum group references an unknown field");
+      auto one = field_spectrum(view_, comm_,
+                                state_[static_cast<std::size_t>(f)].data());
+      if (sum.empty()) {
+        sum = std::move(one);
+      } else {
+        for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += one[i];
+      }
+    }
+    out.emplace_back(group.name, std::move(sum));
+  }
+  return out;
+}
+
+std::vector<double> SpectralEngine::transfer_spectrum() {
   compute_rhs(state_ptrs_.data(), rhs_a_ptrs_.data(), /*with_forcing=*/false);
   std::vector<double> shells(config_.n / 2 + 1, 0.0);
   for_each_mode(view_, [&](std::size_t idx, int kx, int ky, int kz) {
@@ -534,7 +631,7 @@ std::vector<double> SpectralNSCore::transfer_spectrum() {
   return shells;
 }
 
-DerivativeMoments SpectralNSCore::derivative_moments() {
+DerivativeMoments SpectralEngine::derivative_moments() {
   // Longitudinal derivatives via spectral differentiation (du/dx needs
   // i*kx, dv/dy i*ky, dw/dz i*kz), then pointwise moments in physical
   // space. The stage block doubles as gradient scratch (never live between
@@ -576,7 +673,7 @@ DerivativeMoments SpectralNSCore::derivative_moments() {
   return out;
 }
 
-double SpectralNSCore::derivative_skewness() {
+double SpectralEngine::derivative_skewness() {
   return derivative_moments().skewness;
 }
 

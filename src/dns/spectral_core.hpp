@@ -1,21 +1,24 @@
 #pragma once
-// The decomposition-agnostic pseudo-spectral Navier-Stokes core: one
-// implementation of the paper's DNS physics (Sec. 2) written against the
+// The physics-agnostic pseudo-spectral engine: one implementation of the
+// paper's time-stepping machinery (Sec. 2) written against the
 // transpose::DistFft3d backend interface, shared by the slab solver (the
 // "new code") and the pencil baseline (the synchronous CPU code of Yeung
 // et al. 2015 the paper benchmarks against).
 //
-// State: three velocity Fourier coefficients plus m scalar coefficients in
-// the backend's spectral layout, normalized so that u(x) = sum_k uhat(k)
-// exp(i k.x) on the 2*pi-periodic cube. Each RK substage evaluates the
-// nonlinear terms pseudo-spectrally: inverse-transform all 3+m fields,
-// form the 6 symmetric velocity products and 3 flux products per scalar in
-// physical space, forward-transform them, assemble the projected
-// conservative-form momentum RHS and the flux-divergence scalar RHS, and
-// dealias (2/3 truncation, or Rogallo phase shifting with the larger
-// spherical radius). Diffusion is integrated exactly per field with the
-// integrating factor (nu for velocity, nu/Sc per scalar); time stepping is
-// RK2 or RK4.
+// The engine owns everything that is the same for every equation set:
+// state and arena scratch, the batched multi-variable DistFft3d round
+// trips, strict-2/3 / Rogallo phase-shift dealiasing, RK2/RK4 stepping
+// with exact per-field linear propagators, band forcing, checkpoint
+// restore, and the generic statistics. Everything that differs between
+// equation sets - the field inventory, the physical-space products, the
+// spectral RHS, the linear factor, named diagnostics and spectra - lives
+// behind the EquationSystem interface (src/dns/systems/), selected by
+// SolverConfig::system. Each RK substage evaluates the nonlinear terms
+// pseudo-spectrally: inverse-transform all fields, form the system's
+// products in physical space, forward-transform them, let the system
+// assemble its spectral RHS, and dealias; the linear terms are integrated
+// exactly by the system's propagator (viscous/diffusive decay, plus e.g.
+// the Coriolis rotation).
 //
 // All substage scratch (RK stages, product spectra, physical-space blocks,
 // optional shifted copies) is checked out of util::WorkspaceArena once at
@@ -27,77 +30,30 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/communicator.hpp"
 #include "dns/modes.hpp"
+#include "dns/solver_config.hpp"
 #include "dns/spectral_ops.hpp"
+#include "dns/systems/equation_system.hpp"
 #include "transpose/dist_fft.hpp"
 #include "util/arena.hpp"
 
 namespace psdns::dns {
 
-enum class TimeScheme { RK2, RK4 };
-
-struct ForcingConfig {
-  bool enabled = false;
-  int klo = 1;          // forced band, inclusive
-  int khi = 2;
-  double power = 0.1;   // energy injection rate
-};
-
-/// One passive scalar. With a uniform mean gradient G along y, the solved
-/// fluctuation theta' obeys d theta'/dt + u.grad theta' = D lap theta' - G v,
-/// the standard configuration for statistically stationary mixing.
-struct ScalarConfig {
-  double schmidt = 1.0;        // Sc = nu / D
-  double mean_gradient = 0.0;  // G (0 = freely decaying scalar)
-};
-
-struct SolverConfig {
-  std::size_t n = 32;
-  double viscosity = 0.01;
-  TimeScheme scheme = TimeScheme::RK2;
-  bool phase_shift_dealias = false;  // Rogallo shifts on top of truncation
-  int pencils = 1;                   // np: pencils per slab (GPU batching)
-  int pencils_per_a2a = 1;           // Q: pencils aggregated per all-to-all
-  ForcingConfig forcing;
-  std::vector<ScalarConfig> scalars;
-};
-
-/// One-step flow statistics (all collective to compute).
-struct Diagnostics {
-  double energy = 0.0;        // 1/2 <u.u>
-  double dissipation = 0.0;   // 2 nu sum k^2 E(k)
-  double u_max = 0.0;         // max pointwise |u_i|
-  double max_divergence = 0.0;
-  double taylor_scale = 0.0;      // lambda = sqrt(15 nu u'^2 / eps)
-  double reynolds_lambda = 0.0;   // u' lambda / nu
-  double kolmogorov_eta = 0.0;    // (nu^3/eps)^(1/4)
-};
-
-/// Scalar-field statistics (collective).
-struct ScalarDiagnostics {
-  double variance = 0.0;       // 1/2 <theta^2>
-  double dissipation = 0.0;    // chi = 2 D sum k^2 E_theta(k)
-  double flux_y = 0.0;         // <v theta> (down-gradient transport)
-};
-
-/// Skewness and flatness of the longitudinal velocity derivatives.
-/// A gaussian field has skewness 0 and flatness 3; developed turbulence
-/// shows ~-0.5 and > 4 (small-scale intermittency - the "extreme events"
-/// the record-size simulations are run to quantify).
-struct DerivativeMoments {
-  double skewness = 0.0;
-  double flatness = 0.0;
-};
-
-class SpectralNSCore {
+class SpectralEngine {
  public:
-  /// The backend must outlive the core. The core configures the backend's
-  /// transpose batching from config (pencils / pencils_per_a2a).
-  SpectralNSCore(comm::Communicator& comm, transpose::DistFft3d& fft,
+  /// The backend must outlive the engine. The engine configures the
+  /// backend's transpose batching from config (pencils / pencils_per_a2a),
+  /// validates the forcing band, normalizes the config for the selected
+  /// system (Boussinesq materializes its buoyancy scalar), and builds the
+  /// EquationSystem.
+  SpectralEngine(comm::Communicator& comm, transpose::DistFft3d& fft,
                  SolverConfig config);
 
   const SolverConfig& config() const { return config_; }
@@ -108,12 +64,21 @@ class SpectralNSCore {
   const PhysView& points() const { return pview_; }
   comm::Communicator& communicator() { return comm_; }
   transpose::DistFft3d& fft() { return fft_; }
+  const EquationSystem& system() const { return *system_; }
   int scalar_count() const {
     return static_cast<int>(config_.scalars.size());
   }
+  std::size_t field_count() const { return system_->field_count(); }
+  std::size_t extra_field_count() const { return system_->extra_fields(); }
+  /// State index of the first magnetic component, or -1 (non-MHD systems).
+  int magnetic_base() const { return system_->magnetic_base(); }
 
-  /// Velocity coefficients (backend spectral layout), component c in
-  /// {0,1,2}.
+  /// Field coefficients (backend spectral layout), f in [0, field_count()):
+  /// the three velocity components, then the system's extra fields.
+  Complex* field(std::size_t f) { return state_[f].data(); }
+  const Complex* field(std::size_t f) const { return state_[f].data(); }
+
+  /// Velocity coefficients, component c in {0,1,2}.
   Complex* uhat(int c) { return state_[static_cast<std::size_t>(c)].data(); }
   const Complex* uhat(int c) const {
     return state_[static_cast<std::size_t>(c)].data();
@@ -151,10 +116,25 @@ class SpectralNSCore {
   void init_scalar_isotropic(int s, std::uint64_t seed, double k_peak,
                              double variance);
 
+  /// MHD only: random solenoidal magnetic fluctuation with the same
+  /// spectral shape as the velocity IC, rescaled to `energy` (Alfven
+  /// units). Does not touch the k = 0 mean field or reset the clock.
+  void init_magnetic_isotropic(std::uint64_t seed, double k_peak,
+                               double energy);
+
+  /// MHD only: sets the uniform mean magnetic field B0 (the k = 0 mode of
+  /// the induction fields, preserved exactly by the stepping).
+  void set_uniform_magnetic_field(const std::array<double, 3>& b0);
+
+  /// MHD only: fills the magnetic fluctuation from a physical-space
+  /// function b_c(x, y, z), then projects and dealiases it.
+  void init_magnetic_from_function(
+      const std::function<std::array<double, 3>(double, double, double)>& f);
+
   /// Overwrites the solver state from externally supplied coefficients
   /// (checkpoint restart). `fields` holds the 3 velocity components
-  /// followed by scalar_count() scalars, each this rank's local spectral
-  /// block.
+  /// followed by extra_field_count() system fields, each this rank's local
+  /// spectral block.
   void restore(std::span<const Complex* const> fields, double time,
                std::int64_t steps);
 
@@ -163,16 +143,28 @@ class SpectralNSCore {
   /// Advances one step of size dt with the configured scheme.
   void step(double dt);
 
-  /// Largest stable dt estimate: cfl * dx / u_max (collective).
+  /// Largest stable dt estimate: cfl * dx / u_max (collective). For MHD
+  /// the pointwise max includes the magnetic field (Alfven units), so the
+  /// estimate respects the Alfven-wave CFL as well.
   double cfl_dt(double cfl = 0.5);
 
   /// Collective statistics of the current state.
   Diagnostics diagnostics();
   ScalarDiagnostics scalar_diagnostics(int s);
 
+  /// System-specific named statistics (collective): e.g. magnetic_energy
+  /// and cross_helicity for MHD, buoyancy_flux for Boussinesq. Empty for
+  /// plain Navier-Stokes.
+  std::vector<NamedValue> system_diagnostics();
+
   /// Shell spectra of the current state (collective).
   std::vector<double> spectrum();
   std::vector<double> scalar_spectrum(int s);
+
+  /// The system's named shell-spectrum groups (collective): every system
+  /// publishes {"kinetic", ...}; MHD adds {"magnetic", ...}, Boussinesq
+  /// {"buoyancy", ...}.
+  std::vector<std::pair<std::string, std::vector<double>>> named_spectra();
 
   /// Nonlinear energy-transfer spectrum T(k): the rate at which the
   /// (projected, dealiased) nonlinear term moves energy into shell k.
@@ -190,11 +182,7 @@ class SpectralNSCore {
  private:
   using Field = std::vector<Complex>;
 
-  std::size_t field_count() const { return 3 + config_.scalars.size(); }
-  double diffusivity(std::size_t f) const {
-    return f < 3 ? config_.viscosity
-                 : config_.viscosity / config_.scalars[f - 3].schmidt;
-  }
+  double diffusivity(std::size_t f) const { return system_->diffusivity(f); }
 
   /// rhs[f] = nonlinear terms of the fields in[f] (+ forcing unless
   /// disabled); updates u_max. Pointer-based so RK stages address
@@ -206,12 +194,23 @@ class SpectralNSCore {
   /// sqrt(2)/3 N radius when phase shifting is active (Rogallo's scheme).
   void apply_dealias(Complex* field);
 
-  /// Per-field exact diffusion: field *= exp(-kappa_f k^2 dt).
-  void apply_if(std::size_t f, Complex* field, double dt);
+  /// The system's exact linear propagator over dt, applied in place to a
+  /// full field set (state or an RK stage).
+  void apply_linear(Complex* const* fields, double dt) {
+    system_->apply_linear(view_, fields, dt);
+  }
+
+  /// Normalize, project and dealias a solenoidal vector triple starting at
+  /// state index base after a physical-space fill.
+  void finalize_vector_ic(std::size_t base);
 
   /// Normalize, project and dealias the velocity state after a physical-
   /// space fill; resets the clock.
   void finalize_velocity_ic();
+
+  /// Shapes the shell spectrum of the vector triple at `base` to
+  /// E(k) ~ (k/k0)^4 exp(-2 (k/k0)^2) with total energy `energy`.
+  void shape_vector_spectrum(std::size_t base, double k_peak, double energy);
 
   Complex* block(util::WorkspaceArena::Handle<Complex>& h,
                  std::size_t f) const {
@@ -224,13 +223,14 @@ class SpectralNSCore {
   comm::Communicator& comm_;
   SolverConfig config_;
   transpose::DistFft3d& fft_;
+  std::unique_ptr<EquationSystem> system_;
   ModeView view_;
   PhysView pview_;
   std::size_t spec_ = 0;        // local spectral elements per field
   std::size_t phys_elems_ = 0;  // local physical elements per field
-  std::size_t nprod_ = 0;       // 6 velocity products + 3 per scalar
+  std::size_t nprod_ = 0;       // system_->product_count()
 
-  std::vector<Field> state_;  // [u, v, w, theta_0, ..., theta_{m-1}]
+  std::vector<Field> state_;  // [u, v, w, <system extra fields>]
   double time_ = 0.0;
   std::int64_t steps_ = 0;
   std::int64_t rhs_evals_ = 0;  // parity selects the Rogallo grid shift
@@ -243,14 +243,23 @@ class SpectralNSCore {
   util::WorkspaceArena::Handle<Complex> k_;        // RK4 only
   util::WorkspaceArena::Handle<Complex> shifted_;  // phase shifting only
   util::WorkspaceArena::Handle<Complex> prod_hat_;
-  util::WorkspaceArena::Handle<Real> phys_;  // 3+m fields, then products
+  util::WorkspaceArena::Handle<Real> phys_;  // nf fields, then products
 
-  // Reused pointer tables for the batched transforms and RK stages.
+  // Reused pointer tables for the batched transforms, RK stages, and the
+  // EquationSystem callbacks (const and mutable aliases of the same
+  // blocks; apply_linear needs mutable field sets).
   std::vector<const Complex*> state_ptrs_, stage_ptrs_, spec_in_;
+  std::vector<Complex*> state_mut_, stage_mut_;
   std::vector<Complex*> rhs_a_ptrs_, rhs_b_ptrs_, k_ptrs_;
-  std::vector<Real*> phys_out_;
-  std::vector<const Real*> prod_in_;
+  std::vector<Real*> phys_out_, prod_out_;
+  std::vector<const Real*> prod_in_, field_phys_;
   std::vector<Complex*> prod_spec_;
+  std::vector<const Complex*> prod_spec_const_;
 };
+
+/// The engine's historical name: the physics used to be hard-coded to
+/// incompressible Navier-Stokes. Adapters (SlabSolver, PencilSolver) and
+/// older call sites still use it.
+using SpectralNSCore = SpectralEngine;
 
 }  // namespace psdns::dns

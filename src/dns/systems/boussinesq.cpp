@@ -1,0 +1,42 @@
+#include "dns/systems/boussinesq.hpp"
+
+namespace psdns::dns {
+
+void Boussinesq::assemble_rhs(const ModeView& view, const Complex* const* in,
+                              const Complex* const* products,
+                              Complex* const* rhs) const {
+  NavierStokes::assemble_rhs(view, in, products, rhs);
+
+  // Buoyancy exchange. The momentum source N theta zhat is projected onto
+  // the solenoidal plane mode-by-mode: P(zhat)_i = delta_i3 - k_i kz/k^2.
+  // The k = 0 mode is skipped (no projection is defined there and the
+  // fluctuation fields are mean-free).
+  const double bv = config_.brunt_vaisala;
+  const Complex* theta = in[3];
+  const Complex* w = in[2];
+  Complex* ru = rhs[0];
+  Complex* rv = rhs[1];
+  Complex* rw = rhs[2];
+  Complex* rt = rhs[3];
+  for_each_mode(view, [&](std::size_t idx, int kx, int ky, int kz) {
+    const double k2 = static_cast<double>(kx) * kx +
+                      static_cast<double>(ky) * ky +
+                      static_cast<double>(kz) * kz;
+    rt[idx] -= bv * w[idx];
+    if (k2 == 0.0) return;
+    const double kzok2 = static_cast<double>(kz) / k2;
+    const Complex src = bv * theta[idx];
+    ru[idx] -= src * (static_cast<double>(kx) * kzok2);
+    rv[idx] -= src * (static_cast<double>(ky) * kzok2);
+    rw[idx] += src * (1.0 - static_cast<double>(kz) * kzok2);
+  });
+}
+
+std::vector<NamedValue> Boussinesq::diagnostics(
+    const ModeView& view, comm::Communicator& comm,
+    const Complex* const* fields) const {
+  return {{"buoyancy_flux",
+           cospectrum_total(view, comm, fields[2], fields[3])}};
+}
+
+}  // namespace psdns::dns

@@ -1,0 +1,46 @@
+#pragma once
+// Boussinesq convection/stratification: Navier-Stokes plus an active
+// buoyancy field (scalar 0) with gravity along z. In units where the
+// background stratification is linear with Brunt-Vaisala frequency N, the
+// symmetric coupling is
+//
+//   d uhat_i/dt += N thetahat P(zhat)_i = N thetahat (delta_i3 - k_i kz/k^2)
+//   d thetahat/dt -= N what
+//
+// giving internal gravity waves with dispersion omega = N k_h/|k|. The
+// coupling is integrated explicitly inside the RHS (it is weak relative to
+// advection in the turbulent regime); the background stratification itself
+// is encoded by N, so scalar 0 carries no mean gradient. Extra scalars
+// beyond the first remain passive.
+
+#include "dns/systems/navier_stokes.hpp"
+
+namespace psdns::dns {
+
+class Boussinesq : public NavierStokes {
+ public:
+  using NavierStokes::NavierStokes;
+
+  const char* name() const override { return "boussinesq"; }
+  std::string field_name(std::size_t f) const override {
+    return f == 3 ? "buoyancy" : NavierStokes::field_name(f);
+  }
+
+  /// NS advection for all fields, then the +-N buoyancy exchange between
+  /// what and thetahat.
+  void assemble_rhs(const ModeView& view, const Complex* const* in,
+                    const Complex* const* products,
+                    Complex* const* rhs) const override;
+
+  /// Adds the vertical buoyancy flux <w theta> (the energy exchange rate
+  /// between kinetic and potential reservoirs, divided by N).
+  std::vector<NamedValue> diagnostics(
+      const ModeView& view, comm::Communicator& comm,
+      const Complex* const* fields) const override;
+
+  std::vector<SpectrumGroup> spectra() const override {
+    return {{"kinetic", {0, 1, 2}}, {"buoyancy", {3}}};
+  }
+};
+
+}  // namespace psdns::dns

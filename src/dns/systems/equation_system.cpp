@@ -1,0 +1,104 @@
+#include "dns/systems/equation_system.hpp"
+
+#include <algorithm>
+
+#include "dns/systems/boussinesq.hpp"
+#include "dns/systems/mhd.hpp"
+#include "dns/systems/navier_stokes.hpp"
+#include "dns/systems/rotating.hpp"
+#include "util/check.hpp"
+
+namespace psdns::dns {
+
+const char* to_string(SystemType s) {
+  switch (s) {
+    case SystemType::NavierStokes: return "navier_stokes";
+    case SystemType::RotatingNS: return "rotating";
+    case SystemType::Boussinesq: return "boussinesq";
+    case SystemType::Mhd: return "mhd";
+  }
+  return "unknown";
+}
+
+SystemType parse_system_type(const std::string& name) {
+  if (name == "navier_stokes") return SystemType::NavierStokes;
+  if (name == "rotating") return SystemType::RotatingNS;
+  if (name == "boussinesq") return SystemType::Boussinesq;
+  if (name == "mhd") return SystemType::Mhd;
+  util::raise("unknown equation system '" + name +
+              "' (expected navier_stokes, rotating, boussinesq, or mhd)");
+}
+
+void validate_forcing(const ForcingConfig& f) {
+  if (!f.enabled) return;
+  if (f.klo < 1) {
+    throw ForcingError("band lower edge klo=" + std::to_string(f.klo) +
+                       " must be >= 1 (the k=0 mode carries no energy)");
+  }
+  if (f.khi < f.klo) {
+    throw ForcingError("empty band: khi=" + std::to_string(f.khi) +
+                       " < klo=" + std::to_string(f.klo));
+  }
+  if (!(f.power > 0.0)) {
+    throw ForcingError("injection power " + std::to_string(f.power) +
+                       " must be positive");
+  }
+}
+
+std::string EquationSystem::field_name(std::size_t f) const {
+  switch (f) {
+    case 0: return "u";
+    case 1: return "v";
+    case 2: return "w";
+    default: return "scalar" + std::to_string(f - 3);
+  }
+}
+
+void EquationSystem::apply_linear(const ModeView& view,
+                                  Complex* const* fields, double dt) const {
+  const std::size_t nf = field_count();
+  for (std::size_t f = 0; f < nf; ++f) {
+    apply_integrating_factor(view, fields[f], diffusivity(f), dt);
+  }
+}
+
+std::vector<NamedValue> EquationSystem::diagnostics(
+    const ModeView&, comm::Communicator&, const Complex* const*) const {
+  return {};
+}
+
+std::vector<SpectrumGroup> EquationSystem::spectra() const {
+  return {{"kinetic", {0, 1, 2}}};
+}
+
+std::unique_ptr<EquationSystem> make_equation_system(
+    const SolverConfig& config) {
+  switch (config.system) {
+    case SystemType::NavierStokes:
+      return std::make_unique<NavierStokes>(config);
+    case SystemType::RotatingNS:
+      PSDNS_REQUIRE(config.rotation_omega > 0.0,
+                    "rotating system needs rotation_omega > 0");
+      return std::make_unique<RotatingNS>(config);
+    case SystemType::Boussinesq:
+      PSDNS_REQUIRE(config.brunt_vaisala > 0.0,
+                    "boussinesq system needs brunt_vaisala > 0");
+      PSDNS_REQUIRE(!config.scalars.empty(),
+                    "boussinesq system needs the buoyancy scalar (the "
+                    "engine normalizes this before construction)");
+      PSDNS_REQUIRE(config.scalars[0].mean_gradient == 0.0,
+                    "boussinesq scalar 0 is the buoyancy field; the "
+                    "background stratification is encoded by brunt_vaisala, "
+                    "not a mean gradient");
+      return std::make_unique<Boussinesq>(config);
+    case SystemType::Mhd:
+      PSDNS_REQUIRE(config.scalars.empty(),
+                    "mhd system does not support passive scalars yet");
+      PSDNS_REQUIRE(config.resistivity >= 0.0,
+                    "resistivity must be >= 0 (0 means eta = nu)");
+      return std::make_unique<IncompressibleMhd>(config);
+  }
+  util::raise("unhandled SystemType");
+}
+
+}  // namespace psdns::dns

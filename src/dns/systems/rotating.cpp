@@ -1,0 +1,46 @@
+#include "dns/systems/rotating.hpp"
+
+#include <cmath>
+
+namespace psdns::dns {
+
+void RotatingNS::apply_linear(const ModeView& view, Complex* const* fields,
+                              double dt) const {
+  NavierStokes::apply_linear(view, fields, dt);
+
+  // Rotate (uhat, vhat, what) about khat by theta = -sigma dt,
+  // sigma = 2 Omega kz / |k|. The rotation matrix is real and invariant
+  // under k -> -k (both the axis and the angle flip sign), so Hermitian
+  // symmetry of the stored half-spectrum is preserved. The k = 0 mode has
+  // no khat (and a projected-out mean flow): left untouched.
+  const double omega = config_.rotation_omega;
+  Complex* u = fields[0];
+  Complex* v = fields[1];
+  Complex* w = fields[2];
+  for_each_mode(view, [&](std::size_t idx, int kx, int ky, int kz) {
+    const double k2 = static_cast<double>(kx) * kx +
+                      static_cast<double>(ky) * ky +
+                      static_cast<double>(kz) * kz;
+    if (k2 == 0.0) return;
+    const double kmag = std::sqrt(k2);
+    const double theta = -2.0 * omega * (static_cast<double>(kz) / kmag) * dt;
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    const double ax = static_cast<double>(kx) / kmag;
+    const double ay = static_cast<double>(ky) / kmag;
+    const double az = static_cast<double>(kz) / kmag;
+    const Complex u0 = u[idx], v0 = v[idx], w0 = w[idx];
+    // Rodrigues: R v = v cos + (a x v) sin + a (a.v)(1 - cos). The state
+    // is solenoidal (a.v = 0) but the axial term is kept so the propagator
+    // stays exactly norm-preserving on any input (RK stages included).
+    const Complex adotv = ax * u0 + ay * v0 + az * w0;
+    const Complex cxu = ay * w0 - az * v0;
+    const Complex cxv = az * u0 - ax * w0;
+    const Complex cxw = ax * v0 - ay * u0;
+    u[idx] = c * u0 + s * cxu + (1.0 - c) * adotv * ax;
+    v[idx] = c * v0 + s * cxv + (1.0 - c) * adotv * ay;
+    w[idx] = c * w0 + s * cxw + (1.0 - c) * adotv * az;
+  });
+}
+
+}  // namespace psdns::dns

@@ -29,6 +29,14 @@ CampaignConfig CampaignConfig::from(const util::Config& file) {
   cfg.solver.scheme =
       scheme == "rk4" ? dns::TimeScheme::RK4 : dns::TimeScheme::RK2;
   cfg.solver.phase_shift_dealias = file.get_bool("phase_shift", false);
+  cfg.solver.system =
+      dns::parse_system_type(file.get("system", "navier_stokes"));
+  cfg.solver.rotation_omega =
+      file.get_double("rotation_omega", cfg.solver.rotation_omega);
+  cfg.solver.brunt_vaisala =
+      file.get_double("brunt_vaisala", cfg.solver.brunt_vaisala);
+  cfg.solver.resistivity =
+      file.get_double("resistivity", cfg.solver.resistivity);
   cfg.solver.pencils = static_cast<int>(file.get_int("pencils", 1));
   cfg.solver.pencils_per_a2a =
       static_cast<int>(file.get_int("pencils_per_a2a", 1));
@@ -36,6 +44,9 @@ CampaignConfig CampaignConfig::from(const util::Config& file) {
   cfg.solver.forcing.klo = static_cast<int>(file.get_int("forcing.klo", 1));
   cfg.solver.forcing.khi = static_cast<int>(file.get_int("forcing.khi", 2));
   cfg.solver.forcing.power = file.get_double("forcing.power", 0.1);
+  // Reject physically meaningless bands here, at parse time on every rank,
+  // rather than letting the engine throw mid-construction.
+  dns::validate_forcing(cfg.solver.forcing);
 
   const auto nscalars = file.get_int("scalars", 0);
   PSDNS_REQUIRE(nscalars >= 0, "negative scalar count");
@@ -50,6 +61,7 @@ CampaignConfig CampaignConfig::from(const util::Config& file) {
   cfg.seed = static_cast<std::uint64_t>(file.get_int("seed", 1));
   cfg.k_peak = file.get_double("k_peak", 3.0);
   cfg.energy = file.get_double("energy", 0.5);
+  cfg.b0 = file.get_double("b0", 0.0);
   cfg.max_steps = file.get_int("steps", 100);
   cfg.max_time = file.get_double("max_time", 1e30);
   cfg.cfl = file.get_double("cfl", 0.5);
@@ -156,6 +168,13 @@ CampaignResult run_campaign(comm::Communicator& comm,
       solver.init_scalar_isotropic(s, cfg.seed + 1000 + s, cfg.k_peak,
                                    cfg.energy / 2.0);
     }
+    if (solver.magnetic_base() >= 0) {
+      solver.init_magnetic_isotropic(cfg.seed + 2000, cfg.k_peak,
+                                     cfg.energy / 2.0);
+      if (cfg.b0 != 0.0) {
+        solver.set_uniform_magnetic_field({0.0, 0.0, cfg.b0});
+      }
+    }
   }
 
   std::unique_ptr<io::SeriesWriter> series;
@@ -247,8 +266,14 @@ CampaignResult run_campaign(comm::Communicator& comm,
     if (report || !cfg.series_path.empty() || telemetry_every_step) {
       d = solver.diagnostics();
       have_diagnostics = true;
+      // System-specific statistics (magnetic energy, buoyancy flux, ...)
+      // ride the same collective gate; empty for plain Navier-Stokes.
+      const auto sysd = solver.system_diagnostics();
       if (comm.rank() == 0) {
         obs::registry().gauge_set("driver.energy", d.energy);
+        for (const auto& nv : sysd) {
+          obs::registry().gauge_set("driver.system." + nv.name, nv.value);
+        }
         if (series != nullptr) {
           series->append(solver.step_count(), solver.time(), d, dt,
                          wall * 1e3);

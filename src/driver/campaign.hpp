@@ -33,6 +33,7 @@ struct CampaignConfig {
   std::uint64_t seed = 1;
   double k_peak = 3.0;
   double energy = 0.5;
+  double b0 = 0.0;  // MHD: uniform mean field along z (Alfven units)
   // Stepping.
   std::int64_t max_steps = 100;
   double max_time = 1e30;       // stop at whichever budget hits first
@@ -61,8 +62,9 @@ struct CampaignConfig {
   // rollback count to the health monitor; not a config-file key.
   int recoveries_so_far = 0;
 
-  /// Parses the "key = value" schema (n, viscosity, scheme, forcing.*,
-  /// scalar.*, steps, cfl, checkpoint_keep, io_retries, ... - see
+  /// Parses the "key = value" schema (n, viscosity, scheme, system,
+  /// rotation_omega, brunt_vaisala, resistivity, b0, forcing.*, scalar.*,
+  /// steps, cfl, checkpoint_keep, io_retries, ... - see
   /// driver/campaign.cpp). Throws on unknown keys.
   static CampaignConfig from(const util::Config& file);
 };

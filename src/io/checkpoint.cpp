@@ -291,14 +291,14 @@ void save_checkpoint(const std::string& path, dns::SlabSolver& solver,
   const std::size_t n = solver.n();
   const std::size_t nxh = n / 2 + 1;
   const std::size_t slab = solver.modes().local_modes();
-  const auto nfields = static_cast<std::size_t>(3 + solver.scalar_count());
+  const std::size_t nfields = solver.field_count();
 
   CheckpointInfo info;
   info.n = n;
   info.time = solver.time();
   info.step = solver.step_count();
   info.viscosity = solver.config().viscosity;
-  info.scalars = static_cast<std::uint32_t>(solver.scalar_count());
+  info.scalars = static_cast<std::uint32_t>(solver.extra_field_count());
 
   // Z-slabs concatenate to the global (i, j, k) order, so a rank-ordered
   // gather is exactly the file layout. Every field is gathered up front so
@@ -309,11 +309,8 @@ void save_checkpoint(const std::string& path, dns::SlabSolver& solver,
     fields.assign(nfields, std::vector<Complex>(nxh * n * n));
   }
   for (std::size_t c = 0; c < nfields; ++c) {
-    const Complex* src = c < 3
-                             ? solver.uhat(static_cast<int>(c))
-                             : solver.that(static_cast<int>(c - 3));
     Complex* dst = comm.rank() == 0 ? fields[c].data() : nullptr;
-    comm.gather(src, dst, slab, 0);
+    comm.gather(solver.field(c), dst, slab, 0);
   }
 
   Captured cap;
@@ -369,12 +366,13 @@ CheckpointInfo load_checkpoint(const std::string& path,
                               "checkpoint N=" + std::to_string(info.n) +
                                   ", solver N=" + std::to_string(n));
       }
-      if (info.scalars != static_cast<std::uint32_t>(solver.scalar_count())) {
+      if (info.scalars !=
+          static_cast<std::uint32_t>(solver.extra_field_count())) {
         throw CheckpointError(
             CheckpointErrc::ScalarMismatch, path,
             "checkpoint has " + std::to_string(info.scalars) +
-                " scalars, solver has " +
-                std::to_string(solver.scalar_count()));
+                " extra fields, solver has " +
+                std::to_string(solver.extra_field_count()));
       }
       global.resize(nxh * n * n);
     });

@@ -24,10 +24,13 @@
 //
 // File layout (little-endian, doubles):
 //   magic "PSDNSCKP" | u32 version=3 | u64 N | f64 time | i64 step |
-//   f64 viscosity | u32 scalar count m | u32 header crc32c |
+//   f64 viscosity | u32 extra-field count m | u32 header crc32c |
 //   (3+m) x [ (nxh*N*N) complex<double> field | u32 field crc32c ]
-// (fields in order u, v, w, theta_0..m-1; each CRC covers magic..nscalars
-// for the header, the raw field bytes for fields).
+// (fields in order u, v, w, then the equation system's extra fields -
+// passive scalars for Navier-Stokes, buoyancy for Boussinesq, bx/by/bz for
+// MHD; each CRC covers magic..count for the header, the raw field bytes
+// for fields). The count slot was "scalar count" before pluggable systems;
+// the encoding is unchanged, so NS checkpoints are byte-compatible.
 
 #include <cstdint>
 #include <optional>
@@ -46,7 +49,7 @@ struct CheckpointInfo {
   double time = 0.0;
   std::int64_t step = 0;
   double viscosity = 0.0;
-  std::uint32_t scalars = 0;
+  std::uint32_t scalars = 0;  // extra prognostic fields beyond (u, v, w)
 };
 
 /// What went wrong with a checkpoint file. Ok is never thrown; it is the

@@ -36,6 +36,12 @@ struct PipelineConfig {
   int scalars = 0;              // passive scalars carried by the run; each
                                 // adds 1 inverse + 3 forward variable
                                 // transposes per substep
+  int extra_fields = 0;         // equation-system fields beyond u,v,w and
+                                // scalars (e.g. 3 magnetic components):
+                                // each adds 1 inverse transpose per substep
+  int extra_products = 0;       // extra forward product transposes per
+                                // substep (e.g. MHD's 9 Elsasser products
+                                // replace the 6 symmetric ones: 3 extra)
   gpu::CopyMethod copy_method = gpu::CopyMethod::Memcpy2DAsync;
   gpu::CopyMethod unpack_method = gpu::CopyMethod::ZeroCopy;
 

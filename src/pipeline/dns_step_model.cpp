@@ -289,11 +289,14 @@ StepResult DnsStepModel::simulate_gpu_step(const PipelineConfig& cfg) const {
   PSDNS_REQUIRE(cfg.rk_substeps == 2 || cfg.rk_substeps == 4,
                 "rk_substeps must be 2 (RK2) or 4 (RK4)");
   PSDNS_REQUIRE(cfg.scalars >= 0, "negative scalar count");
-  // Variable counts per pass: the inverse pass moves the 3 velocities plus
-  // every scalar; the forward pass moves the 6 velocity products plus 3
-  // flux components per scalar.
-  const int nv_fields = 3 + cfg.scalars;
-  const int nv_products = 6 + 3 * cfg.scalars;
+  PSDNS_REQUIRE(cfg.extra_fields >= 0 && cfg.extra_products >= 0,
+                "negative equation-system field/product count");
+  // Variable counts per pass: the inverse pass moves the 3 velocities,
+  // every scalar, and any equation-system extra fields; the forward pass
+  // moves the 6 velocity products, 3 flux components per scalar, and the
+  // system's extra products.
+  const int nv_fields = 3 + cfg.scalars + cfg.extra_fields;
+  const int nv_products = 6 + 3 * cfg.scalars + cfg.extra_products;
   for (int substep = 0; substep < cfg.rk_substeps; ++substep) {
     for (int r = 0; r < ranks_per_socket; ++r) {
       std::vector<sim::OpId> entry;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "dns/solver_config.hpp"
 #include "obs/json.hpp"
 #include "util/check.hpp"
 
@@ -69,6 +70,25 @@ void JobRequest::validate() const {
                 "job scalars must be in [0, 4]");
   PSDNS_REQUIRE(cfl > 0.0 && max_dt > 0.0,
                 "job cfl and max_dt must be positive");
+  // Rejects unknown system names with the full expected list.
+  const dns::SystemType sys = dns::parse_system_type(system);
+  switch (sys) {
+    case dns::SystemType::NavierStokes:
+      break;
+    case dns::SystemType::RotatingNS:
+      PSDNS_REQUIRE(rotation_omega > 0.0,
+                    "rotating job needs rotation_omega > 0");
+      break;
+    case dns::SystemType::Boussinesq:
+      PSDNS_REQUIRE(brunt_vaisala > 0.0,
+                    "boussinesq job needs brunt_vaisala > 0");
+      break;
+    case dns::SystemType::Mhd:
+      PSDNS_REQUIRE(scalars == 0, "mhd job cannot carry passive scalars");
+      PSDNS_REQUIRE(resistivity >= 0.0,
+                    "mhd job resistivity must be >= 0 (0 means eta = nu)");
+      break;
+  }
   if (decomposition == Decomposition::Slab) {
     PSDNS_REQUIRE(n % static_cast<std::size_t>(ranks) == 0,
                   "slab job needs ranks dividing n");
@@ -102,6 +122,20 @@ std::string JobRequest::canonical() const {
      << "|scalars=" << scalars
      << "|cfl=" << obs::json_number(cfl)
      << "|max_dt=" << obs::json_number(max_dt);
+  // Appended only for non-default systems, with only the parameter that
+  // system reads: every navier_stokes hash (and cached result) predating
+  // pluggable systems stays valid, and irrelevant parameters cannot
+  // fragment the cache.
+  if (system != "navier_stokes") {
+    os << "|system=" << system;
+    if (system == "rotating") {
+      os << "|rotation_omega=" << obs::json_number(rotation_omega);
+    } else if (system == "boussinesq") {
+      os << "|brunt_vaisala=" << obs::json_number(brunt_vaisala);
+    } else if (system == "mhd") {
+      os << "|resistivity=" << obs::json_number(resistivity);
+    }
+  }
   return os.str();
 }
 
@@ -130,7 +164,11 @@ std::string JobRequest::to_json() const {
      << ",\"forcing_power\":" << obs::json_number(forcing_power)
      << ",\"scalars\":" << scalars
      << ",\"cfl\":" << obs::json_number(cfl)
-     << ",\"max_dt\":" << obs::json_number(max_dt) << "}";
+     << ",\"max_dt\":" << obs::json_number(max_dt)
+     << ",\"system\":" << obs::json_quote(system)
+     << ",\"rotation_omega\":" << obs::json_number(rotation_omega)
+     << ",\"brunt_vaisala\":" << obs::json_number(brunt_vaisala)
+     << ",\"resistivity\":" << obs::json_number(resistivity) << "}";
   return os.str();
 }
 
@@ -182,6 +220,14 @@ JobRequest JobRequest::from_json(const std::string& text) {
       req.cfl = number_field(value, key);
     } else if (key == "max_dt") {
       req.max_dt = number_field(value, key);
+    } else if (key == "system") {
+      req.system = string_field(value, key);
+    } else if (key == "rotation_omega") {
+      req.rotation_omega = number_field(value, key);
+    } else if (key == "brunt_vaisala") {
+      req.brunt_vaisala = number_field(value, key);
+    } else if (key == "resistivity") {
+      req.resistivity = number_field(value, key);
     } else {
       util::raise("unknown job request field \"" + key + "\"");
     }
@@ -208,6 +254,10 @@ JobRequest JobRequest::from_config(const util::Config& file) {
   req.scalars = static_cast<int>(file.get_int("scalars", req.scalars));
   req.cfl = file.get_double("cfl", req.cfl);
   req.max_dt = file.get_double("max_dt", req.max_dt);
+  req.system = file.get("system", req.system);
+  req.rotation_omega = file.get_double("rotation_omega", req.rotation_omega);
+  req.brunt_vaisala = file.get_double("brunt_vaisala", req.brunt_vaisala);
+  req.resistivity = file.get_double("resistivity", req.resistivity);
   const auto unused = file.unused_keys();
   if (!unused.empty()) {
     std::string msg = "unknown job config keys:";

@@ -44,6 +44,14 @@ struct JobRequest {
   int scalars = 0;                 // passive scalar count (Sc = 1)
   double cfl = 0.5;                // stepping limits (affect dt, so hashed)
   double max_dt = 0.01;
+  // Equation system (see dns/systems/): navier_stokes | rotating |
+  // boussinesq | mhd, plus the per-system physical parameters. The
+  // canonical form appends these only for non-default systems, so every
+  // pre-existing navier_stokes hash (and its cached result) is preserved.
+  std::string system = "navier_stokes";
+  double rotation_omega = 1.0;     // rotating: frame rate about z
+  double brunt_vaisala = 1.0;      // boussinesq: buoyancy frequency N
+  double resistivity = 0.0;        // mhd: eta (0 = magnetic Prandtl 1)
 
   /// Throws util::Error naming the offending field on any out-of-range or
   /// unserviceable value (n < 8, ranks that do not divide the grid, an
@@ -68,8 +76,9 @@ struct JobRequest {
 
   /// Builds a request from "key = value" config text (psdns_submit job
   /// files): tenant, n, decomposition, ranks, scheme, viscosity, seed,
-  /// steps, dealias, forcing, forcing_power, scalars, cfl, max_dt.
-  /// Unknown keys are rejected.
+  /// steps, dealias, forcing, forcing_power, scalars, cfl, max_dt, system,
+  /// rotation_omega, brunt_vaisala, resistivity. Unknown keys are
+  /// rejected.
   static JobRequest from_config(const util::Config& file);
 };
 

@@ -48,6 +48,7 @@ std::string result_json(const JobRequest& request, std::int64_t steps_run,
   std::ostringstream os;
   os << "{\"schema\":\"psdns.svc.result.v1\""
      << ",\"hash\":\"" << request.hash() << "\""
+     << ",\"system\":" << obs::json_quote(request.system)
      << ",\"request\":" << request.to_json()
      << ",\"steps_run\":" << steps_run
      << ",\"final_time\":" << obs::json_number(final_time)
@@ -68,6 +69,10 @@ dns::SolverConfig solver_config(const JobRequest& request) {
   sc.forcing.power = request.forcing_power;
   sc.scalars.assign(static_cast<std::size_t>(request.scalars),
                     dns::ScalarConfig{});
+  sc.system = dns::parse_system_type(request.system);
+  sc.rotation_omega = request.rotation_omega;
+  sc.brunt_vaisala = request.brunt_vaisala;
+  sc.resistivity = request.resistivity;
   return sc;
 }
 
@@ -121,6 +126,10 @@ JobOutcome run_pencil_job(const JobRequest& request, obs::FlowId flow) {
   pcfg.phase_shift_dealias = sc.phase_shift_dealias;
   pcfg.forcing = sc.forcing;
   pcfg.scalars = sc.scalars;
+  pcfg.system = sc.system;
+  pcfg.rotation_omega = sc.rotation_omega;
+  pcfg.brunt_vaisala = sc.brunt_vaisala;
+  pcfg.resistivity = sc.resistivity;
   pcfg.pr = pr;
   pcfg.pc = pc;
 
@@ -134,6 +143,9 @@ JobOutcome run_pencil_job(const JobRequest& request, obs::FlowId flow) {
       solver.init_scalar_isotropic(s, request.seed + 1000 +
                                           static_cast<std::uint64_t>(s),
                                    3.0, 0.25);
+    }
+    if (solver.magnetic_base() >= 0) {
+      solver.init_magnetic_isotropic(request.seed + 2000, 3.0, 0.25);
     }
     for (std::int64_t step = 0; step < request.steps; ++step) {
       const double dt =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 #include <sstream>
 
@@ -506,17 +507,29 @@ std::string Scheduler::queue_json() const {
                          : 0.0))
        << "}";
   }
+  // Per-job rows for the psdns_top --service jobs table: equation system
+  // and grid size come from the request so mixed-physics campaigns are
+  // distinguishable at a glance. Finished jobs stay visible (the table
+  // would otherwise be empty the moment a queue drains), bounded to the
+  // most recent kQueueJobsMax by id to keep the payload small on
+  // long-lived services; jobs_ is id-ordered so the tail is the newest.
+  constexpr std::size_t kQueueJobsMax = 32;
   os << "},\"jobs\":[";
   first = true;
-  for (const auto& [id, rec] : jobs_) {
-    if (rec.state != JobState::Queued && rec.state != JobState::Running) {
-      continue;
-    }
+  auto it = jobs_.begin();
+  if (jobs_.size() > kQueueJobsMax) {
+    std::advance(it, jobs_.size() - kQueueJobsMax);
+  }
+  for (; it != jobs_.end(); ++it) {
+    const JobRecord& rec = it->second;
     if (!first) os << ",";
     first = false;
-    os << "{\"id\":" << id << ",\"tenant\":" << obs::json_quote(
-           rec.request.tenant)
-       << ",\"state\":\"" << to_string(rec.state) << "\"}";
+    os << "{\"id\":" << it->first << ",\"tenant\":"
+       << obs::json_quote(rec.request.tenant)
+       << ",\"state\":\"" << to_string(rec.state)
+       << "\",\"cached\":" << (rec.cached ? "true" : "false")
+       << ",\"request\":{\"system\":" << obs::json_quote(rec.request.system)
+       << ",\"n\":" << rec.request.n << "}}";
   }
   os << "]}";
   return os.str();

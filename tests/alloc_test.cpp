@@ -142,6 +142,27 @@ TEST(AllocFree, SlabRk4ForcedScalarPhaseShiftTwoRanks) {
   });
 }
 
+TEST(AllocFree, SlabMhdRk4TwoRanks) {
+  // MHD doubles the field set (3 induction components) and forms 9
+  // Elsasser products per substage; all of it must come out of the arena
+  // blocks checked out at construction.
+  comm::run_ranks(2, [](comm::Communicator& comm) {
+    SolverConfig config;
+    config.n = 16;
+    config.viscosity = 0.02;
+    config.scheme = TimeScheme::RK4;
+    config.system = SystemType::Mhd;
+    SlabSolver solver(comm, config);
+    solver.init_isotropic(7, 3.0, 0.5);
+    solver.init_magnetic_isotropic(9, 3.0, 0.25);
+    solver.set_uniform_magnetic_field({0.0, 0.0, 0.5});
+    const StepDeltas d = tracked_steps(solver, comm, 3, 1e-3);
+    EXPECT_EQ(d.news, 0);
+    EXPECT_EQ(d.deletes, 0);
+    EXPECT_EQ(d.arena_misses, 0);
+  });
+}
+
 TEST(AllocFree, PencilRk4ForcedFourRanks) {
   comm::run_ranks(4, [](comm::Communicator& comm) {
     PencilSolverConfig config;

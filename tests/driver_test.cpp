@@ -8,6 +8,7 @@
 #include "driver/campaign.hpp"
 #include "io/checkpoint.hpp"
 #include "io/series.hpp"
+#include "obs/registry.hpp"
 #include "resilience/fault.hpp"
 #include "util/config.hpp"
 
@@ -98,6 +99,69 @@ TEST(CampaignConfig, RejectsUnknownKeys) {
 TEST(CampaignConfig, RejectsBadScheme) {
   const auto file = util::Config::from_string("scheme = euler\n");
   EXPECT_THROW(CampaignConfig::from(file), util::Error);
+}
+
+TEST(CampaignConfig, ParsesEquationSystemKeys) {
+  const auto file = util::Config::from_string(R"(
+system = mhd
+resistivity = 0.02
+b0 = 0.3
+)");
+  const auto cfg = CampaignConfig::from(file);
+  EXPECT_EQ(cfg.solver.system, dns::SystemType::Mhd);
+  EXPECT_DOUBLE_EQ(cfg.solver.resistivity, 0.02);
+  EXPECT_DOUBLE_EQ(cfg.b0, 0.3);
+
+  const auto rot = CampaignConfig::from(
+      util::Config::from_string("system = rotating\nrotation_omega = 2.5\n"));
+  EXPECT_EQ(rot.solver.system, dns::SystemType::RotatingNS);
+  EXPECT_DOUBLE_EQ(rot.solver.rotation_omega, 2.5);
+
+  EXPECT_THROW(CampaignConfig::from(
+                   util::Config::from_string("system = ideal_gas\n")),
+               util::Error);
+}
+
+TEST(CampaignConfig, RejectsMeaninglessForcingBandAtParseTime) {
+  // Bad bands must die in from(), before any solver is constructed, with
+  // the typed error - every rank parses the same file, so the whole group
+  // rejects the job together.
+  EXPECT_THROW(CampaignConfig::from(util::Config::from_string(
+                   "forcing.enabled = true\nforcing.klo = 0\n")),
+               dns::ForcingError);
+  EXPECT_THROW(CampaignConfig::from(util::Config::from_string(
+                   "forcing.enabled = true\nforcing.klo = 3\n"
+                   "forcing.khi = 2\n")),
+               dns::ForcingError);
+  EXPECT_THROW(CampaignConfig::from(util::Config::from_string(
+                   "forcing.enabled = true\nforcing.power = 0\n")),
+               dns::ForcingError);
+  // With forcing off the band is never read, so it is not validated.
+  EXPECT_NO_THROW(CampaignConfig::from(
+      util::Config::from_string("forcing.klo = 0\n")));
+}
+
+TEST(Campaign, MhdCampaignPublishesSystemGauges) {
+  CampaignConfig cfg;
+  cfg.solver.n = 16;
+  cfg.solver.viscosity = 0.02;
+  cfg.solver.system = dns::SystemType::Mhd;
+  cfg.b0 = 0.4;
+  cfg.max_steps = 4;
+  cfg.max_dt = 0.005;
+  cfg.diagnostics_every = 2;
+  CampaignResult result;
+  comm::run_ranks(2, [&](comm::Communicator& comm) {
+    const auto r = run_campaign(comm, cfg);
+    if (comm.rank() == 0) result = r;
+  });
+  EXPECT_EQ(result.steps_run, 4);
+  EXPECT_GT(result.final_diagnostics.energy, 0.0);
+  const auto snap = obs::registry().snapshot();
+  ASSERT_TRUE(snap.gauges.contains("driver.system.magnetic_energy"));
+  EXPECT_GT(snap.gauges.at("driver.system.magnetic_energy"),
+            0.4 * 0.4 / 2.0 * 0.9);  // at least the mean-field energy
+  ASSERT_TRUE(snap.gauges.contains("driver.system.cross_helicity"));
 }
 
 // --- run_campaign ---

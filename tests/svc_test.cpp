@@ -87,6 +87,82 @@ TEST(JobRequest, JsonRoundTrip) {
   EXPECT_EQ(a.tenant, b.tenant);
 }
 
+TEST(JobRequest, LegacyNavierStokesHashesAreStable) {
+  // Hashes pinned from the release predating pluggable equation systems:
+  // a navier_stokes request's canonical form must never mention the
+  // system fields, or every cached result minted before the split would
+  // be orphaned.
+  const JobRequest def;
+  EXPECT_EQ(def.hash(), "9c5acb91c2b2d0ad");
+
+  JobRequest rich;
+  rich.tenant = "acme";
+  rich.n = 64;
+  rich.decomposition = Decomposition::Pencil;
+  rich.ranks = 4;
+  rich.scheme = "rk4";
+  rich.viscosity = 0.008;
+  rich.seed = 42;
+  rich.steps = 12;
+  rich.dealias = DealiasMode::PhaseShift;
+  rich.forcing = true;
+  rich.forcing_power = 0.25;
+  rich.scalars = 2;
+  rich.cfl = 0.4;
+  rich.max_dt = 0.005;
+  EXPECT_EQ(rich.hash(), "661f5f787e00feae");
+
+  // Parameters no system reads never fragment the cache...
+  JobRequest irrelevant;
+  irrelevant.rotation_omega = 7.0;
+  irrelevant.brunt_vaisala = 3.0;
+  irrelevant.resistivity = 0.5;
+  EXPECT_EQ(irrelevant.hash(), def.hash());
+
+  // ...but the selected system and its own parameter are content.
+  JobRequest rot;
+  rot.system = "rotating";
+  rot.rotation_omega = 2.0;
+  EXPECT_NE(rot.hash(), def.hash());
+  JobRequest faster = rot;
+  faster.rotation_omega = 3.0;
+  EXPECT_NE(faster.hash(), rot.hash());
+  JobRequest same = rot;
+  same.brunt_vaisala = 99.0;  // rotating does not read N
+  EXPECT_EQ(same.hash(), rot.hash());
+}
+
+TEST(JobRequest, SystemFieldsRoundTripAndValidate) {
+  JobRequest a = small_request();
+  a.system = "mhd";
+  a.resistivity = 0.02;
+  const JobRequest b = JobRequest::from_json(a.to_json());
+  EXPECT_EQ(b.system, "mhd");
+  EXPECT_EQ(a.canonical(), b.canonical());
+
+  JobRequest bad = small_request();
+  bad.system = "navier-stokes";  // unknown name
+  EXPECT_THROW(bad.validate(), util::Error);
+
+  bad = small_request();
+  bad.system = "rotating";
+  bad.rotation_omega = 0.0;
+  EXPECT_THROW(bad.validate(), util::Error);
+
+  bad = small_request();
+  bad.system = "boussinesq";
+  bad.brunt_vaisala = -1.0;
+  EXPECT_THROW(bad.validate(), util::Error);
+
+  bad = small_request();
+  bad.system = "mhd";
+  bad.scalars = 1;  // MHD's extra fields are the induction components
+  EXPECT_THROW(bad.validate(), util::Error);
+  bad.scalars = 0;
+  bad.resistivity = -0.1;
+  EXPECT_THROW(bad.validate(), util::Error);
+}
+
 TEST(JobRequest, FromJsonRejectsUnknownAndMalformed) {
   EXPECT_THROW(JobRequest::from_json("{\"grid\":32}"), util::Error);
   EXPECT_THROW(JobRequest::from_json("{\"n\":\"big\"}"), util::Error);
@@ -406,6 +482,17 @@ TEST(Scheduler, IdenticalResubmissionIsACacheHitWithIdenticalBytes) {
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*cold, *hit);  // bitwise-identical document, no re-run
   EXPECT_EQ(store.hits(), 1);
+
+  // /queue keeps finished jobs visible with the request's equation system
+  // and grid size plus the cached flag - the psdns_top --service jobs
+  // table reads exactly these fields.
+  const obs::JsonValue qdoc = obs::json_parse(again.queue_json());
+  const auto& jobs = qdoc.at("jobs").array;
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].at("state").string, "done");
+  EXPECT_TRUE(jobs[0].at("cached").boolean);
+  EXPECT_EQ(jobs[0].at("request").at("system").string, "navier_stokes");
+  EXPECT_EQ(jobs[0].at("request").at("n").number, small_request(7).n);
   fs::remove_all(cfg.cache_dir);
   fs::remove_all(cfg.workdir);
 }

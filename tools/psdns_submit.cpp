@@ -12,7 +12,10 @@
 //
 // Job fields: --job FILE (key = value, see JobRequest::from_config) gives
 // the base; --tenant --n --ranks --steps --seed --scheme --decomposition
-// --dealias --viscosity --scalars --forcing 0|1 override the file.
+// --dealias --viscosity --scalars --forcing 0|1 --system NAME
+// --rotation-omega W --brunt-vaisala N --resistivity ETA override the
+// file. --system selects the equation set (navier_stokes | rotating |
+// boussinesq | mhd); the three parameter flags feed the matching system.
 //
 // Journey tracing: --trace ID names the job's journey (sent as the
 // X-Psdns-Trace request header; without it the service mints a
@@ -54,6 +57,9 @@ int usage(const char* argv0) {
       "          [--decomposition slab|pencil]\n"
       "          [--dealias truncation|phase_shift] [--viscosity V]\n"
       "          [--scalars M] [--forcing 0|1] [--wait] [--json]\n"
+      "          [--system navier_stokes|rotating|boussinesq|mhd]\n"
+      "          [--rotation-omega W] [--brunt-vaisala N]\n"
+      "          [--resistivity ETA]\n"
       "          [--trace ID] [--save-trace FILE]\n"
       "          [--timeout SECS] [--retries N]\n"
       "       %s --port N --fetch PATH\n"
@@ -86,6 +92,14 @@ bool apply_field(JobRequest& request, const std::string& flag,
     request.scalars = std::atoi(value.c_str());
   } else if (flag == "--forcing") {
     request.forcing = std::atoi(value.c_str()) != 0;
+  } else if (flag == "--system") {
+    request.system = value;
+  } else if (flag == "--rotation-omega") {
+    request.rotation_omega = std::atof(value.c_str());
+  } else if (flag == "--brunt-vaisala") {
+    request.brunt_vaisala = std::atof(value.c_str());
+  } else if (flag == "--resistivity") {
+    request.resistivity = std::atof(value.c_str());
   } else {
     return false;
   }

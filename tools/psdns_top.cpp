@@ -15,7 +15,8 @@
 //       renders a per-tenant table - weight, target vs achieved fair
 //       share, submissions, completions, cache-hit rate, and the SLO
 //       latency quantiles (queue-wait / run / end-to-end p50 and p95)
-//       from the per-tenant summary histograms.
+//       from the per-tenant summary histograms - followed by a per-job
+//       table (id, tenant, equation system, state, grid size, cache hit).
 //
 // --json switches both modes to machine-readable output: live mode prints
 // the endpoint's /json document verbatim (one line per poll), series mode
@@ -208,6 +209,33 @@ int run_service(const Options& opt) {
               slo_cell(snap, name, "queue_wait_seconds").c_str(),
               slo_cell(snap, name, "run_seconds").c_str(),
               slo_cell(snap, name, "e2e_seconds").c_str());
+        }
+      }
+      // Per-job rows: which equation system each submission runs, along
+      // with its lifecycle state and whether the result came from cache.
+      if (const JsonValue* jobs = find(queue, "jobs");
+          jobs != nullptr && jobs->is_array() && !jobs->array.empty()) {
+        std::printf("%-5s %-14s %-13s %-10s %6s %6s\n", "job", "tenant",
+                    "system", "state", "n", "cached");
+        for (const auto& job : jobs->array) {
+          const JsonValue* req = find(job, "request");
+          const char* system = "?";
+          double n = 0.0;
+          if (req != nullptr) {
+            if (const JsonValue* s = find(*req, "system")) {
+              system = s->string.c_str();
+            }
+            n = number_or(*req, "n", 0.0);
+          }
+          const JsonValue* state = find(job, "state");
+          const JsonValue* tenant = find(job, "tenant");
+          const JsonValue* cached = find(job, "cached");
+          std::printf("%-5.0f %-14s %-13s %-10s %6.0f %6s\n",
+                      number_or(job, "id", -1.0),
+                      tenant != nullptr ? tenant->string.c_str() : "?",
+                      system,
+                      state != nullptr ? state->string.c_str() : "?", n,
+                      cached != nullptr && cached->boolean ? "yes" : "no");
         }
       }
     }
